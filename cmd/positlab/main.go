@@ -1,0 +1,244 @@
+// Command positlab inspects posit and IEEE small-float formats: it
+// encodes values, decodes patterns, shows field decompositions and
+// neighbors, and prints format summaries and precision maps.
+//
+// Usage:
+//
+//	positlab inspect <format> <value>     encode a decimal value
+//	positlab pattern <format> <hexbits>   decode a raw pattern
+//	positlab range <format>               format summary
+//	positlab map <format> [lo hi]         digits-of-accuracy map
+//	positlab enumerate <format>           all values (width <= 8 only)
+//	positlab verify <format> [samples]    sampled differential self-check
+//
+// <format> is e.g. posit32es2, posit(16,1), float16, bfloat16.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"positlab/internal/arith"
+	"positlab/internal/bigfp"
+	"positlab/internal/posit"
+	"positlab/internal/positio"
+	"positlab/internal/report"
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	cmd, name := args[0], args[1]
+	f, err := arith.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	switch cmd {
+	case "inspect":
+		if len(args) != 3 {
+			usage()
+		}
+		v, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			fatal(err)
+		}
+		inspect(f, v)
+	case "pattern":
+		if len(args) != 3 {
+			usage()
+		}
+		c, ok := arith.PositConfig(f)
+		if !ok {
+			fatal(fmt.Errorf("pattern decoding is posit-only; use inspect for floats"))
+		}
+		u, err := strconv.ParseUint(args[2], 0, 64)
+		if err != nil {
+			fatal(err)
+		}
+		describePattern(c, posit.Bits(u))
+	case "range":
+		summary(f)
+	case "map":
+		lo, hi := -12.0, 12.0
+		if len(args) == 4 {
+			if lo, err = strconv.ParseFloat(args[2], 64); err != nil {
+				fatal(err)
+			}
+			if hi, err = strconv.ParseFloat(args[3], 64); err != nil {
+				fatal(err)
+			}
+		}
+		precisionMap(f, lo, hi)
+	case "enumerate":
+		c, ok := arith.PositConfig(f)
+		if !ok || c.N() > 8 {
+			fatal(fmt.Errorf("enumerate requires a posit format of width <= 8"))
+		}
+		enumerate(c)
+	case "verify":
+		c, ok := arith.PositConfig(f)
+		if !ok {
+			fatal(fmt.Errorf("verify is posit-only (IEEE formats are verified in the test suite)"))
+		}
+		samples := 2000
+		if len(args) == 3 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad sample count %q", args[2]))
+			}
+			samples = v
+		}
+		verify(c, samples)
+	default:
+		usage()
+	}
+}
+
+// verify runs a sampled differential check of the arithmetic against
+// the independent big.Float oracle — the library's correctness claim,
+// reproducible by any user without running the test suite.
+func verify(c posit.Config, samples int) {
+	mask := uint64(1)<<uint(c.N()) - 1
+	x := uint64(0x2545F4914F6CDD1D)
+	next := func() posit.Bits {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return posit.Bits(x & mask)
+	}
+	checked, failures := 0, 0
+	report := func(op string, a, b posit.Bits, got, want posit.Bits) {
+		failures++
+		fmt.Printf("MISMATCH %s(%#x, %#x) = %#x, oracle %#x\n",
+			op, uint64(a), uint64(b), uint64(got), uint64(want))
+	}
+	for i := 0; i < samples; i++ {
+		a, b := next(), next()
+		if got, want := c.Add(a, b), bigfp.AddRef(c, a, b); got != want {
+			report("add", a, b, got, want)
+		}
+		if got, want := c.Mul(a, b), bigfp.MulRef(c, a, b); got != want {
+			report("mul", a, b, got, want)
+		}
+		if got, want := c.Div(a, b), bigfp.DivRef(c, a, b); got != want {
+			report("div", a, b, got, want)
+		}
+		if got, want := c.Sqrt(a), bigfp.SqrtRef(c, a); got != want {
+			report("sqrt", a, 0, got, want)
+		}
+		checked += 4
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d of %d operations disagreed with the oracle", failures, checked))
+	}
+	fmt.Printf("%v: %d operations verified against the big.Float oracle, 0 mismatches\n", c, checked)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: positlab {inspect|pattern|range|map|enumerate|verify} <format> [args]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "positlab:", err)
+	os.Exit(1)
+}
+
+func inspect(f arith.Format, v float64) {
+	n := f.FromFloat64(v)
+	got := f.ToFloat64(n)
+	fmt.Printf("format:  %s\n", f.Name())
+	fmt.Printf("input:   %.17g\n", v)
+	fmt.Printf("rounded: %.17g\n", got)
+	if v != 0 && !math.IsNaN(v) {
+		fmt.Printf("relerr:  %.3e\n", math.Abs((got-v)/v))
+	}
+	if c, ok := arith.PositConfig(f); ok {
+		describePattern(c, c.FromFloat64(v))
+	}
+}
+
+func describePattern(c posit.Config, p posit.Bits) {
+	fmt.Printf("pattern: %#0*x  (%s)\n", (c.N()+3)/4, uint64(p), positio.Fields(c, p))
+	switch {
+	case c.IsZero(p):
+		fmt.Println("value:   0 (zero pattern)")
+	case c.IsNaR(p):
+		fmt.Println("value:   NaR (not a real)")
+	default:
+		sign, k, e, _, _ := c.Parts(p)
+		fmt.Printf("value:   %s (exactly %.17g)\n", positio.Format(c, p), c.ToFloat64(p))
+		fmt.Printf("fields:  sign=%v regime k=%d exponent=%d fracbits=%d\n",
+			sign, k, e, c.FracBits(p))
+		fmt.Printf("neighbors: prev=%s next=%s\n",
+			positio.Format(c, c.Prev(p)), positio.Format(c, c.Next(p)))
+	}
+}
+
+func summary(f arith.Format) {
+	rows := [][]string{
+		{"name", f.Name()},
+		{"max finite", fmt.Sprintf("%.6g", f.MaxValue())},
+		{"eps at 1.0", fmt.Sprintf("%.6g", f.Eps())},
+		{"digits at 1.0", fmt.Sprintf("%.2f", -math.Log10(f.Eps()))},
+	}
+	if c, ok := arith.PositConfig(f); ok {
+		rows = append(rows,
+			[]string{"useed", fmt.Sprintf("%d", c.USEED())},
+			[]string{"minpos", fmt.Sprintf("%.6g", c.ToFloat64(c.MinPos()))},
+			[]string{"scale range", fmt.Sprintf("2^%d .. 2^%d", c.MinScale(), c.MaxScale())},
+		)
+	}
+	fmt.Print(report.Table([]string{"property", "value"}, rows))
+}
+
+func precisionMap(f arith.Format, lo, hi float64) {
+	labels := []string{}
+	values := []float64{}
+	for d := lo; d <= hi; d++ {
+		x := math.Pow(10, d)
+		n := f.FromFloat64(x)
+		digits := 0.0
+		if !f.Bad(n) && !f.IsZero(n) {
+			v := f.ToFloat64(n)
+			// Local gap probe: next representable above v.
+			step := v * f.Eps()
+			up := f.ToFloat64(f.Add(n, f.FromFloat64(step)))
+			for up == v && step < v*1e6 {
+				step *= 2
+				up = f.ToFloat64(f.Add(n, f.FromFloat64(step)))
+			}
+			if up > v {
+				digits = -math.Log10((up - v) / 2 / v)
+			}
+		}
+		labels = append(labels, fmt.Sprintf("1e%+03.0f", d))
+		values = append(values, digits)
+	}
+	fmt.Printf("decimal digits of accuracy, %s\n", f.Name())
+	fmt.Print(report.Bars(labels, values, 40))
+}
+
+func enumerate(c posit.Config) {
+	fmt.Printf("all %d patterns of %v:\n", 1<<uint(c.N()), c)
+	var rows [][]string
+	for pat := uint64(0); pat < 1<<uint(c.N()); pat++ {
+		p := posit.Bits(pat)
+		val := "NaR"
+		if !c.IsNaR(p) {
+			val = strconv.FormatFloat(c.ToFloat64(p), 'g', -1, 64)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%#04x", pat),
+			fmt.Sprintf("%0*b", c.N(), pat),
+			val,
+		})
+	}
+	fmt.Print(report.Table([]string{"hex", "bits", "value"}, rows))
+}

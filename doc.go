@@ -1,0 +1,15 @@
+// Package positlab is a from-scratch Go reproduction of Buoncristiani,
+// Shah, Donofrio and Shalf, "Evaluating the Numerical Stability of
+// Posit Arithmetic" (2020): a correctly rounded posit arithmetic
+// library with configurable width and exponent size, software IEEE
+// half-precision, linear-system solvers (CG, Cholesky, mixed-precision
+// iterative refinement), the paper's matrix-rescaling strategies, a
+// synthetic replica of its Matrix Market test suite, and a harness
+// that regenerates every table and figure of its evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// substitutions made for offline reproduction, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// each experiment; the binaries under cmd/ expose them on the command
+// line.
+package positlab

@@ -1,0 +1,77 @@
+// Newton example: root-finding in posit value types. Solves x³ = a by
+// Newton's method entirely in P32 arithmetic and compares the
+// converged root against float32 and float64 across magnitudes — a
+// compact view of the golden zone's effect on a nonlinear kernel.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/posit"
+)
+
+// cbrtP32 runs Newton for f(x) = x³ - a in posit(32,2):
+// x ← x - (x³ - a) / (3x²).
+func cbrtP32(a float64) (root float64, iters int) {
+	pa := posit.P32From(a)
+	three := posit.P32From(3)
+	x := posit.P32From(a / 3).Add(posit.P32From(1)) // crude positive start
+	var last posit.P32
+	for iters = 0; iters < 60; iters++ {
+		x2 := x.Mul(x)
+		f := x2.Mul(x).Sub(pa)
+		df := three.Mul(x2)
+		next := x.Sub(f.Div(df))
+		if next.Bits() == x.Bits() || next.Bits() == last.Bits() {
+			break
+		}
+		last = x
+		x = next
+	}
+	return x.Float64(), iters
+}
+
+func cbrt32(a float64) float64 {
+	x := float32(a/3) + 1
+	var last float32
+	for i := 0; i < 60; i++ {
+		next := x - (x*x*x-float32(a))/(3*x*x)
+		if next == x || next == last {
+			break
+		}
+		last = x
+		x = next
+	}
+	return float64(x)
+}
+
+func main() {
+	fmt.Println("cube roots by Newton iteration, posit(32,2) vs float32")
+	fmt.Println("(relative error against math.Cbrt in float64)")
+	fmt.Println()
+	fmt.Printf("%12s  %14s  %14s  %9s\n", "a", "posit(32,2)", "float32", "winner")
+	for _, a := range []float64{1.0 / 64, 0.3, 2, 27, 1e4, 1e8, 1e12, 1e16, 1e20} {
+		want := math.Cbrt(a)
+		gotP, _ := cbrtP32(a)
+		gotF := cbrt32(a)
+		errP := math.Abs(gotP-want) / want
+		errF := math.Abs(gotF-want) / want
+		winner := "posit"
+		switch {
+		case errP > 1e-2 && (errF > 1e-2 || math.IsNaN(errF)):
+			// Naive Newton from x0 ~ a/3 cubes its iterates: both
+			// formats overflow their ranges long before convergence.
+			winner = "both fail"
+		case errF < errP:
+			winner = "float32"
+		case errF == errP:
+			winner = "tie"
+		}
+		fmt.Printf("%12.4g  %14.3e  %14.3e  %9s\n", a, errP, errF, winner)
+	}
+	fmt.Println()
+	fmt.Println("posits win while the root stays near the golden zone and lose")
+	fmt.Println("precision once a (and x³ intermediates) leave it — the same")
+	fmt.Println("magnitude-dependence the paper maps for linear solvers.")
+}

@@ -1,0 +1,59 @@
+// Precision map example: the Fig. 3 "golden zone" picture as ASCII —
+// worst-case decimal digits of accuracy per magnitude decade for posit
+// and IEEE formats.
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+func main() {
+	type curve struct {
+		name string
+		fn   func(float64) float64
+	}
+	curves := []curve{
+		{"posit(32,2)", posit.Posit32e2.DecimalDigitsAt},
+		{"posit(32,3)", posit.Posit32e3.DecimalDigitsAt},
+		{"float32", minifloat.Float32.DecimalDigitsAt},
+		{"posit(16,2)", posit.Posit16e2.DecimalDigitsAt},
+		{"float16", minifloat.Float16.DecimalDigitsAt},
+	}
+
+	fmt.Println("worst-case decimal digits of accuracy by magnitude (Fig. 3)")
+	fmt.Println()
+	header := fmt.Sprintf("%8s", "x")
+	for _, c := range curves {
+		header += fmt.Sprintf("  %11s", c.name)
+	}
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for d := -12; d <= 12; d += 2 {
+		x := math.Pow(10, float64(d))
+		row := fmt.Sprintf("%8s", fmt.Sprintf("1e%+d", d))
+		for _, c := range curves {
+			row += fmt.Sprintf("  %11.2f", c.fn(x))
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println()
+	fmt.Println("posit(32,2) vs float32 around the golden zone:")
+	for d := -6; d <= 6; d++ {
+		x := math.Pow(10, float64(d))
+		p := posit.Posit32e2.DecimalDigitsAt(x)
+		f := minifloat.Float32.DecimalDigitsAt(x)
+		marker := ""
+		if p > f {
+			marker = strings.Repeat("+", int(math.Round((p-f)*4))) + " posit ahead"
+		} else if f > p {
+			marker = strings.Repeat("-", int(math.Round((f-p)*4))) + " float ahead"
+		}
+		fmt.Printf("  1e%+03d  posit %5.2f  float %5.2f  %s\n", d, p, f, marker)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: posit arithmetic basics — formats, rounding, NaR,
+// tapered precision, and the exact quire accumulator.
+package main
+
+import (
+	"fmt"
+
+	"positlab/internal/arith"
+	"positlab/internal/posit"
+)
+
+func main() {
+	// A posit format is Posit(n, es): n total bits, es exponent bits.
+	p16 := posit.Posit16e2
+
+	// Encode decimal values; arithmetic is correctly rounded.
+	a := p16.FromFloat64(1.5)
+	b := p16.FromFloat64(2.25)
+	sum := p16.Add(a, b)
+	fmt.Printf("1.5 + 2.25 = %g (pattern %#04x)\n", p16.ToFloat64(sum), uint64(sum))
+
+	// Tapered precision: fraction bits depend on magnitude.
+	for _, v := range []float64{1.0, 1e3, 1e6, 1e12} {
+		x := p16.FromFloat64(v)
+		fmt.Printf("posit(16,2) near %8.0e: %2d fraction bits, stored as %g\n",
+			v, p16.FracBits(x), p16.ToFloat64(x))
+	}
+
+	// There are no infinities: 1/0 is NaR, and real values never
+	// overflow — they clamp to maxpos.
+	fmt.Printf("1/0 -> NaR? %v\n", p16.IsNaR(p16.Div(p16.One(), p16.Zero())))
+	huge := p16.FromFloat64(1e30)
+	fmt.Printf("1e30 clamps to maxpos = %g\n", p16.ToFloat64(huge))
+
+	// The quire accumulates dot products exactly and rounds once.
+	q := p16.NewQuire()
+	big := p16.FromFloat64(1e6)
+	tiny := p16.FromFloat64(0.25)
+	q.AddProduct(big, big) // 1e12
+	q.Add(tiny)            // + 0.25 (lost by round-per-op)
+	q.SubProduct(big, big) // - 1e12
+	fmt.Printf("quire (1e6*1e6 + 0.25 - 1e6*1e6) = %g\n", p16.ToFloat64(q.Round()))
+	perOp := p16.Sub(p16.Add(p16.Mul(big, big), tiny), p16.Mul(big, big))
+	fmt.Printf("round-per-op same expression    = %g\n", p16.ToFloat64(perOp))
+
+	// The arith.Format interface runs any algorithm over any format.
+	for _, f := range []arith.Format{arith.Float16, arith.Posit16e2, arith.Float32, arith.Posit32e2} {
+		x := f.FromFloat64(1.0)
+		third := f.Div(x, f.FromFloat64(3))
+		fmt.Printf("%-12s 1/3 = %.12g (eps at 1 = %.3g)\n", f.Name(), f.ToFloat64(third), f.Eps())
+	}
+}

@@ -1,0 +1,75 @@
+// Shock tube example: Sod's problem (the paper's §VII CFD candidate)
+// run in several formats, with an ASCII rendering of the density
+// profile and per-format error against the Float64 reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"positlab/internal/arith"
+	"positlab/internal/shocktube"
+)
+
+func main() {
+	cells := flag.Int("cells", 200, "grid cells")
+	format := flag.String("format", "posit16es2", "format for the profile plot")
+	flag.Parse()
+
+	cfg := shocktube.Config{Cells: *cells}
+	ref, steps, failed := shocktube.Run(arith.Float64, cfg)
+	if failed {
+		fmt.Println("float64 reference run failed")
+		return
+	}
+	refRho := ref.Density()
+	fmt.Printf("Sod shock tube, %d cells, t = 0.2 (%d steps)\n\n", *cells, steps)
+
+	fmt.Println("density L2 error vs Float64:")
+	for _, f := range []arith.Format{
+		arith.Float32, arith.Posit32e2,
+		arith.Float16, arith.BFloat16, arith.Posit16e1, arith.Posit16e2,
+	} {
+		s, _, failed := shocktube.Run(f, cfg)
+		if failed {
+			fmt.Printf("  %-12s FAILED\n", f.Name())
+			continue
+		}
+		fmt.Printf("  %-12s %.3e\n", f.Name(), shocktube.RelErrorL2(s.Density(), refRho))
+	}
+
+	f, err := arith.ByName(*format)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s, _, failed := shocktube.Run(f, cfg)
+	if failed {
+		fmt.Printf("\n%s run failed\n", f.Name())
+		return
+	}
+	fmt.Printf("\ndensity profile in %s (x: tube position, #: density 0..1):\n\n", f.Name())
+	rho := s.Density()
+	const rowsN = 16
+	cols := 72
+	grid := make([][]byte, rowsN)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c := 0; c < cols; c++ {
+		i := c * len(rho) / cols
+		level := int(rho[i] * float64(rowsN-1) / 1.0)
+		if level >= rowsN {
+			level = rowsN - 1
+		}
+		for r := 0; r <= level; r++ {
+			grid[rowsN-1-r][c] = '#'
+		}
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+	fmt.Println(strings.Repeat("-", cols))
+	fmt.Println("rarefaction        contact        shock ->")
+}

@@ -1,0 +1,3 @@
+module positlab
+
+go 1.22

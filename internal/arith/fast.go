@@ -1,0 +1,531 @@
+package arith
+
+import (
+	"math"
+
+	"positlab/internal/bigfp"
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+// Fast value-domain formats.
+//
+// Every format in this study embeds exactly into float64 (at most 28
+// significand bits, scales within ±496), so a Num can carry the
+// *value* as float64 bits instead of the format's encoding. Operations
+// then run as native float64 arithmetic followed by a table-driven
+// re-rounding into the format's value set — roughly 6x faster than the
+// integer-pipeline formats, which matters on the O(n³) factorizations.
+//
+// Correct rounding is preserved exactly. The hazard of computing
+// through float64 is double rounding: the float64-rounded result can
+// sit so close to a rounding boundary of the target format that it
+// rounds differently than the exact result would. The rounder detects
+// every such ambiguity conservatively — the discarded bits landing
+// within one 53-bit ulp of the halfway pattern — and falls back to the
+// exact integer pipeline for that operation. The ambiguous band has
+// width 2^-(53-p) of an ulp, so fallbacks are vanishingly rare (~1e-7
+// for posit32) and the fast path is bit-identical to the slow path,
+// which differential tests assert.
+
+// roundTables drives value-domain rounding for one format.
+type roundTables struct {
+	minScale int // scale of the smallest positive value
+	maxScale int // scale of the largest finite value
+	// fb[s-minScale]: explicit fraction bits at scale s. Negative
+	// values mark scales where the cut reaches the exponent/regime
+	// fields (posits near the ends, IEEE deep subnormals); those go
+	// through the region tables below.
+	fb []int8
+	// Region tables, populated where fb <= 0: the bracketing
+	// representable values around 2^s, the rounding midpoint between
+	// them, and the parity of the lower pattern (for ties).
+	down, up, mid []float64
+	downOdd       []bool
+	minPosV       float64 // smallest positive value
+	maxFinV       float64 // largest finite value
+	// posit: overflow clamps to maxFinV and underflow to minPosV;
+	// IEEE: overflow rounds to +Inf and underflow to zero.
+	ieee bool
+}
+
+// round rounds a float64 to the format's value set with round-to-
+// nearest-even in the format's own tie semantics. ok=false reports an
+// ambiguous double-rounding case the caller must resolve — either by
+// proving x is the exact result (re-round with exact=true; common for
+// sums, whose ties are real) or through the integer pipeline.
+func (t *roundTables) round(x float64, exact bool) (v float64, ok bool) {
+	if x == 0 {
+		if t.ieee {
+			return x, true // IEEE keeps the zero's sign
+		}
+		return 0, true // posit has a single zero
+	}
+	if math.IsNaN(x) {
+		return x, true
+	}
+	if math.IsInf(x, 0) {
+		if t.ieee {
+			return x, true
+		}
+		return math.NaN(), true // posit: infinite intermediates are NaR
+	}
+	neg := math.Signbit(x)
+	a := math.Abs(x)
+	bits := math.Float64bits(a)
+	exp := int(bits>>52) - 1023
+	if bits>>52 == 0 {
+		exp = -1023 // subnormal float64: far below every format's range
+	}
+
+	if exp < t.minScale {
+		// Below the smallest representable scale. The region entry at
+		// minScale handles values just under minpos via its midpoint;
+		// anything under half of minpos lands here.
+		if t.ieee {
+			// exp < minScale = emin-frac-1 means a < minsub/2, which
+			// rounds to zero — unless a sits within an ulp of the
+			// halfway point, which is ambiguous.
+			if !exact && closeTo(a, t.minPosV/2) {
+				return 0, false
+			}
+			return signed(0, neg), true
+		}
+		return signed(t.minPosV, neg), true // posits never round to zero
+	}
+	if exp > t.maxScale {
+		if t.ieee {
+			// Beyond 2^(maxScale+1): certainly infinity. Between
+			// maxFin and 2^(maxScale+1) the region entry at maxScale
+			// decides; exp > maxScale means at least 2^(maxScale+1),
+			// which is past the overflow threshold.
+			return signed(math.Inf(1), neg), true
+		}
+		return signed(t.maxFinV, neg), true
+	}
+
+	idx := exp - t.minScale
+	fbits := int(t.fb[idx])
+	if fbits >= 1 {
+		drop := uint(52 - fbits)
+		mant := bits & (1<<52 - 1)
+		kept := mant >> drop
+		discarded := mant & (1<<drop - 1)
+		half := uint64(1) << (drop - 1)
+		// Ambiguity: discarded within one 53-bit ulp of halfway. If x
+		// is known exact, discarded == half is a genuine tie and the
+		// neighbors are unambiguous.
+		if !exact && discarded >= half-1 && discarded <= half+1 {
+			return 0, false
+		}
+		if discarded > half || (discarded == half && kept&1 == 1) {
+			kept++
+		}
+		v = math.Ldexp(float64((1<<uint(fbits))+kept), exp-fbits)
+		if v > t.maxFinV {
+			if t.ieee {
+				v = math.Inf(1)
+			} else {
+				v = t.maxFinV
+			}
+		}
+		return signed(v, neg), true
+	}
+
+	// Region path: zero or negative fraction bits — the value rounds
+	// between down[s] and up[s] with the format's own midpoint.
+	down, up, mid := t.down[idx], t.up[idx], t.mid[idx]
+	if !exact && closeTo(a, mid) {
+		return 0, false
+	}
+	switch {
+	case a < mid:
+		v = down
+	case a > mid:
+		v = up
+	default: // exact tie: even pattern
+		if t.downOdd[idx] {
+			v = up
+		} else {
+			v = down
+		}
+	}
+	if v > t.maxFinV {
+		if t.ieee {
+			v = math.Inf(1)
+		} else {
+			v = t.maxFinV
+		}
+	}
+	if v == 0 && !t.ieee {
+		v = t.minPosV
+	}
+	return signed(v, neg), true
+}
+
+func signed(v float64, neg bool) float64 {
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// sumExact reports whether r = x + y held exactly in float64 (TwoSum
+// residual is zero).
+func sumExact(x, y, r float64) bool {
+	bv := r - x
+	return (x-(r-bv))+(y-bv) == 0
+}
+
+// mulExact reports whether r = x * y held exactly in float64.
+func mulExact(x, y, r float64) bool {
+	return math.FMA(x, y, -r) == 0
+}
+
+// divExact reports whether r = x / y held exactly in float64.
+func divExact(x, y, r float64) bool {
+	return math.FMA(r, y, -x) == 0
+}
+
+// sqrtExact reports whether r = sqrt(x) held exactly in float64.
+func sqrtExact(x, r float64) bool {
+	return math.FMA(r, r, -x) == 0
+}
+
+// closeTo reports |a-b| within one float64 ulp, via pattern distance
+// (both positive finite).
+func closeTo(a, b float64) bool {
+	ba, bb := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	d := ba - bb
+	return d >= -1 && d <= 1
+}
+
+// --- fast posit ---
+
+type fastPosit struct {
+	c posit.Config
+	t *roundTables
+}
+
+// FastPosit builds the value-domain implementation of a posit format.
+// It is bit-compatible with Posit(c) in results; only the Num encoding
+// differs (float64 value bits instead of posit patterns).
+func FastPosit(c posit.Config) Format {
+	t := &roundTables{
+		minScale: c.MinScale(),
+		maxScale: c.MaxScale(),
+		minPosV:  c.ToFloat64(c.MinPos()),
+		maxFinV:  c.ToFloat64(c.MaxPos()),
+	}
+	n := t.maxScale - t.minScale + 1
+	t.fb = make([]int8, n)
+	t.down = make([]float64, n)
+	t.up = make([]float64, n)
+	t.mid = make([]float64, n)
+	t.downOdd = make([]bool, n)
+	for s := t.minScale; s <= t.maxScale; s++ {
+		i := s - t.minScale
+		t.fb[i] = int8(rawFracBits(c, s))
+		if t.fb[i] >= 1 {
+			continue
+		}
+		// Largest posit <= 2^s.
+		p := c.FromFloat64(math.Ldexp(1, s))
+		if c.ToFloat64(p) > math.Ldexp(1, s) {
+			p = c.Prev(p)
+		}
+		t.down[i] = c.ToFloat64(p)
+		if p == c.MaxPos() {
+			t.up[i] = math.Inf(1)
+		} else {
+			t.up[i] = c.ToFloat64(c.Next(p))
+		}
+		// Pattern-space midpoint: the (n+1)-bit posit 2p+1.
+		mv := bigfp.PatternValue(c.N()+1, c.ES(), uint64(p)*2+1)
+		t.mid[i], _ = mv.Float64()
+		t.downOdd[i] = uint64(p)&1 == 1
+	}
+	return fastPosit{c: c, t: t}
+}
+
+// rawFracBits is FracBitsAtScale without the clamp at zero: negative
+// values count exponent bits cut off by the regime.
+func rawFracBits(c posit.Config, scale int) int {
+	pow := 1 << uint(c.ES())
+	k := scale / pow
+	if scale%pow != 0 && scale < 0 {
+		k--
+	}
+	var rlen int
+	if k >= 0 {
+		rlen = k + 2
+	} else {
+		rlen = -k + 1
+	}
+	return c.N() - 1 - rlen - c.ES()
+}
+
+func (p fastPosit) Name() string { return p.c.String() }
+
+func (p fastPosit) FromFloat64(x float64) Num {
+	// An external float64 is its own exact value: ties are genuine.
+	v, _ := p.t.round(x, true)
+	return n64(v)
+}
+
+func (p fastPosit) ToFloat64(a Num) float64 { return f64(a) }
+
+// exact2 reruns a binary operation through the integer pipeline.
+func (p fastPosit) exact2(op func(posit.Config, posit.Bits, posit.Bits) posit.Bits, a, b float64) Num {
+	r := op(p.c, p.c.FromFloat64(a), p.c.FromFloat64(b))
+	return n64(p.c.ToFloat64(r))
+}
+
+func (p fastPosit) Add(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x + y
+	if v, ok := p.t.round(r, false); ok {
+		return n64(v)
+	}
+	if sumExact(x, y, r) {
+		v, _ := p.t.round(r, true)
+		return n64(v)
+	}
+	return p.exact2(posit.Config.Add, x, y)
+}
+
+func (p fastPosit) Sub(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x - y
+	if v, ok := p.t.round(r, false); ok {
+		return n64(v)
+	}
+	if sumExact(x, -y, r) {
+		v, _ := p.t.round(r, true)
+		return n64(v)
+	}
+	return p.exact2(posit.Config.Sub, x, y)
+}
+
+func (p fastPosit) Mul(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x * y
+	if v, ok := p.t.round(r, false); ok {
+		return n64(v)
+	}
+	if mulExact(x, y, r) {
+		v, _ := p.t.round(r, true)
+		return n64(v)
+	}
+	return p.exact2(posit.Config.Mul, x, y)
+}
+
+func (p fastPosit) Div(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	if y == 0 {
+		return n64(math.NaN()) // posit: division by zero is NaR
+	}
+	r := x / y
+	if v, ok := p.t.round(r, false); ok {
+		return n64(v)
+	}
+	if divExact(x, y, r) {
+		v, _ := p.t.round(r, true)
+		return n64(v)
+	}
+	return p.exact2(posit.Config.Div, x, y)
+}
+
+func (p fastPosit) Sqrt(a Num) Num {
+	x := f64(a)
+	if x < 0 {
+		return n64(math.NaN())
+	}
+	r := math.Sqrt(x)
+	if v, ok := p.t.round(r, false); ok {
+		return n64(v)
+	}
+	if sqrtExact(x, r) {
+		v, _ := p.t.round(r, true)
+		return n64(v)
+	}
+	rp := p.c.Sqrt(p.c.FromFloat64(x))
+	return n64(p.c.ToFloat64(rp))
+}
+
+func (p fastPosit) Neg(a Num) Num {
+	v := -f64(a)
+	if v == 0 {
+		v = 0 // posit has a single (positive) zero
+	}
+	return n64(v)
+}
+func (p fastPosit) Zero() Num         { return n64(0) }
+func (p fastPosit) One() Num          { return n64(1) }
+func (p fastPosit) IsZero(a Num) bool { return f64(a) == 0 }
+func (p fastPosit) Bad(a Num) bool    { return math.IsNaN(f64(a)) }
+func (p fastPosit) Less(a, b Num) bool {
+	return f64(a) < f64(b)
+}
+func (p fastPosit) Eps() float64 {
+	return math.Ldexp(1, -(p.c.FracBitsAtScale(0) + 1))
+}
+func (p fastPosit) MaxValue() float64 { return p.t.maxFinV }
+
+// Config exposes the posit configuration (see PositConfig).
+func (p fastPosit) Config() posit.Config { return p.c }
+
+// --- fast minifloat ---
+
+type fastMini struct {
+	f    minifloat.Format
+	name string
+	t    *roundTables
+}
+
+// FastMini builds the value-domain implementation of an IEEE small
+// format, bit-compatible in results with the minifloat integer
+// pipeline.
+func FastMini(f minifloat.Format, name string) Format {
+	frac := f.FracBits()
+	t := &roundTables{
+		ieee:     true,
+		minScale: f.Emin() - frac - 1, // scale of the sub-minsub tie region
+		maxScale: f.Emax(),
+		minPosV:  f.ToFloat64(f.MinSubnormal()),
+		maxFinV:  f.MaxValue(),
+	}
+	n := t.maxScale - t.minScale + 1
+	t.fb = make([]int8, n)
+	t.down = make([]float64, n)
+	t.up = make([]float64, n)
+	t.mid = make([]float64, n)
+	t.downOdd = make([]bool, n)
+	for s := t.minScale; s <= t.maxScale; s++ {
+		i := s - t.minScale
+		fb := frac
+		if s < f.Emin() {
+			fb = s - (f.Emin() - frac)
+		}
+		t.fb[i] = int8(fb)
+		if fb >= 1 {
+			continue
+		}
+		// down = largest representable <= 2^s; IEEE midpoints are
+		// arithmetic means of adjacent representables.
+		down := math.Ldexp(1, s)
+		var downPat uint64
+		switch {
+		case fb == 0 && s >= f.Emin()-frac:
+			downPat = uint64(f.FromFloat64(down))
+		default: // s = emin-frac-1: below the smallest subnormal
+			down = 0
+			downPat = 0
+		}
+		up := t.minPosV
+		if down != 0 {
+			upPat := downPat + 1
+			up = f.ToFloat64(minifloat.Bits(upPat))
+		}
+		t.down[i] = down
+		t.up[i] = up
+		t.mid[i] = (down + up) / 2
+		t.downOdd[i] = downPat&1 == 1
+	}
+	return fastMini{f: f, name: name, t: t}
+}
+
+func (m fastMini) Name() string { return m.name }
+
+func (m fastMini) FromFloat64(x float64) Num {
+	// An external float64 is its own exact value: ties are genuine.
+	v, _ := m.t.round(x, true)
+	return n64(v)
+}
+
+func (m fastMini) ToFloat64(a Num) float64 { return f64(a) }
+
+func (m fastMini) exact2(op func(minifloat.Format, minifloat.Bits, minifloat.Bits) minifloat.Bits, a, b float64) Num {
+	r := op(m.f, m.f.FromFloat64(a), m.f.FromFloat64(b))
+	return n64(m.f.ToFloat64(r))
+}
+
+func (m fastMini) Add(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x + y
+	if v, ok := m.t.round(r, false); ok {
+		return n64(v)
+	}
+	if sumExact(x, y, r) {
+		v, _ := m.t.round(r, true)
+		return n64(v)
+	}
+	return m.exact2(minifloat.Format.Add, x, y)
+}
+
+func (m fastMini) Sub(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x - y
+	if v, ok := m.t.round(r, false); ok {
+		return n64(v)
+	}
+	if sumExact(x, -y, r) {
+		v, _ := m.t.round(r, true)
+		return n64(v)
+	}
+	return m.exact2(minifloat.Format.Sub, x, y)
+}
+
+func (m fastMini) Mul(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x * y
+	if v, ok := m.t.round(r, false); ok {
+		return n64(v)
+	}
+	if mulExact(x, y, r) {
+		v, _ := m.t.round(r, true)
+		return n64(v)
+	}
+	return m.exact2(minifloat.Format.Mul, x, y)
+}
+
+func (m fastMini) Div(a, b Num) Num {
+	x, y := f64(a), f64(b)
+	r := x / y
+	if v, ok := m.t.round(r, false); ok {
+		return n64(v)
+	}
+	if divExact(x, y, r) {
+		v, _ := m.t.round(r, true)
+		return n64(v)
+	}
+	return m.exact2(minifloat.Format.Div, x, y)
+}
+
+func (m fastMini) Sqrt(a Num) Num {
+	x := f64(a)
+	r := math.Sqrt(x)
+	if v, ok := m.t.round(r, false); ok {
+		return n64(v)
+	}
+	if sqrtExact(x, r) {
+		v, _ := m.t.round(r, true)
+		return n64(v)
+	}
+	rp := m.f.Sqrt(m.f.FromFloat64(x))
+	return n64(m.f.ToFloat64(rp))
+}
+
+func (m fastMini) Neg(a Num) Num     { return n64(-f64(a)) }
+func (m fastMini) Zero() Num         { return n64(0) }
+func (m fastMini) One() Num          { return n64(1) }
+func (m fastMini) IsZero(a Num) bool { return f64(a) == 0 }
+func (m fastMini) Bad(a Num) bool {
+	v := f64(a)
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+func (m fastMini) Less(a, b Num) bool { return f64(a) < f64(b) }
+func (m fastMini) Eps() float64 {
+	return math.Ldexp(1, -(m.f.FracBits() + 1))
+}
+func (m fastMini) MaxValue() float64 { return m.t.maxFinV }

@@ -1,0 +1,61 @@
+package arith
+
+// OpCounts tallies the arithmetic performed through an instrumented
+// Format. The paper's mixed-precision motivation rests on an operation
+// count split — "perform the O(n³) work (i.e. LU factorization) in a
+// lower precision ... and refine the solution by O(n²) refinement
+// iterations" (§III) — which this instrumentation verifies directly.
+type OpCounts struct {
+	Add, Sub, Mul, Div, Sqrt uint64
+	Conv                     uint64 // FromFloat64 conversions
+}
+
+// Total returns the sum over all operation kinds (excluding
+// conversions).
+func (o OpCounts) Total() uint64 {
+	return o.Add + o.Sub + o.Mul + o.Div + o.Sqrt
+}
+
+type instrumented struct {
+	Format
+	counts *OpCounts
+}
+
+// Instrument wraps a Format so that every operation increments the
+// returned counters. The wrapper is transparent: results are those of
+// the underlying format. Not safe for concurrent use (the study is
+// single-threaded, like the paper's).
+func Instrument(f Format) (Format, *OpCounts) {
+	c := &OpCounts{}
+	return instrumented{Format: f, counts: c}, c
+}
+
+func (i instrumented) FromFloat64(x float64) Num {
+	i.counts.Conv++
+	return i.Format.FromFloat64(x)
+}
+
+func (i instrumented) Add(a, b Num) Num {
+	i.counts.Add++
+	return i.Format.Add(a, b)
+}
+
+func (i instrumented) Sub(a, b Num) Num {
+	i.counts.Sub++
+	return i.Format.Sub(a, b)
+}
+
+func (i instrumented) Mul(a, b Num) Num {
+	i.counts.Mul++
+	return i.Format.Mul(a, b)
+}
+
+func (i instrumented) Div(a, b Num) Num {
+	i.counts.Div++
+	return i.Format.Div(a, b)
+}
+
+func (i instrumented) Sqrt(a Num) Num {
+	i.counts.Sqrt++
+	return i.Format.Sqrt(a)
+}

@@ -1,0 +1,32 @@
+package arith_test
+
+import (
+	"testing"
+
+	"positlab/internal/arith"
+)
+
+func TestInstrumentCountsAndTransparency(t *testing.T) {
+	f, counts := arith.Instrument(arith.Posit16e2)
+	a := f.FromFloat64(2)
+	b := f.FromFloat64(3)
+	sum := f.Add(a, b)
+	prod := f.Mul(a, b)
+	_ = f.Sub(sum, prod)
+	_ = f.Div(prod, a)
+	_ = f.Sqrt(prod)
+	if counts.Conv != 2 || counts.Add != 1 || counts.Mul != 1 || counts.Sub != 1 || counts.Div != 1 || counts.Sqrt != 1 {
+		t.Fatalf("counts = %+v", *counts)
+	}
+	if counts.Total() != 5 {
+		t.Fatalf("total = %d", counts.Total())
+	}
+	// Transparency: results identical to the raw format.
+	raw := arith.Posit16e2
+	if f.ToFloat64(sum) != raw.ToFloat64(raw.Add(raw.FromFloat64(2), raw.FromFloat64(3))) {
+		t.Fatal("instrumented result differs")
+	}
+	if f.Name() != raw.Name() || f.Eps() != raw.Eps() {
+		t.Fatal("passthrough metadata differs")
+	}
+}

@@ -1,0 +1,261 @@
+// Package bigfp provides the extended-precision ground truth for
+// differential validation, playing the role GNU GMP played in the
+// paper. It is built on the standard library's math/big.Float and is
+// deliberately implemented independently of internal/posit's bit
+// pipelines: pattern values are reconstructed field-by-field from the
+// format definition, and rounding decisions are made by exact
+// comparisons against bracketing patterns, never by reusing the
+// library's own decode/round code.
+package bigfp
+
+import (
+	"math"
+	"math/big"
+
+	"positlab/internal/posit"
+)
+
+// Prec is the working precision (bits) for reference computations. All
+// oracle comparisons are arranged to be exact at far lower precision
+// (sums of 32-bit posits span under 1100 bits); 4096 leaves a wide
+// margin.
+const Prec = 4096
+
+// New returns a Prec-bit big.Float initialized to x.
+func New(x float64) *big.Float {
+	return big.NewFloat(x).SetPrec(Prec)
+}
+
+// PatternValue returns the exact value of the positive (sign bit clear,
+// nonzero) pattern pat interpreted as an (n, es) posit, reconstructed
+// from the format definition: useed^k * 2^e * (1 + frac/2^fb). It
+// accepts any n up to 63, so it can evaluate the (n+1)-bit midpoint
+// patterns used for rounding decisions.
+func PatternValue(n, es int, pat uint64) *big.Float {
+	body := n - 1
+	bitAt := func(i int) uint64 { return (pat >> uint(i)) & 1 }
+
+	first := bitAt(body - 1)
+	run := 1
+	for j := body - 2; j >= 0 && bitAt(j) == first; j-- {
+		run++
+	}
+	used := run + 1 // regime run plus terminator
+	if run == body {
+		used = body // regime fills the body
+	}
+	var k int
+	if first == 1 {
+		k = run - 1
+	} else {
+		k = -run
+	}
+	rem := body - used
+
+	e := 0
+	eb := es
+	if rem < eb {
+		eb = rem
+	}
+	if eb > 0 {
+		e = int((pat >> uint(rem-eb)) & ((1 << uint(eb)) - 1))
+		e <<= uint(es - eb)
+	}
+	fb := rem - es
+	if fb < 0 {
+		fb = 0
+	}
+	var frac uint64
+	if fb > 0 {
+		frac = pat & ((1 << uint(fb)) - 1)
+	}
+
+	scale := k*(1<<uint(es)) + e
+	// value = (2^fb + frac) * 2^(scale - fb)
+	z := new(big.Float).SetPrec(Prec).SetUint64(1<<uint(fb) + frac)
+	return z.SetMantExp(z, scale-fb)
+}
+
+// FromPosit returns the exact value of any posit pattern. ok is false
+// for NaR.
+func FromPosit(c posit.Config, p posit.Bits) (v *big.Float, ok bool) {
+	if c.IsNaR(p) {
+		return nil, false
+	}
+	if c.IsZero(p) {
+		return new(big.Float).SetPrec(Prec), true
+	}
+	n := c.N()
+	u := uint64(p)
+	neg := false
+	if u&(1<<(uint(n)-1)) != 0 {
+		neg = true
+		u = (-u) & ((1 << uint(n)) - 1)
+	}
+	v = PatternValue(n, c.ES(), u)
+	if neg {
+		v.Neg(v)
+	}
+	return v, true
+}
+
+// RoundPattern finds the correctly rounded positive posit pattern for a
+// positive magnitude described abstractly by cmp, where cmp(v) returns
+// the sign of (magnitude - v) for an exact candidate value v. Rounding
+// follows the posit rule: round-to-nearest with the midpoint defined in
+// bit-pattern space (the value of the (n+1)-bit pattern 2p+1), ties to
+// the even pattern, and clamping to MinPos/MaxPos instead of rounding
+// to zero or NaR.
+func RoundPattern(n, es int, cmp func(v *big.Float) int) uint64 {
+	maxpos := uint64(1)<<uint(n-1) - 1
+	if cmp(PatternValue(n, es, 1)) <= 0 {
+		return 1 // at or below MinPos: clamp (never round to zero)
+	}
+	if cmp(PatternValue(n, es, maxpos)) >= 0 {
+		return maxpos
+	}
+	// Largest p with value(p) <= magnitude; pattern order is value
+	// order for positive patterns.
+	lo, hi := uint64(1), maxpos
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if cmp(PatternValue(n, es, mid)) >= 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	p := lo
+	if cmp(PatternValue(n, es, p)) == 0 {
+		return p
+	}
+	switch cmp(PatternValue(n+1, es, 2*p+1)) {
+	case -1:
+		return p
+	case 1:
+		return p + 1
+	default: // exactly on the pattern midpoint: even pattern wins
+		if p&1 == 0 {
+			return p
+		}
+		return p + 1
+	}
+}
+
+// RoundToPosit rounds an exact big.Float to the nearest posit per the
+// posit rounding rule. x must be exactly represented (the caller
+// computes sums/products at full precision first).
+func RoundToPosit(c posit.Config, x *big.Float) posit.Bits {
+	if x.IsInf() {
+		return c.NaR()
+	}
+	if x.Sign() == 0 {
+		return c.Zero()
+	}
+	mag := new(big.Float).SetPrec(Prec).Abs(x)
+	pat := RoundPattern(c.N(), c.ES(), func(v *big.Float) int {
+		return mag.Cmp(v)
+	})
+	p := posit.Bits(pat)
+	if x.Sign() < 0 {
+		p = c.Neg(p)
+	}
+	return p
+}
+
+// AddRef returns the reference result of a+b: exact extended-precision
+// sum, then oracle rounding.
+func AddRef(c posit.Config, a, b posit.Bits) posit.Bits {
+	va, oka := FromPosit(c, a)
+	vb, okb := FromPosit(c, b)
+	if !oka || !okb {
+		return c.NaR()
+	}
+	sum := new(big.Float).SetPrec(Prec).Add(va, vb)
+	return RoundToPosit(c, sum)
+}
+
+// SubRef returns the reference result of a-b.
+func SubRef(c posit.Config, a, b posit.Bits) posit.Bits {
+	va, oka := FromPosit(c, a)
+	vb, okb := FromPosit(c, b)
+	if !oka || !okb {
+		return c.NaR()
+	}
+	diff := new(big.Float).SetPrec(Prec).Sub(va, vb)
+	return RoundToPosit(c, diff)
+}
+
+// MulRef returns the reference result of a*b.
+func MulRef(c posit.Config, a, b posit.Bits) posit.Bits {
+	va, oka := FromPosit(c, a)
+	vb, okb := FromPosit(c, b)
+	if !oka || !okb {
+		return c.NaR()
+	}
+	prod := new(big.Float).SetPrec(Prec).Mul(va, vb)
+	return RoundToPosit(c, prod)
+}
+
+// DivRef returns the reference result of a/b. The quotient is never
+// formed: rounding compares |a| against candidate*|b| exactly, so the
+// oracle is exact even though the quotient may be irrational in binary.
+func DivRef(c posit.Config, a, b posit.Bits) posit.Bits {
+	va, oka := FromPosit(c, a)
+	vb, okb := FromPosit(c, b)
+	if !oka || !okb || vb.Sign() == 0 {
+		return c.NaR()
+	}
+	if va.Sign() == 0 {
+		return c.Zero()
+	}
+	magA := new(big.Float).SetPrec(Prec).Abs(va)
+	magB := new(big.Float).SetPrec(Prec).Abs(vb)
+	pat := RoundPattern(c.N(), c.ES(), func(v *big.Float) int {
+		rhs := new(big.Float).SetPrec(Prec).Mul(v, magB)
+		return magA.Cmp(rhs)
+	})
+	p := posit.Bits(pat)
+	if (va.Sign() < 0) != (vb.Sign() < 0) {
+		p = c.Neg(p)
+	}
+	return p
+}
+
+// SqrtRef returns the reference square root: rounding compares a
+// against candidate^2 exactly.
+func SqrtRef(c posit.Config, a posit.Bits) posit.Bits {
+	va, okA := FromPosit(c, a)
+	if !okA || va.Sign() < 0 {
+		return c.NaR()
+	}
+	if va.Sign() == 0 {
+		return c.Zero()
+	}
+	pat := RoundPattern(c.N(), c.ES(), func(v *big.Float) int {
+		sq := new(big.Float).SetPrec(Prec).Mul(v, v)
+		return va.Cmp(sq)
+	})
+	return posit.Bits(pat)
+}
+
+// FMARef returns the reference fused multiply-add a*b + d.
+func FMARef(c posit.Config, a, b, d posit.Bits) posit.Bits {
+	va, oka := FromPosit(c, a)
+	vb, okb := FromPosit(c, b)
+	vd, okd := FromPosit(c, d)
+	if !oka || !okb || !okd {
+		return c.NaR()
+	}
+	prod := new(big.Float).SetPrec(Prec).Mul(va, vb)
+	sum := new(big.Float).SetPrec(Prec).Add(prod, vd)
+	return RoundToPosit(c, sum)
+}
+
+// FromFloat64Ref is the reference float64-to-posit conversion.
+func FromFloat64Ref(c posit.Config, x float64) posit.Bits {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return c.NaR()
+	}
+	return RoundToPosit(c, New(x))
+}

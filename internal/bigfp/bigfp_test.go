@@ -1,0 +1,134 @@
+package bigfp_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/bigfp"
+	"positlab/internal/posit"
+)
+
+func TestPatternValueKnown(t *testing.T) {
+	// posit(8,1): 0b0100000 (body of 1.0) -> pattern 0x40 has body
+	// 1000000: regime "10" -> k=0, e=0, frac 0 -> 1.0.
+	cases := []struct {
+		n, es int
+		pat   uint64
+		want  float64
+	}{
+		{8, 1, 0x40, 1},
+		{8, 1, 0x50, 2},
+		{8, 1, 0x60, 4},
+		{8, 0, 0x50, 1.5},
+		{8, 0, 0x01, math.Ldexp(1, -6)}, // minpos of posit(8,0)
+		{8, 0, 0x7f, 64},                // maxpos of posit(8,0)
+		{16, 2, 0x4000, 1},
+		// 33-bit midpoint pattern 2*one32+1: one extra fraction bit
+		// below posit(32,2)'s 27 at scale 0.
+		{33, 2, 0x80000001, 1 + math.Ldexp(1, -28)},
+	}
+	for _, tc := range cases {
+		got, _ := bigfp.PatternValue(tc.n, tc.es, tc.pat).Float64()
+		if got != tc.want {
+			t.Errorf("PatternValue(%d,%d,%#x) = %g, want %g", tc.n, tc.es, tc.pat, got, tc.want)
+		}
+	}
+}
+
+func TestFromPositSpecials(t *testing.T) {
+	c := posit.Posit16e2
+	if _, ok := bigfp.FromPosit(c, c.NaR()); ok {
+		t.Error("NaR must report !ok")
+	}
+	v, ok := bigfp.FromPosit(c, c.Zero())
+	if !ok || v.Sign() != 0 {
+		t.Error("zero must decode to 0")
+	}
+	neg, ok := bigfp.FromPosit(c, c.Neg(c.One()))
+	if !ok {
+		t.Fatal("!ok for -1")
+	}
+	if f, _ := neg.Float64(); f != -1 {
+		t.Errorf("-1 decoded to %g", f)
+	}
+}
+
+func TestRoundToPositIdempotent(t *testing.T) {
+	// Every representable value is a fixed point of the oracle rounder.
+	c := posit.Posit8e1
+	for pat := uint64(0); pat < 256; pat++ {
+		p := posit.Bits(pat)
+		if c.IsNaR(p) {
+			continue
+		}
+		v, _ := bigfp.FromPosit(c, p)
+		if got := bigfp.RoundToPosit(c, v); got != p {
+			t.Fatalf("pattern %#x not fixed point: got %#x", pat, uint64(got))
+		}
+	}
+}
+
+func TestRoundToPositClamps(t *testing.T) {
+	c := posit.Posit16e2
+	if got := bigfp.RoundToPosit(c, bigfp.New(1e300)); got != c.MaxPos() {
+		t.Error("huge value must clamp to maxpos")
+	}
+	if got := bigfp.RoundToPosit(c, bigfp.New(-1e300)); got != c.Neg(c.MaxPos()) {
+		t.Error("huge negative must clamp to -maxpos")
+	}
+	if got := bigfp.RoundToPosit(c, bigfp.New(1e-300)); got != c.MinPos() {
+		t.Error("tiny value must clamp to minpos, not zero")
+	}
+	if got := bigfp.RoundToPosit(c, bigfp.New(0)); got != c.Zero() {
+		t.Error("zero must round to zero")
+	}
+}
+
+func TestRoundToPositTies(t *testing.T) {
+	// Midpoint between 1.0 and its successor in posit(8,0): successor
+	// is 1 + 2^-5; midpoint 1 + 2^-6 must go to the even pattern (1.0,
+	// pattern 0x40).
+	c := posit.Posit8e0
+	mid := bigfp.New(1 + math.Ldexp(1, -6))
+	if got := bigfp.RoundToPosit(c, mid); got != c.One() {
+		t.Errorf("tie at 1+2^-6 rounded to %#x, want 0x40", uint64(got))
+	}
+	// Midpoint between successor (odd pattern 0x41) and 0x42 rounds up
+	// to the even pattern 0x42.
+	mid2 := bigfp.New(1 + 3*math.Ldexp(1, -6))
+	if got := bigfp.RoundToPosit(c, mid2); uint64(got) != 0x42 {
+		t.Errorf("tie at 1+3*2^-6 rounded to %#x, want 0x42", uint64(got))
+	}
+}
+
+func TestRefOpsSpecials(t *testing.T) {
+	c := posit.Posit16e2
+	one := c.One()
+	if !c.IsNaR(bigfp.AddRef(c, c.NaR(), one)) {
+		t.Error("AddRef NaR")
+	}
+	if !c.IsNaR(bigfp.DivRef(c, one, c.Zero())) {
+		t.Error("DivRef by zero must be NaR")
+	}
+	if !c.IsZero(bigfp.DivRef(c, c.Zero(), one)) {
+		t.Error("DivRef 0/1 must be 0")
+	}
+	if !c.IsNaR(bigfp.SqrtRef(c, c.Neg(one))) {
+		t.Error("SqrtRef of negative must be NaR")
+	}
+	if !c.IsZero(bigfp.SqrtRef(c, c.Zero())) {
+		t.Error("SqrtRef of zero must be zero")
+	}
+	if got := bigfp.MulRef(c, one, one); got != one {
+		t.Error("MulRef 1*1")
+	}
+	if !c.IsNaR(bigfp.FMARef(c, c.NaR(), one, one)) {
+		t.Error("FMARef NaR")
+	}
+	if !c.IsNaR(bigfp.FromFloat64Ref(c, math.NaN())) {
+		t.Error("FromFloat64Ref NaN")
+	}
+	if !c.IsNaR(bigfp.FromFloat64Ref(c, math.Inf(1))) {
+		t.Error("FromFloat64Ref Inf")
+	}
+}

@@ -1,0 +1,290 @@
+// Package core is the library's high-level entry point: solve a
+// symmetric positive-definite system Ax = b under any number format of
+// the study, with any of the paper's solvers and rescaling strategies,
+// and get back the solution together with the quality metrics the
+// paper reports.
+//
+// It ties together the substrates — internal/posit and
+// internal/minifloat arithmetic behind internal/arith, the
+// internal/linalg matrices, internal/solvers and internal/scaling —
+// into the API a downstream user scripts against:
+//
+//	p, _ := core.ProblemFromMTX("matrix.mtx", nil)
+//	sol, _ := core.Solve(p, core.Config{
+//	    Format:  "posit32es2",
+//	    Method:  core.MethodCG,
+//	    Rescale: core.RescaleInfNormPow2,
+//	})
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+	"positlab/internal/mmarket"
+	"positlab/internal/scaling"
+	"positlab/internal/solvers"
+)
+
+// Method selects the solver.
+type Method int
+
+const (
+	// MethodCG is the conjugate gradient method (paper Algorithm 1),
+	// run entirely in the chosen format.
+	MethodCG Method = iota
+	// MethodCholesky is the direct solve by Cholesky factorization and
+	// two triangular substitutions (Algorithm 2, one pass), run
+	// entirely in the chosen format.
+	MethodCholesky
+	// MethodMixedIR factors in the chosen (low-precision) format and
+	// refines in Float64 (the paper's mixed-precision configuration).
+	MethodMixedIR
+	// MethodPCG is Jacobi-preconditioned conjugate gradients in the
+	// chosen format (the preconditioning ablation).
+	MethodPCG
+	// MethodGMRESIR is mixed-precision refinement with factor-
+	// preconditioned GMRES corrections (the paper's §V-D2 suggestion).
+	MethodGMRESIR
+	// MethodLDLT is the square-root-free direct solve.
+	MethodLDLT
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodCG:
+		return "cg"
+	case MethodCholesky:
+		return "cholesky"
+	case MethodMixedIR:
+		return "mixed-ir"
+	case MethodPCG:
+		return "pcg"
+	case MethodGMRESIR:
+		return "gmres-ir"
+	case MethodLDLT:
+		return "ldlt"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Rescale selects the paper's matrix preparation.
+type Rescale int
+
+const (
+	// RescaleNone solves the system as given.
+	RescaleNone Rescale = iota
+	// RescaleInfNormPow2 scales the whole system by a power of two so
+	// ‖A‖∞ ≈ 2^10 (the paper's CG strategy, §V-B).
+	RescaleInfNormPow2
+	// RescaleDiagAvg divides the system by the nearest power of two of
+	// the average |diagonal| (Algorithm 3, for Cholesky).
+	RescaleDiagAvg
+	// RescaleHigham applies Higham's two-sided equilibration with the
+	// format-aware µ shift (Algorithms 4–5, for mixed-precision IR).
+	RescaleHigham
+)
+
+func (r Rescale) String() string {
+	switch r {
+	case RescaleNone:
+		return "none"
+	case RescaleInfNormPow2:
+		return "infnorm-pow2"
+	case RescaleDiagAvg:
+		return "diag-avg-pow2"
+	case RescaleHigham:
+		return "higham"
+	}
+	return fmt.Sprintf("rescale(%d)", int(r))
+}
+
+// Problem is a symmetric positive-definite system Ax = b.
+type Problem struct {
+	A *linalg.Sparse
+	B []float64
+}
+
+// ProblemFromEntries builds a problem from coordinate entries
+// (symmetrized) and a right-hand side. A nil b defaults to b = A·x̂
+// with x̂ = (1/√n, …), the paper's choice.
+func ProblemFromEntries(n int, entries []linalg.Entry, b []float64) (Problem, error) {
+	a, err := linalg.NewSparseFromEntries(n, entries, true)
+	if err != nil {
+		return Problem{}, err
+	}
+	return problemWithRHS(a, b)
+}
+
+// ProblemFromMTX reads a MatrixMarket file. A nil b defaults to b = A·x̂.
+func ProblemFromMTX(path string, b []float64) (Problem, error) {
+	a, _, err := mmarket.ReadFile(path)
+	if err != nil {
+		return Problem{}, err
+	}
+	return problemWithRHS(a, b)
+}
+
+func problemWithRHS(a *linalg.Sparse, b []float64) (Problem, error) {
+	if b == nil {
+		xhat := make([]float64, a.N)
+		for i := range xhat {
+			xhat[i] = 1 / math.Sqrt(float64(a.N))
+		}
+		b = make([]float64, a.N)
+		a.MatVecF64(xhat, b)
+	}
+	if len(b) != a.N {
+		return Problem{}, fmt.Errorf("core: rhs length %d != n %d", len(b), a.N)
+	}
+	return Problem{A: a, B: b}, nil
+}
+
+// Config selects format, method, rescaling and caps.
+type Config struct {
+	// Format is an arith registry name: "float64", "float32",
+	// "float16", "bfloat16", "posit<N>es<ES>" or "posit(N,ES)".
+	Format  string
+	Method  Method
+	Rescale Rescale
+	// Tol is the convergence tolerance: relative residual for CG
+	// (default 1e-5, the paper's), backward error for mixed IR
+	// (default 1e-15). Ignored by the one-pass Cholesky solve.
+	Tol float64
+	// MaxIter caps CG (default 10·N) and IR (default 1000).
+	MaxIter int
+}
+
+// Solution reports a solve.
+type Solution struct {
+	// X is the computed solution in the original (unscaled) variables.
+	X []float64
+	// Iterations of CG or IR; 0 for the direct solve.
+	Iterations int
+	// Converged for the iterative methods; true for a successful
+	// direct solve.
+	Converged bool
+	// BackwardError is ‖b−Ax‖₂/‖b‖₂ against the original system in
+	// Float64, the paper's quality metric.
+	BackwardError float64
+	// ScaleFactor is the scalar applied by the pow2 rescalings (1 when
+	// none).
+	ScaleFactor float64
+	// Format echoes the resolved format name.
+	Format string
+}
+
+// Solve runs the configured solver. Arithmetic failures (posit NaR,
+// IEEE NaN/Inf, factorization breakdown) return an error; an iterative
+// method that merely hits its cap returns Converged=false and no error.
+func Solve(p Problem, cfg Config) (Solution, error) {
+	f, err := arith.ByName(cfg.Format)
+	if err != nil {
+		return Solution{}, err
+	}
+	if p.A == nil || p.A.N == 0 {
+		return Solution{}, fmt.Errorf("core: empty problem")
+	}
+	if cfg.Rescale == RescaleHigham && cfg.Method != MethodMixedIR && cfg.Method != MethodGMRESIR {
+		return Solution{}, fmt.Errorf("core: Higham rescaling applies to the mixed-precision refinement methods only")
+	}
+
+	a, b := p.A, p.B
+	factor := 1.0
+	switch cfg.Rescale {
+	case RescaleInfNormPow2:
+		a = p.A.Clone()
+		b = append([]float64(nil), p.B...)
+		factor = scaling.RescaleSystemCG(a, b)
+	case RescaleDiagAvg:
+		a = p.A.Clone()
+		b = append([]float64(nil), p.B...)
+		factor = scaling.RescaleSystemCholesky(a, b)
+	}
+
+	sol := Solution{Format: f.Name(), ScaleFactor: factor}
+	irScaling := func() solvers.IRScaling {
+		if cfg.Rescale == RescaleHigham {
+			return solvers.IRScaling{
+				R:  scaling.HighamEquilibrate(a, 1e-8, 100),
+				Mu: scaling.MuFor(f),
+			}
+		}
+		return solvers.IRScaling{}
+	}
+	cgTol := cfg.Tol
+	if cgTol == 0 {
+		cgTol = 1e-5
+	}
+	cgMax := cfg.MaxIter
+	if cgMax == 0 {
+		cgMax = 10 * a.N
+	}
+
+	switch cfg.Method {
+	case MethodCG:
+		res := solvers.CG(a.ToFormat(f, false), linalg.VecFromFloat64(f, b), cgTol, cgMax)
+		if res.Failed {
+			return Solution{}, fmt.Errorf("core: CG in %s hit an arithmetic exception after %d iterations", f.Name(), res.Iterations)
+		}
+		sol.X = res.X
+		sol.Iterations = res.Iterations
+		sol.Converged = res.Converged
+
+	case MethodPCG:
+		res := solvers.PCG(a.ToFormat(f, false), linalg.VecFromFloat64(f, a.Diag()),
+			linalg.VecFromFloat64(f, b), cgTol, cgMax)
+		if res.Failed {
+			return Solution{}, fmt.Errorf("core: PCG in %s hit an arithmetic exception after %d iterations", f.Name(), res.Iterations)
+		}
+		sol.X = res.X
+		sol.Iterations = res.Iterations
+		sol.Converged = res.Converged
+
+	case MethodCholesky:
+		x, err := solvers.CholeskySolve(a.ToDense().ToFormat(f, false), linalg.VecFromFloat64(f, b))
+		if err != nil {
+			return Solution{}, fmt.Errorf("core: Cholesky in %s: %w", f.Name(), err)
+		}
+		sol.X = linalg.VecToFloat64(f, x)
+		sol.Converged = true
+
+	case MethodLDLT:
+		x, err := solvers.LDLTDirectSolve(a.ToDense().ToFormat(f, false), linalg.VecFromFloat64(f, b))
+		if err != nil {
+			return Solution{}, fmt.Errorf("core: LDLT in %s: %w", f.Name(), err)
+		}
+		sol.X = linalg.VecToFloat64(f, x)
+		sol.Converged = true
+
+	case MethodMixedIR:
+		res := solvers.MixedIR(a, b, f, irScaling(), solvers.IROptions{Tol: cfg.Tol, MaxIter: cfg.MaxIter})
+		if res.FactorFailed {
+			return Solution{}, fmt.Errorf("core: %s factorization failed", f.Name())
+		}
+		sol.X = res.X
+		sol.Iterations = res.Iterations
+		sol.Converged = res.Converged
+
+	case MethodGMRESIR:
+		res := solvers.MixedIRGMRES(a, b, f, irScaling(),
+			solvers.IROptions{Tol: cfg.Tol, MaxIter: cfg.MaxIter}, solvers.GMRESOptions{})
+		if res.FactorFailed {
+			return Solution{}, fmt.Errorf("core: %s factorization failed", f.Name())
+		}
+		sol.X = res.X
+		sol.Iterations = res.Iterations
+		sol.Converged = res.Converged
+
+	default:
+		return Solution{}, fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+
+	// Quality metric against the original, unscaled system.
+	if sol.X != nil {
+		sol.BackwardError = solvers.BackwardError(p.A, p.B, sol.X)
+	}
+	return sol, nil
+}

@@ -1,0 +1,183 @@
+package core_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"positlab/internal/core"
+	"positlab/internal/linalg"
+	"positlab/internal/matgen"
+	"positlab/internal/mmarket"
+)
+
+func testProblem(t *testing.T) core.Problem {
+	t.Helper()
+	var entries []linalg.Entry
+	n := 40
+	for i := 0; i < n; i++ {
+		entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 2})
+		if i+1 < n {
+			entries = append(entries, linalg.Entry{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	p, err := core.ProblemFromEntries(n, entries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolveAllMethodsAndFormats(t *testing.T) {
+	p := testProblem(t)
+	for _, format := range []string{"float64", "float32", "posit32es2", "posit(32,3)"} {
+		for _, method := range []core.Method{core.MethodCG, core.MethodCholesky} {
+			sol, err := core.Solve(p, core.Config{Format: format, Method: method})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", format, method, err)
+			}
+			if !sol.Converged {
+				t.Fatalf("%s/%v: not converged", format, method)
+			}
+			tol := 1e-4
+			if method == core.MethodCholesky {
+				tol = 1e-5
+			}
+			if sol.BackwardError > tol {
+				t.Errorf("%s/%v: backward error %g", format, method, sol.BackwardError)
+			}
+		}
+	}
+	for _, format := range []string{"float16", "posit16es1", "posit16es2", "bfloat16"} {
+		for _, method := range []core.Method{core.MethodMixedIR, core.MethodGMRESIR} {
+			sol, err := core.Solve(p, core.Config{Format: format, Method: method})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", format, method, err)
+			}
+			if !sol.Converged || sol.BackwardError > 1e-12 {
+				t.Fatalf("%s/%v: %+v", format, method, sol)
+			}
+		}
+	}
+	// The ablation solvers through the facade.
+	for _, method := range []core.Method{core.MethodPCG, core.MethodLDLT} {
+		sol, err := core.Solve(p, core.Config{Format: "posit32es2", Method: method})
+		if err != nil || !sol.Converged {
+			t.Fatalf("posit32/%v: %v %+v", method, err, sol)
+		}
+		if sol.BackwardError > 1e-4 {
+			t.Fatalf("posit32/%v: backward error %g", method, sol.BackwardError)
+		}
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for m, want := range map[core.Method]string{
+		core.MethodCG:      "cg",
+		core.MethodPCG:     "pcg",
+		core.MethodLDLT:    "ldlt",
+		core.MethodGMRESIR: "gmres-ir",
+	} {
+		if m.String() != want {
+			t.Errorf("method %d = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestSolveRescaling(t *testing.T) {
+	// A badly scaled replica: CG in posit(32,2) improves with the
+	// pow2 rescale; Higham + IR converges for Float16.
+	m := matgen.Generate(mustTarget(t, "bcsstk01"))
+	p := core.Problem{A: m.A, B: m.B}
+
+	plain, err := core.Solve(p, core.Config{Format: "posit32es2", Method: core.MethodCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := core.Solve(p, core.Config{Format: "posit32es2", Method: core.MethodCG, Rescale: core.RescaleInfNormPow2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.ScaleFactor == 1 {
+		t.Error("expected a nontrivial scale factor")
+	}
+	if scaled.Iterations >= plain.Iterations {
+		t.Errorf("rescaled CG took %d >= %d iterations", scaled.Iterations, plain.Iterations)
+	}
+
+	diag, err := core.Solve(p, core.Config{Format: "posit32es2", Method: core.MethodCholesky, Rescale: core.RescaleDiagAvg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.BackwardError > 1e-7 {
+		t.Errorf("diag-rescaled Cholesky backward error %g", diag.BackwardError)
+	}
+
+	ir, err := core.Solve(p, core.Config{Format: "float16", Method: core.MethodMixedIR, Rescale: core.RescaleHigham})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Converged {
+		t.Errorf("Higham-scaled Float16 IR did not converge: %+v", ir)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	p := testProblem(t)
+	if _, err := core.Solve(p, core.Config{Format: "float128", Method: core.MethodCG}); err == nil {
+		t.Error("unknown format must error")
+	}
+	if _, err := core.Solve(p, core.Config{Format: "float64", Method: core.Method(99)}); err == nil {
+		t.Error("unknown method must error")
+	}
+	if _, err := core.Solve(p, core.Config{Format: "float64", Method: core.MethodCG, Rescale: core.RescaleHigham}); err == nil {
+		t.Error("Higham + CG must be rejected")
+	}
+	if _, err := core.Solve(core.Problem{}, core.Config{Format: "float64"}); err == nil {
+		t.Error("empty problem must error")
+	}
+	// Out-of-range Float16 direct factorization fails loudly.
+	m := matgen.Generate(mustTarget(t, "bcsstk01"))
+	if _, err := core.Solve(core.Problem{A: m.A, B: m.B}, core.Config{Format: "float16", Method: core.MethodMixedIR}); err == nil {
+		t.Error("naive Float16 IR on bcsstk01 should fail")
+	}
+	// Wrong rhs length.
+	if _, err := core.ProblemFromEntries(2, []linalg.Entry{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 1}}, []float64{1}); err == nil {
+		t.Error("bad rhs length must error")
+	}
+}
+
+func TestProblemFromMTX(t *testing.T) {
+	m := matgen.Generate(mustTarget(t, "lund_b"))
+	path := filepath.Join(t.TempDir(), "lund_b.mtx")
+	if err := mmarket.WriteFile(path, m.A, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.ProblemFromMTX(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(p, core.Config{Format: "float64", Method: core.MethodCholesky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b defaulted to A·x̂, so x ≈ x̂ = 1/√n.
+	want := 1 / math.Sqrt(float64(p.A.N))
+	for i, x := range sol.X {
+		if math.Abs(x-want) > 1e-6*want {
+			t.Fatalf("x[%d] = %g, want %g", i, x, want)
+		}
+	}
+	if _, err := core.ProblemFromMTX(filepath.Join(t.TempDir(), "missing.mtx"), nil); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func mustTarget(t *testing.T, name string) matgen.Target {
+	t.Helper()
+	tgt, err := matgen.TargetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}

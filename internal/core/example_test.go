@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"positlab/internal/core"
+	"positlab/internal/linalg"
+)
+
+func ExampleSolve() {
+	// A 4x4 tridiagonal SPD system; the right-hand side defaults to
+	// b = A·x̂ with x̂ = (1/√n, …), the paper's setup.
+	var entries []linalg.Entry
+	for i := 0; i < 4; i++ {
+		entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 2})
+		if i+1 < 4 {
+			entries = append(entries, linalg.Entry{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	p, _ := core.ProblemFromEntries(4, entries, nil)
+	sol, err := core.Solve(p, core.Config{
+		Format: "posit32es2",
+		Method: core.MethodCholesky,
+	})
+	fmt.Println(err, sol.Converged, sol.BackwardError < 1e-6)
+	// Output: <nil> true true
+}
+
+func ExampleSolve_formats() {
+	var entries []linalg.Entry
+	for i := 0; i < 8; i++ {
+		entries = append(entries, linalg.Entry{Row: i, Col: i, Val: 3})
+		if i+1 < 8 {
+			entries = append(entries, linalg.Entry{Row: i, Col: i + 1, Val: 1})
+		}
+	}
+	p, _ := core.ProblemFromEntries(8, entries, nil)
+	for _, format := range []string{"float16", "posit16es2"} {
+		sol, _ := core.Solve(p, core.Config{Format: format, Method: core.MethodMixedIR})
+		fmt.Println(sol.Format, sol.Converged)
+	}
+	// Output:
+	// Float16 true
+	// Posit(16,2) true
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"positlab/internal/report"
+)
+
+// CSV exports: machine-readable versions of each experiment's rows,
+// suitable for external plotting tools.
+
+// Table1CSV exports the suite inventory.
+func Table1CSV(rows []Table1Row) string {
+	hdr := []string{"matrix", "cond_target", "cond_measured", "n", "norm2_target", "norm2_measured", "nnz_target", "nnz_measured"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fl(r.CondTarget), fl(r.CondMeasured),
+			strconv.Itoa(r.N),
+			fl(r.Norm2Target), fl(r.Norm2),
+			strconv.Itoa(r.NNZTarget), strconv.Itoa(r.NNZ),
+		})
+	}
+	return report.CSV(hdr, out)
+}
+
+// Fig3CSV exports the precision curves.
+func Fig3CSV(formats []string, pts []Fig3Point) string {
+	if formats == nil {
+		formats = Fig3Formats
+	}
+	hdr := append([]string{"log10_x"}, formats...)
+	var out [][]string
+	for _, p := range pts {
+		row := []string{fl(p.Log10X)}
+		for _, d := range p.Digits {
+			row = append(row, fl(d))
+		}
+		out = append(out, row)
+	}
+	return report.CSV(hdr, out)
+}
+
+// CGCSV exports the Fig. 6/7 rows.
+func CGCSV(rows []CGRow) string {
+	hdr := []string{"matrix", "norm2"}
+	for _, f := range CGFormats {
+		hdr = append(hdr, f.Name()+"_iters", f.Name()+"_converged", f.Name()+"_failed")
+	}
+	hdr = append(hdr, "pct_impr_posit32e2", "pct_impr_posit32e3")
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Matrix, fl(r.Norm2)}
+		for i := range CGFormats {
+			row = append(row,
+				strconv.Itoa(r.Iters[i]),
+				strconv.FormatBool(r.Converged[i]),
+				strconv.FormatBool(r.Failed[i]))
+		}
+		row = append(row, fl(r.PctImprovement["Posit(32,2)"]), fl(r.PctImprovement["Posit(32,3)"]))
+		out = append(out, row)
+	}
+	return report.CSV(hdr, out)
+}
+
+// CholCSV exports the Fig. 8/9 rows.
+func CholCSV(rows []CholRow) string {
+	hdr := []string{"matrix", "norm2"}
+	for _, f := range CholFormats {
+		hdr = append(hdr, f.Name()+"_backerr")
+	}
+	hdr = append(hdr, "digits_adv_posit32e2", "digits_adv_posit32e3")
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Matrix, fl(r.Norm2)}
+		for i := range CholFormats {
+			row = append(row, fl(r.BackErr[i]))
+		}
+		row = append(row, fl(r.DigitsAdvantage["Posit(32,2)"]), fl(r.DigitsAdvantage["Posit(32,3)"]))
+		out = append(out, row)
+	}
+	return report.CSV(hdr, out)
+}
+
+// IRCSV exports the Table II/III rows.
+func IRCSV(rows []IRRow, cap int) string {
+	hdr := []string{"matrix"}
+	for _, f := range IRFormats {
+		hdr = append(hdr, f.Name()+"_result", f.Name()+"_factor_err")
+	}
+	hdr = append(hdr, "pct_diff")
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Matrix}
+		for _, res := range r.Res {
+			row = append(row, irCell(res, cap), fl(res.FactorError))
+		}
+		row = append(row, fl(r.PctDiff))
+		out = append(out, row)
+	}
+	return report.CSV(hdr, out)
+}
+
+func fl(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,48 @@
+package experiments_test
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"positlab/internal/experiments"
+)
+
+func TestCSVExports(t *testing.T) {
+	t1 := experiments.Table1CSV(experiments.Table1(smallOpt))
+	if !strings.HasPrefix(t1, "matrix,cond_target") || strings.Count(t1, "\n") != 3 {
+		t.Errorf("table1 csv:\n%s", t1)
+	}
+
+	f3 := experiments.Fig3CSV(nil, experiments.Fig3(nil, 1))
+	if !strings.Contains(f3, "log10_x,") || !strings.Contains(f3, "posit(32,2)") {
+		t.Error("fig3 csv header wrong")
+	}
+
+	cg := experiments.CGCSV(experiments.Fig6(smallOpt))
+	if !strings.Contains(cg, "Float32_iters") || !strings.Contains(cg, "bcsstk01") {
+		t.Error("cg csv missing content")
+	}
+
+	ch := experiments.CholCSV(experiments.Fig8(smallOpt))
+	if !strings.Contains(ch, "digits_adv_posit32e2") {
+		t.Error("chol csv missing content")
+	}
+
+	ir := experiments.IRCSV(experiments.Table3(smallOpt), 1000)
+	if !strings.Contains(ir, "pct_diff") || !strings.Contains(ir, "Float16_result") {
+		t.Error("ir csv missing content")
+	}
+	// Every document parses as CSV with rectangular records (quoted
+	// headers like "Posit(16,1)_result" included).
+	for i, doc := range []string{t1, f3, cg, ch, ir} {
+		records, err := csv.NewReader(strings.NewReader(doc)).ReadAll()
+		if err != nil {
+			t.Errorf("doc %d: %v", i, err)
+			continue
+		}
+		if len(records) < 2 {
+			t.Errorf("doc %d: only %d records", i, len(records))
+		}
+	}
+}

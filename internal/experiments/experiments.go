@@ -1,0 +1,92 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section on the synthetic Table I replica suite:
+//
+//	Table I   — matrix inventory (Table1)
+//	Fig. 3    — digits of accuracy vs magnitude per format (Fig3)
+//	Fig. 5    — histogram of posit32 extra fraction bits (Fig5)
+//	Fig. 6/7  — CG iteration counts, unscaled/rescaled (Fig6, Fig7)
+//	Fig. 8/9  — Cholesky backward error, unscaled/rescaled (Fig8, Fig9)
+//	Table II  — naive mixed-precision IR (Table2)
+//	Table III — IR with Higham scaling (Table3)
+//	Fig. 10   — refinement-step reduction and factorization-error
+//	            digits (Fig10)
+//
+// Each experiment returns typed rows; Render* helpers print the same
+// layout the paper reports. Absolute values will not match the paper
+// (the matrices are synthetic replicas; see DESIGN.md) but the shape —
+// who wins, by how much, where failures begin — is the reproduction
+// target and is recorded against the paper in EXPERIMENTS.md.
+package experiments
+
+import (
+	"sync"
+
+	"positlab/internal/matgen"
+)
+
+// Options tunes experiment scope and caps.
+type Options struct {
+	// Matrices filters the suite by name; nil means all 19.
+	Matrices []string
+	// CGTol is the CG relative-residual convergence threshold
+	// (paper: 1e-5).
+	CGTol float64
+	// CGCapFactor caps CG at CGCapFactor*N iterations (default 10).
+	CGCapFactor int
+	// IRTol is the refinement backward-error threshold (default 1e-15,
+	// "accurate to Float64 precision").
+	IRTol float64
+	// IRMaxIter caps refinement (paper: 1000).
+	IRMaxIter int
+}
+
+func (o Options) fill() Options {
+	if o.CGTol == 0 {
+		o.CGTol = 1e-5
+	}
+	if o.CGCapFactor == 0 {
+		o.CGCapFactor = 10
+	}
+	if o.IRTol == 0 {
+		o.IRTol = 1e-15
+	}
+	if o.IRMaxIter == 0 {
+		o.IRMaxIter = 1000
+	}
+	return o
+}
+
+var (
+	suiteMu    sync.Mutex
+	suiteCache = map[string]*matgen.Matrix{}
+)
+
+// suite returns the requested matrices (all of Table I when names is
+// nil), generating each at most once per process. Generation includes
+// the condition-number calibration passes, so caching matters.
+func suite(names []string) []*matgen.Matrix {
+	if names == nil {
+		for _, t := range matgen.TableI {
+			names = append(names, t.Name)
+		}
+	}
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	out := make([]*matgen.Matrix, 0, len(names))
+	for _, name := range names {
+		m, ok := suiteCache[name]
+		if !ok {
+			t, err := matgen.TargetByName(name)
+			if err != nil {
+				panic(err)
+			}
+			m = matgen.Generate(t)
+			suiteCache[name] = m
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Suite exposes the cached replica suite for tools and examples.
+func Suite(names []string) []*matgen.Matrix { return suite(names) }

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"math"
+
+	"positlab/internal/report"
+)
+
+// Fig10Row is one matrix of Fig. 10: the percent reduction of
+// refinement steps (panel a) and the factorization backward-error
+// digits improvement of each posit16 format over Float16 (panel b),
+// all under Higham's scaling.
+type Fig10Row struct {
+	Matrix string
+	// PctReduction of refinement steps, Float16 -> best posit16.
+	PctReduction float64
+	// DigitsImprovement: log10(factErr_Float16 / factErr_posit) per
+	// posit format name.
+	DigitsImprovement map[string]float64
+}
+
+// Fig10 derives both panels from the Table III runs.
+func Fig10(opt Options) []Fig10Row {
+	opt = opt.fill()
+	rows := Table3(opt)
+	var out []Fig10Row
+	for _, r := range rows {
+		fr := Fig10Row{
+			Matrix:            r.Matrix,
+			PctReduction:      r.PctDiff,
+			DigitsImprovement: map[string]float64{},
+		}
+		f16 := r.Res[0].FactorError
+		for i, f := range IRFormats {
+			if i == 0 {
+				continue
+			}
+			pe := r.Res[i].FactorError
+			if f16 <= 0 || pe <= 0 || r.Res[0].FactorFailed || r.Res[i].FactorFailed {
+				fr.DigitsImprovement[f.Name()] = math.NaN()
+				continue
+			}
+			fr.DigitsImprovement[f.Name()] = math.Log10(f16 / pe)
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+// RenderFig10 prints both panels as bar charts.
+func RenderFig10(rows []Fig10Row) string {
+	labels := make([]string, len(rows))
+	pct := make([]float64, len(rows))
+	d1 := make([]float64, len(rows))
+	d2 := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Matrix
+		pct[i] = r.PctReduction
+		d1[i] = r.DigitsImprovement["Posit(16,1)"]
+		d2[i] = r.DigitsImprovement["Posit(16,2)"]
+	}
+	s := "(a) % reduction of refinement steps, Float16 -> best Posit16 (Higham scaling)\n"
+	s += report.Bars(labels, pct, 50)
+	s += "\n(b) factorization backward-error digits improvement, Posit(16,1) vs Float16\n"
+	s += report.Bars(labels, d1, 50)
+	s += "\n(b) factorization backward-error digits improvement, Posit(16,2) vs Float16\n"
+	s += report.Bars(labels, d2, 50)
+	return s
+}

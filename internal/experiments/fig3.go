@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+	"positlab/internal/report"
+)
+
+// Fig3Point is one magnitude sample of the precision-vs-magnitude
+// curves in Fig. 3: decimal digits of accuracy per format.
+type Fig3Point struct {
+	Log10X float64
+	Digits []float64 // parallel to the Formats list passed to Fig3
+}
+
+// Fig3Formats is the default format list of the figure.
+var Fig3Formats = []string{
+	"posit(32,2)", "posit(32,3)", "float32",
+	"posit(16,1)", "posit(16,2)", "float16",
+}
+
+// Fig3 samples worst-case decimal digits of accuracy over
+// [10^-12, 10^12] (the paper's Fig. 3 range) for the requested formats.
+func Fig3(formats []string, pointsPerDecade int) []Fig3Point {
+	if formats == nil {
+		formats = Fig3Formats
+	}
+	if pointsPerDecade <= 0 {
+		pointsPerDecade = 4
+	}
+	digitFns := make([]func(float64) float64, len(formats))
+	for i, name := range formats {
+		digitFns[i] = digitsFn(name)
+	}
+	var pts []Fig3Point
+	for k := -12 * pointsPerDecade; k <= 12*pointsPerDecade; k++ {
+		lx := float64(k) / float64(pointsPerDecade)
+		x := math.Pow(10, lx)
+		p := Fig3Point{Log10X: lx, Digits: make([]float64, len(formats))}
+		for i, fn := range digitFns {
+			p.Digits[i] = fn(x)
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func digitsFn(name string) func(float64) float64 {
+	switch name {
+	case "float16":
+		return minifloat.Float16.DecimalDigitsAt
+	case "bfloat16":
+		return minifloat.BFloat16.DecimalDigitsAt
+	case "float32":
+		return minifloat.Float32.DecimalDigitsAt
+	case "float64":
+		return func(x float64) float64 {
+			if x == 0 {
+				return 0
+			}
+			return -math.Log10(0x1p-53)
+		}
+	}
+	var n, es int
+	if _, err := fmt.Sscanf(name, "posit(%d,%d)", &n, &es); err == nil {
+		c := posit.MustNew(n, es)
+		return c.DecimalDigitsAt
+	}
+	panic(fmt.Sprintf("experiments: unknown Fig3 format %q", name))
+}
+
+// RenderFig3 prints the sampled curves as a table (one row per
+// magnitude, one column per format).
+func RenderFig3(formats []string, pts []Fig3Point) string {
+	if formats == nil {
+		formats = Fig3Formats
+	}
+	hdr := append([]string{"log10(x)"}, formats...)
+	var rows [][]string
+	for _, p := range pts {
+		row := []string{fmt.Sprintf("%+.2f", p.Log10X)}
+		for _, d := range p.Digits {
+			row = append(row, fmt.Sprintf("%.2f", d))
+		}
+		rows = append(rows, row)
+	}
+	return report.Table(hdr, rows)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"positlab/internal/posit"
+	"positlab/internal/report"
+)
+
+// Fig5Histogram is the Fig. 5 result for one posit configuration: the
+// distribution of extra fraction bits offered by the posit encoding of
+// each suite nonzero relative to Float32's 23, with every matrix
+// weighted equally.
+type Fig5Histogram struct {
+	Config  posit.Config
+	Weights map[int]float64 // extra bits -> percentage of entries
+}
+
+// Fig5 builds the histograms for posit(32,2) and posit(32,3) (or the
+// provided configs).
+func Fig5(opt Options, configs ...posit.Config) []Fig5Histogram {
+	opt = opt.fill()
+	if len(configs) == 0 {
+		configs = []posit.Config{posit.Posit32e2, posit.MustNew(32, 3)}
+	}
+	ms := suite(opt.Matrices)
+	out := make([]Fig5Histogram, 0, len(configs))
+	for _, c := range configs {
+		h := Fig5Histogram{Config: c, Weights: map[int]float64{}}
+		for _, m := range ms {
+			per := 100.0 / float64(len(ms)) / float64(len(m.A.Val))
+			for _, v := range m.A.Val {
+				if v == 0 {
+					continue
+				}
+				h.Weights[c.ExtraFracBitsVsFloat32(v)] += per
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// RenderFig5 prints each histogram as an ASCII bar chart over the extra-
+// bits buckets.
+func RenderFig5(hists []Fig5Histogram) string {
+	var s string
+	for _, h := range hists {
+		s += fmt.Sprintf("%v extra fraction bits vs Float32 (%% of entries, equal matrix weight)\n", h.Config)
+		var buckets []int
+		for b := range h.Weights {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		labels := make([]string, len(buckets))
+		values := make([]float64, len(buckets))
+		for i, b := range buckets {
+			labels[i] = fmt.Sprintf("%+d bits", b)
+			values[i] = h.Weights[b]
+		}
+		s += report.Bars(labels, values, 50) + "\n"
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+	"positlab/internal/report"
+	"positlab/internal/scaling"
+	"positlab/internal/solvers"
+)
+
+// CGFormats are the formats compared in Figs. 6 and 7, with Float64 as
+// the reference the paper plots alongside.
+var CGFormats = []arith.Format{
+	arith.Float64, arith.Float32, arith.Posit32e2, arith.Posit32e3,
+}
+
+// CGRow is one matrix of the Fig. 6/7 data: iterations per format plus
+// the percent-improvement series of the (b) panels.
+type CGRow struct {
+	Matrix string
+	Norm2  float64
+	// Per format (parallel to CGFormats): iterations, convergence flag,
+	// and arithmetic failure (NaR/NaN/Inf mid-run — rendered '-' like
+	// the paper's divergent runs; hitting the cap renders 'N+').
+	Iters     []int
+	Converged []bool
+	Failed    []bool
+	// PctImprovement of each posit32 format over Float32:
+	// (itFloat32 - itPosit)/itFloat32 * 100; NaN when either failed.
+	PctImprovement map[string]float64
+}
+
+// Fig6 runs unscaled CG on the suite (paper §V-A).
+func Fig6(opt Options) []CGRow { return cgExperiment(opt, false) }
+
+// Fig7 runs CG after the power-of-two rescaling to ‖A‖∞ ≈ 2^10
+// (paper §V-B).
+func Fig7(opt Options) []CGRow { return cgExperiment(opt, true) }
+
+func cgExperiment(opt Options, rescale bool) []CGRow {
+	opt = opt.fill()
+	var rows []CGRow
+	for _, m := range suite(opt.Matrices) {
+		a := m.A
+		b := m.B
+		if rescale {
+			a = m.A.Clone()
+			b = append([]float64(nil), m.B...)
+			scaling.RescaleSystemCG(a, b)
+		}
+		row := CGRow{
+			Matrix:         m.Target.Name,
+			Norm2:          m.Target.Norm2,
+			Iters:          make([]int, len(CGFormats)),
+			Converged:      make([]bool, len(CGFormats)),
+			Failed:         make([]bool, len(CGFormats)),
+			PctImprovement: map[string]float64{},
+		}
+		cap := opt.CGCapFactor * a.N
+		for i, f := range CGFormats {
+			an := a.ToFormat(f, false)
+			bn := linalg.VecFromFloat64(f, b)
+			res := solvers.CG(an, bn, opt.CGTol, cap)
+			row.Iters[i] = res.Iterations
+			row.Converged[i] = res.Converged
+			row.Failed[i] = res.Failed
+		}
+		// Percent improvement panels compare posit32 against Float32.
+		f32 := indexOfFormat(CGFormats, "Float32")
+		for i, f := range CGFormats {
+			if f.Name() == "Posit(32,2)" || f.Name() == "Posit(32,3)" {
+				if row.Failed[i] || row.Failed[f32] || !row.Converged[i] || !row.Converged[f32] {
+					row.PctImprovement[f.Name()] = math.NaN()
+				} else {
+					it32 := float64(row.Iters[f32])
+					row.PctImprovement[f.Name()] = (it32 - float64(row.Iters[i])) / it32 * 100
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func indexOfFormat(fs []arith.Format, name string) int {
+	for i, f := range fs {
+		if f.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RenderCG prints the Fig. 6/7 (a) panel as a table and the (b) panel
+// as percent-improvement columns.
+func RenderCG(rows []CGRow) string {
+	hdr := []string{"Matrix", "||A||2"}
+	for _, f := range CGFormats {
+		hdr = append(hdr, f.Name())
+	}
+	hdr = append(hdr, "%impr (32,2)", "%impr (32,3)")
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Matrix, report.Sci(r.Norm2)}
+		for i := range CGFormats {
+			switch {
+			case r.Failed[i]:
+				row = append(row, "-") // arithmetic exception: diverged
+			case !r.Converged[i]:
+				row = append(row, fmt.Sprintf("%d+", r.Iters[i]))
+			default:
+				row = append(row, fmt.Sprintf("%d", r.Iters[i]))
+			}
+		}
+		row = append(row,
+			pct(r.PctImprovement["Posit(32,2)"]),
+			pct(r.PctImprovement["Posit(32,3)"]))
+		out = append(out, row)
+	}
+	return report.Table(hdr, out)
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+	"positlab/internal/report"
+	"positlab/internal/scaling"
+	"positlab/internal/solvers"
+)
+
+// CholFormats are the formats compared in Figs. 8 and 9.
+var CholFormats = []arith.Format{
+	arith.Float32, arith.Posit32e2, arith.Posit32e3,
+}
+
+// CholRow is one matrix of the Fig. 8/9 data: relative backward error
+// per format and the digits-of-precision advantage panels,
+// log10(float32 error / posit error).
+type CholRow struct {
+	Matrix string
+	Norm2  float64
+	// BackErr per format (parallel to CholFormats); NaN = factorization
+	// failed in that format.
+	BackErr []float64
+	// DigitsAdvantage of each posit format over Float32.
+	DigitsAdvantage map[string]float64
+}
+
+// Fig8 runs the unscaled single-precision Cholesky direct solve
+// (paper §V-C1).
+func Fig8(opt Options) []CholRow { return cholExperiment(opt, false) }
+
+// Fig9 runs Cholesky after Algorithm 3's diagonal-average rescaling
+// (paper §V-C2).
+func Fig9(opt Options) []CholRow { return cholExperiment(opt, true) }
+
+func cholExperiment(opt Options, rescale bool) []CholRow {
+	opt = opt.fill()
+	var rows []CholRow
+	for _, m := range suite(opt.Matrices) {
+		a := m.A
+		b := m.B
+		if rescale {
+			a = m.A.Clone()
+			b = append([]float64(nil), m.B...)
+			scaling.RescaleSystemCholesky(a, b)
+		}
+		dense := a.ToDense()
+		row := CholRow{
+			Matrix:          m.Target.Name,
+			Norm2:           m.Target.Norm2,
+			BackErr:         make([]float64, len(CholFormats)),
+			DigitsAdvantage: map[string]float64{},
+		}
+		for i, f := range CholFormats {
+			an := dense.ToFormat(f, false)
+			bn := linalg.VecFromFloat64(f, b)
+			x, err := solvers.CholeskySolve(an, bn)
+			if err != nil {
+				row.BackErr[i] = math.NaN()
+				continue
+			}
+			row.BackErr[i] = solvers.BackwardError(a, b, linalg.VecToFloat64(f, x))
+		}
+		f32 := 0 // CholFormats[0] is Float32
+		for i, f := range CholFormats {
+			if i == f32 {
+				continue
+			}
+			row.DigitsAdvantage[f.Name()] = math.Log10(row.BackErr[f32] / row.BackErr[i])
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderChol prints backward errors and the digits-advantage panels.
+func RenderChol(rows []CholRow) string {
+	hdr := []string{"Matrix", "||A||2"}
+	for _, f := range CholFormats {
+		hdr = append(hdr, f.Name())
+	}
+	hdr = append(hdr, "digits adv (32,2)", "digits adv (32,3)")
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Matrix, report.Sci(r.Norm2)}
+		for i := range CholFormats {
+			row = append(row, report.Sci(r.BackErr[i]))
+		}
+		row = append(row,
+			digits(r.DigitsAdvantage["Posit(32,2)"]),
+			digits(r.DigitsAdvantage["Posit(32,3)"]))
+		out = append(out, row)
+	}
+	return report.Table(hdr, out)
+}
+
+func digits(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.2f", v)
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"positlab/internal/svgplot"
+)
+
+// SVG renderers: the same experiment rows as the text tables, drawn as
+// figures in the layout of the paper's panels.
+
+// Fig3SVG draws the digits-of-accuracy curves (Fig. 3b).
+func Fig3SVG(formats []string, pts []Fig3Point) string {
+	if formats == nil {
+		formats = Fig3Formats
+	}
+	series := make([]svgplot.Series, len(formats))
+	for i, name := range formats {
+		s := svgplot.Series{Name: name}
+		for _, p := range pts {
+			s.X = append(s.X, p.Log10X)
+			s.Y = append(s.Y, p.Digits[i])
+		}
+		series[i] = s
+	}
+	plot := &svgplot.Plot{
+		Title:  "Fig. 3: worst-case decimal digits of accuracy vs magnitude",
+		XLabel: "log10(|x|)",
+		YLabel: "decimal digits",
+		Series: series,
+	}
+	return plot.SVG()
+}
+
+// Fig5SVG draws the extra-fraction-bits histograms as grouped bars.
+func Fig5SVG(hists []Fig5Histogram) string {
+	// Union of buckets across configs.
+	set := map[int]bool{}
+	for _, h := range hists {
+		for b := range h.Weights {
+			set[b] = true
+		}
+	}
+	var buckets []int
+	for b := range set {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	labels := make([]string, len(buckets))
+	for i, b := range buckets {
+		labels[i] = formatSigned(b)
+	}
+	groups := map[string][]float64{}
+	var order []string
+	for _, h := range hists {
+		name := h.Config.String()
+		order = append(order, name)
+		vs := make([]float64, len(buckets))
+		for i, b := range buckets {
+			vs[i] = h.Weights[b]
+		}
+		groups[name] = vs
+	}
+	c := &svgplot.BarChart{
+		Title:      "Fig. 5: extra fraction bits vs Float32 (% of suite entries)",
+		YLabel:     "% of entries",
+		Labels:     labels,
+		Groups:     groups,
+		GroupOrder: order,
+	}
+	return c.SVG()
+}
+
+func formatSigned(b int) string {
+	if b >= 0 {
+		return "+" + strconv.Itoa(b)
+	}
+	return strconv.Itoa(b)
+}
+
+// CGSVG draws iteration counts (panel a) as grouped bars across the
+// suite for Fig. 6/7.
+func CGSVG(rows []CGRow, title string) string {
+	labels := make([]string, len(rows))
+	groups := map[string][]float64{}
+	var order []string
+	for _, f := range CGFormats {
+		order = append(order, f.Name())
+		groups[f.Name()] = make([]float64, len(rows))
+	}
+	for i, r := range rows {
+		labels[i] = r.Matrix
+		for fi, f := range CGFormats {
+			v := float64(r.Iters[fi])
+			if r.Failed[fi] {
+				v = math.NaN()
+			}
+			groups[f.Name()][i] = v
+		}
+	}
+	c := &svgplot.BarChart{
+		Title:      title,
+		YLabel:     "CG iterations",
+		Labels:     labels,
+		Groups:     groups,
+		GroupOrder: order,
+	}
+	return c.SVG()
+}
+
+// CGImprovementSVG draws the percent-improvement panel (b) of
+// Fig. 6/7.
+func CGImprovementSVG(rows []CGRow, title string) string {
+	labels := make([]string, len(rows))
+	groups := map[string][]float64{
+		"Posit(32,2)": make([]float64, len(rows)),
+		"Posit(32,3)": make([]float64, len(rows)),
+	}
+	for i, r := range rows {
+		labels[i] = r.Matrix
+		groups["Posit(32,2)"][i] = r.PctImprovement["Posit(32,2)"]
+		groups["Posit(32,3)"][i] = r.PctImprovement["Posit(32,3)"]
+	}
+	c := &svgplot.BarChart{
+		Title:      title,
+		YLabel:     "% improvement over Float32",
+		Labels:     labels,
+		Groups:     groups,
+		GroupOrder: []string{"Posit(32,2)", "Posit(32,3)"},
+	}
+	return c.SVG()
+}
+
+// CholSVG draws the digits-advantage bars of Fig. 8(a)/9.
+func CholSVG(rows []CholRow, title string) string {
+	labels := make([]string, len(rows))
+	groups := map[string][]float64{
+		"Posit(32,2)": make([]float64, len(rows)),
+		"Posit(32,3)": make([]float64, len(rows)),
+	}
+	for i, r := range rows {
+		labels[i] = r.Matrix
+		groups["Posit(32,2)"][i] = r.DigitsAdvantage["Posit(32,2)"]
+		groups["Posit(32,3)"][i] = r.DigitsAdvantage["Posit(32,3)"]
+	}
+	c := &svgplot.BarChart{
+		Title:      title,
+		YLabel:     "extra decimal digits vs Float32",
+		Labels:     labels,
+		Groups:     groups,
+		GroupOrder: []string{"Posit(32,2)", "Posit(32,3)"},
+	}
+	return c.SVG()
+}
+
+// CholNormScatterSVG draws Fig. 8(b): posit(32,2) digits advantage
+// against ‖A‖₂ on a log x-axis.
+func CholNormScatterSVG(rows []CholRow) string {
+	s := svgplot.Series{Name: "Posit(32,2)", Points: true}
+	for _, r := range rows {
+		s.X = append(s.X, r.Norm2)
+		s.Y = append(s.Y, r.DigitsAdvantage["Posit(32,2)"])
+	}
+	plot := &svgplot.Plot{
+		Title:  "Fig. 8(b): Posit(32,2) advantage vs matrix norm",
+		XLabel: "||A||_2",
+		YLabel: "extra decimal digits",
+		LogX:   true,
+		Series: []svgplot.Series{s},
+	}
+	return plot.SVG()
+}
+
+// Fig10SVG draws both panels of Fig. 10 stacked as two bar groups.
+func Fig10SVG(rows []Fig10Row) (pctSVG, digitsSVG string) {
+	labels := make([]string, len(rows))
+	pct := make([]float64, len(rows))
+	d1 := make([]float64, len(rows))
+	d2 := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Matrix
+		pct[i] = r.PctReduction
+		d1[i] = r.DigitsImprovement["Posit(16,1)"]
+		d2[i] = r.DigitsImprovement["Posit(16,2)"]
+	}
+	a := &svgplot.BarChart{
+		Title:      "Fig. 10(a): % reduction of refinement steps (Float16 -> best Posit16)",
+		YLabel:     "% reduction",
+		Labels:     labels,
+		Groups:     map[string][]float64{"best posit16": pct},
+		GroupOrder: []string{"best posit16"},
+	}
+	b := &svgplot.BarChart{
+		Title:  "Fig. 10(b): factorization backward-error digits improvement vs Float16",
+		YLabel: "extra decimal digits",
+		Labels: labels,
+		Groups: map[string][]float64{
+			"Posit(16,1)": d1,
+			"Posit(16,2)": d2,
+		},
+		GroupOrder: []string{"Posit(16,1)", "Posit(16,2)"},
+	}
+	return a.SVG(), b.SVG()
+}

@@ -1,0 +1,54 @@
+package experiments_test
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"positlab/internal/experiments"
+)
+
+func checkSVG(t *testing.T, name, s string) {
+	t.Helper()
+	if !strings.HasPrefix(s, "<svg") {
+		t.Errorf("%s: not an SVG document", name)
+	}
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err == io.EOF {
+				return
+			}
+			t.Fatalf("%s: malformed XML: %v", name, err)
+		}
+	}
+}
+
+func TestFigureSVGs(t *testing.T) {
+	pts := experiments.Fig3(nil, 2)
+	checkSVG(t, "fig3", experiments.Fig3SVG(nil, pts))
+
+	hists := experiments.Fig5(smallOpt)
+	checkSVG(t, "fig5", experiments.Fig5SVG(hists))
+
+	rows := experiments.Fig6(smallOpt)
+	checkSVG(t, "fig6a", experiments.CGSVG(rows, "t"))
+	checkSVG(t, "fig6b", experiments.CGImprovementSVG(rows, "t"))
+
+	chol := experiments.Fig8(smallOpt)
+	checkSVG(t, "fig8a", experiments.CholSVG(chol, "t"))
+	checkSVG(t, "fig8b", experiments.CholNormScatterSVG(chol))
+
+	f10 := experiments.Fig10(smallOpt)
+	a, b := experiments.Fig10SVG(f10)
+	checkSVG(t, "fig10a", a)
+	checkSVG(t, "fig10b", b)
+
+	// Every matrix label appears in the bar charts.
+	for _, r := range rows {
+		if !strings.Contains(experiments.CGSVG(rows, "t"), r.Matrix) {
+			t.Errorf("fig6a missing label %s", r.Matrix)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/report"
+	"positlab/internal/scaling"
+	"positlab/internal/solvers"
+)
+
+// IRFormats are the 16-bit factorization formats of Tables II and III.
+var IRFormats = []arith.Format{
+	arith.Float16, arith.Posit16e1, arith.Posit16e2,
+}
+
+// IRRow is one matrix of the Table II/III data.
+type IRRow struct {
+	Matrix string
+	// Res per format, parallel to IRFormats.
+	Res []solvers.IRResult
+	// PctDiff is Table III's "% diff" column: the percent reduction in
+	// refinement steps from Float16 to the better posit16 format, with
+	// capped runs counted at the cap.
+	PctDiff float64
+}
+
+// Table2 runs naive mixed-precision IR: the matrix is cast directly
+// into each 16-bit format (overflow clamped to the largest finite
+// value) and factored there; refinement runs in Float64 (paper §V-D2,
+// first experiment).
+func Table2(opt Options) []IRRow { return irExperiment(opt, false) }
+
+// Table3 runs IR after Higham's Algorithm 5 equilibration with the
+// paper's format-aware μ: a power of four near 0.1·max for Float16,
+// USEED for the posit formats (paper §V-D2, second experiment).
+func Table3(opt Options) []IRRow { return irExperiment(opt, true) }
+
+func irExperiment(opt Options, higham bool) []IRRow {
+	opt = opt.fill()
+	var rows []IRRow
+	for _, m := range suite(opt.Matrices) {
+		row := IRRow{Matrix: m.Target.Name, Res: make([]solvers.IRResult, len(IRFormats))}
+		var r []float64
+		if higham {
+			r = scaling.HighamEquilibrate(m.A, 1e-8, 100)
+		}
+		for i, f := range IRFormats {
+			sc := solvers.IRScaling{}
+			if higham {
+				sc = solvers.IRScaling{R: r, Mu: scaling.MuFor(f)}
+			}
+			row.Res[i] = solvers.MixedIR(m.A, m.B, f, sc, solvers.IROptions{
+				Tol:     opt.IRTol,
+				MaxIter: opt.IRMaxIter,
+			})
+		}
+		row.PctDiff = pctDiff(row.Res, opt.IRMaxIter)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// pctDiff computes Table III's "% diff": improvement of the better
+// posit16 over Float16, counting failures and caps at the cap value.
+func pctDiff(res []solvers.IRResult, cap int) float64 {
+	count := func(r solvers.IRResult) float64 {
+		if r.FactorFailed || !r.Converged {
+			return float64(cap)
+		}
+		return float64(r.Iterations)
+	}
+	f16 := count(res[0])
+	best := math.Min(count(res[1]), count(res[2]))
+	if f16 == 0 {
+		return 0
+	}
+	return (f16 - best) / f16 * 100
+}
+
+// RenderIR prints the Table II/III layout.
+func RenderIR(rows []IRRow, cap int, withPct bool) string {
+	hdr := []string{"Matrix"}
+	for _, f := range IRFormats {
+		hdr = append(hdr, f.Name())
+	}
+	if withPct {
+		hdr = append(hdr, "% diff")
+	}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Matrix}
+		for _, res := range r.Res {
+			row = append(row, irCell(res, cap))
+		}
+		if withPct {
+			row = append(row, fmt.Sprintf("%.1f", r.PctDiff))
+		}
+		out = append(out, row)
+	}
+	return report.Table(hdr, out)
+}
+
+// irCell renders one table cell with the paper's conventions: '-' for
+// factorization failure or arithmetic error, '<cap>+' for refinement
+// that did not converge, the count otherwise.
+func irCell(r solvers.IRResult, cap int) string {
+	if r.FactorFailed || math.IsNaN(r.BackwardError) {
+		return "-"
+	}
+	if !r.Converged {
+		return fmt.Sprintf("%d+", cap)
+	}
+	return fmt.Sprintf("%d", r.Iterations)
+}

@@ -1,0 +1,168 @@
+// Package fft implements a format-generic radix-2 complex FFT, the
+// first of the paper's proposed future-work applications (§VII): "We
+// suspect that FFT may be a good application for Posit because its
+// narrow working range makes it easy to squeeze into the Posit
+// golden-zone." The transform rounds after every operation in the
+// chosen format, like the paper's solver experiments.
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/arith"
+)
+
+// Complex is a complex value in a format.
+type Complex struct {
+	Re, Im arith.Num
+}
+
+// Plan holds the precomputed twiddle factors for size n in a format.
+type Plan struct {
+	F arith.Format
+	N int
+	// twiddles[k] = exp(-2πi k/N) for k < N/2, rounded into the format.
+	twRe, twIm []arith.Num
+}
+
+// NewPlan builds a plan. n must be a power of two and at least 2.
+func NewPlan(f arith.Format, n int) (*Plan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: size %d is not a power of two", n)
+	}
+	p := &Plan{F: f, N: n, twRe: make([]arith.Num, n/2), twIm: make([]arith.Num, n/2)}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twRe[k] = f.FromFloat64(math.Cos(ang))
+		p.twIm[k] = f.FromFloat64(math.Sin(ang))
+	}
+	return p, nil
+}
+
+// Forward computes the in-place decimation-in-time FFT of x
+// (len(x) == N).
+func (p *Plan) Forward(x []Complex) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse FFT, including the 1/N
+// normalization.
+func (p *Plan) Inverse(x []Complex) {
+	p.transform(x, true)
+	f := p.F
+	invN := f.Div(f.One(), f.FromFloat64(float64(p.N)))
+	for i := range x {
+		x[i].Re = f.Mul(x[i].Re, invN)
+		x[i].Im = f.Mul(x[i].Im, invN)
+	}
+}
+
+func (p *Plan) transform(x []Complex, inverse bool) {
+	if len(x) != p.N {
+		panic(fmt.Sprintf("fft: input length %d != plan size %d", len(x), p.N))
+	}
+	f := p.F
+	n := p.N
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		step := n / length
+		for start := 0; start < n; start += length {
+			for k := 0; k < length/2; k++ {
+				wRe := p.twRe[k*step]
+				wIm := p.twIm[k*step]
+				if inverse {
+					wIm = f.Neg(wIm)
+				}
+				a := x[start+k]
+				b := x[start+k+length/2]
+				// t = w * b, rounded per operation.
+				tRe := f.Sub(f.Mul(wRe, b.Re), f.Mul(wIm, b.Im))
+				tIm := f.Add(f.Mul(wRe, b.Im), f.Mul(wIm, b.Re))
+				x[start+k] = Complex{Re: f.Add(a.Re, tRe), Im: f.Add(a.Im, tIm)}
+				x[start+k+length/2] = Complex{Re: f.Sub(a.Re, tRe), Im: f.Sub(a.Im, tIm)}
+			}
+		}
+	}
+}
+
+// FromReal rounds a real signal into format complex values.
+func FromReal(f arith.Format, signal []float64) []Complex {
+	out := make([]Complex, len(signal))
+	z := f.Zero()
+	for i, v := range signal {
+		out[i] = Complex{Re: f.FromFloat64(v), Im: z}
+	}
+	return out
+}
+
+// ToFloat64 converts format complex values to complex128.
+func ToFloat64(f arith.Format, x []Complex) []complex128 {
+	out := make([]complex128, len(x))
+	for i, c := range x {
+		out[i] = complex(f.ToFloat64(c.Re), f.ToFloat64(c.Im))
+	}
+	return out
+}
+
+// RelErrorL2 returns ‖got-want‖₂/‖want‖₂ over complex slices.
+func RelErrorL2(got, want []complex128) float64 {
+	var num, den float64
+	for i := range want {
+		d := got[i] - want[i]
+		num += real(d)*real(d) + imag(d)*imag(d)
+		w := want[i]
+		den += real(w)*real(w) + imag(w)*imag(w)
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// ReferenceForward computes the exact-as-float64 FFT for comparison.
+func ReferenceForward(signal []float64) []complex128 {
+	n := len(signal)
+	x := make([]complex128, n)
+	for i, v := range signal {
+		x[i] = complex(v, 0)
+	}
+	refTransform(x)
+	return x
+}
+
+func refTransform(x []complex128) {
+	n := len(x)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		for start := 0; start < n; start += length {
+			for k := 0; k < length/2; k++ {
+				ang := -2 * math.Pi * float64(k) / float64(length)
+				w := complex(math.Cos(ang), math.Sin(ang))
+				a := x[start+k]
+				t := w * x[start+k+length/2]
+				x[start+k] = a + t
+				x[start+k+length/2] = a - t
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package fft_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/fft"
+)
+
+func signal(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		x := float64(i) / float64(n)
+		s[i] = math.Sin(2*math.Pi*3*x) + 0.5*math.Cos(2*math.Pi*7*x) + 0.25*math.Sin(2*math.Pi*11*x)
+	}
+	return s
+}
+
+func TestPlanValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12, 100} {
+		if _, err := fft.NewPlan(arith.Float64, n); err == nil {
+			t.Errorf("size %d must be rejected", n)
+		}
+	}
+	if _, err := fft.NewPlan(arith.Float64, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Float64 FFT must match the reference implementation exactly (they use
+// the same butterfly order but different twiddle evaluation; tolerance
+// covers the difference).
+func TestForwardMatchesReference(t *testing.T) {
+	n := 256
+	sig := signal(n)
+	p, _ := fft.NewPlan(arith.Float64, n)
+	x := fft.FromReal(arith.Float64, sig)
+	p.Forward(x)
+	got := fft.ToFloat64(arith.Float64, x)
+	want := fft.ReferenceForward(sig)
+	if err := fft.RelErrorL2(got, want); err > 1e-12 {
+		t.Fatalf("float64 forward error %g", err)
+	}
+}
+
+// Parseval: energy is preserved by the unitary-scaled transform.
+func TestParseval(t *testing.T) {
+	n := 128
+	sig := signal(n)
+	p, _ := fft.NewPlan(arith.Float64, n)
+	x := fft.FromReal(arith.Float64, sig)
+	p.Forward(x)
+	spec := fft.ToFloat64(arith.Float64, x)
+	var eTime, eFreq float64
+	for i := range sig {
+		eTime += sig[i] * sig[i]
+	}
+	for _, c := range spec {
+		eFreq += real(c)*real(c) + imag(c)*imag(c)
+	}
+	eFreq /= float64(n)
+	if math.Abs(eTime-eFreq)/eTime > 1e-12 {
+		t.Fatalf("Parseval violated: %g vs %g", eTime, eFreq)
+	}
+}
+
+// Round trip in every format: forward then inverse returns the signal
+// to within the format's precision.
+func TestRoundTripAllFormats(t *testing.T) {
+	n := 128
+	sig := signal(n)
+	for _, tc := range []struct {
+		f   arith.Format
+		tol float64
+	}{
+		{arith.Float64, 1e-13},
+		{arith.Float32, 1e-5},
+		{arith.Posit32e2, 1e-6},
+		{arith.Float16, 2e-2},
+		{arith.Posit16e2, 1e-2},
+		{arith.Posit16e1, 5e-3},
+	} {
+		p, _ := fft.NewPlan(tc.f, n)
+		x := fft.FromReal(tc.f, sig)
+		p.Forward(x)
+		p.Inverse(x)
+		got := fft.ToFloat64(tc.f, x)
+		var num, den float64
+		for i := range sig {
+			d := real(got[i]) - sig[i]
+			num += d*d + imag(got[i])*imag(got[i])
+			den += sig[i] * sig[i]
+		}
+		err := math.Sqrt(num / den)
+		if err > tc.tol {
+			t.Errorf("%s: round-trip error %g > %g", tc.f.Name(), err, tc.tol)
+		}
+		if err == 0 && tc.f.Name() != "Float64" {
+			t.Errorf("%s: suspiciously exact", tc.f.Name())
+		}
+	}
+}
+
+// The paper's future-work hypothesis (§VII): posit16 beats float16 on
+// FFT because the working range is narrow. Verify the direction.
+func TestPositBeatsFloatAtSameWidth(t *testing.T) {
+	n := 256
+	sig := signal(n)
+	ref := fft.ReferenceForward(sig)
+	err16 := map[string]float64{}
+	for _, f := range []arith.Format{arith.Float16, arith.Posit16e1, arith.Posit16e2} {
+		p, _ := fft.NewPlan(f, n)
+		x := fft.FromReal(f, sig)
+		p.Forward(x)
+		err16[f.Name()] = fft.RelErrorL2(fft.ToFloat64(f, x), ref)
+	}
+	if !(err16["Posit(16,1)"] < err16["Float16"]) {
+		t.Errorf("posit(16,1) FFT error %g !< float16 %g", err16["Posit(16,1)"], err16["Float16"])
+	}
+	if !(err16["Posit(16,2)"] < err16["Float16"]) {
+		t.Errorf("posit(16,2) FFT error %g !< float16 %g", err16["Posit(16,2)"], err16["Float16"])
+	}
+}

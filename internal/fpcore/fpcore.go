@@ -1,0 +1,204 @@
+// Package fpcore implements the exact significand pipelines shared by
+// the posit and minifloat packages: magnitude add/sub/mul/div/sqrt on
+// 1.63 fixed-point significands, computed in 128-bit integer arithmetic
+// with a sticky bit for everything below, so each format needs to round
+// exactly once.
+package fpcore
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Mag is a positive magnitude: value = (Sig / 2^63) * 2^Scale with Sig
+// in [2^63, 2^64).
+type Mag struct {
+	Scale int
+	Sig   uint64
+}
+
+// Normalize builds a Mag from an arbitrary nonzero significand whose
+// top set bit may be anywhere, interpreting value = sig * 2^(scale-63).
+func Normalize(scale int, sig uint64) Mag {
+	lz := bits.LeadingZeros64(sig)
+	return Mag{Scale: scale - lz, Sig: sig << uint(lz)}
+}
+
+// Add returns the exact a+b as a truncated Mag plus sticky.
+func Add(a, b Mag) (Mag, bool) {
+	if a.Scale < b.Scale {
+		a, b = b, a
+	}
+	d := uint(a.Scale - b.Scale)
+	bhi, blo, lost := shr128(b.Sig, 0, d)
+
+	lo := blo
+	hi, carryHi := bits.Add64(a.Sig, bhi, 0)
+	scale := a.Scale
+	if carryHi != 0 {
+		// Sum reached [2, 4): renormalize right by one.
+		if lo&1 != 0 {
+			lost = true
+		}
+		lo = lo>>1 | hi<<63
+		hi = hi>>1 | 1<<63
+		scale++
+	}
+	if lo != 0 {
+		lost = true
+	}
+	return Mag{Scale: scale, Sig: hi}, lost
+}
+
+// Sub returns the exact |a-b| as a truncated Mag plus sticky. zero
+// reports exact cancellation; swapped reports that b was the larger
+// magnitude (the result's sign follows b).
+func Sub(a, b Mag) (r Mag, sticky, zero, swapped bool) {
+	if a.Scale < b.Scale || (a.Scale == b.Scale && a.Sig < b.Sig) {
+		a, b = b, a
+		swapped = true
+	}
+	if a.Scale == b.Scale && a.Sig == b.Sig {
+		return Mag{}, false, true, false
+	}
+	d := uint(a.Scale - b.Scale)
+	bhi, blo, lost := shr128(b.Sig, 0, d)
+	if lost {
+		// The true subtrahend is (b128 + tail) with 0 < tail < 1 ulp:
+		// borrow one ulp so the truncated difference plus the sticky
+		// tail brackets the exact value from below.
+		var carry uint64
+		blo, carry = bits.Add64(blo, 1, 0)
+		bhi, _ = bits.Add64(bhi, 0, carry)
+	}
+	lo, borrowLo := bits.Sub64(0, blo, 0)
+	hi, _ := bits.Sub64(a.Sig, bhi, borrowLo)
+
+	// Normalize. Massive cancellation only happens when d <= 1, where
+	// the difference is exact (lost requires d > 64).
+	scale := a.Scale
+	lz := leadingZeros128(hi, lo)
+	if lz > 0 {
+		hi, lo = shl128(hi, lo, uint(lz))
+		scale -= lz
+	}
+	if lo != 0 {
+		lost = true
+	}
+	return Mag{Scale: scale, Sig: hi}, lost, false, swapped
+}
+
+// Mul returns the exact a*b as a truncated Mag plus sticky.
+func Mul(a, b Mag) (Mag, bool) {
+	hi, lo := bits.Mul64(a.Sig, b.Sig) // in [2^126, 2^128)
+	scale := a.Scale + b.Scale
+	if hi&(1<<63) != 0 {
+		return Mag{Scale: scale + 1, Sig: hi}, lo != 0
+	}
+	return Mag{Scale: scale, Sig: hi<<1 | lo>>63}, lo<<1 != 0
+}
+
+// Div returns the exact a/b as a truncated Mag plus sticky.
+func Div(a, b Mag) (Mag, bool) {
+	if a.Sig >= b.Sig {
+		// Quotient in [1, 2): q = floor(sigA * 2^63 / sigB).
+		q, r := bits.Div64(a.Sig>>1, a.Sig<<63, b.Sig)
+		return Mag{Scale: a.Scale - b.Scale, Sig: q}, r != 0
+	}
+	// Quotient in (1/2, 1): q = floor(sigA * 2^64 / sigB).
+	q, r := bits.Div64(a.Sig, 0, b.Sig)
+	return Mag{Scale: a.Scale - b.Scale - 1, Sig: q}, r != 0
+}
+
+// Sqrt returns the exact square root of a as a truncated Mag plus
+// sticky.
+func Sqrt(a Mag) (Mag, bool) {
+	// Fold the scale's parity into the mantissa so the remaining
+	// exponent is even: X = m' * 2^126 with m' in [1, 4).
+	var hi, lo uint64
+	if a.Scale&1 != 0 {
+		hi, lo = a.Sig, 0 // m' = 2m: X = sig << 64
+	} else {
+		hi, lo = a.Sig>>1, a.Sig<<63 // m' = m: X = sig << 63
+	}
+	rscale := a.Scale >> 1 // floor division (arithmetic shift)
+	root, exact := isqrt128(hi, lo)
+	return Mag{Scale: rscale, Sig: root}, !exact
+}
+
+// isqrt128 returns floor(sqrt(X)) for the 128-bit X = hi.lo, which must
+// be at least 2^126 so the root is a normalized 1.63 significand, and
+// whether the root is exact.
+func isqrt128(hi, lo uint64) (root uint64, exact bool) {
+	// Float estimate, then guarded integer Newton, then exact fixup.
+	f := math.Ldexp(float64(hi), 64) + float64(lo)
+	r := uint64(math.Sqrt(f))
+	if r < 1<<63 {
+		r = 1 << 63
+	}
+	for i := 0; i < 4; i++ {
+		if hi >= r {
+			break // X/r would overflow 64 bits; estimate far low
+		}
+		q, _ := bits.Div64(hi, lo, r)
+		nr := r/2 + q/2 + (r&q)&1
+		if nr == r {
+			break
+		}
+		r = nr
+	}
+	// Exact correction: at most a few steps after Newton.
+	for {
+		phi, plo := bits.Mul64(r, r)
+		if phi > hi || (phi == hi && plo > lo) {
+			r--
+			continue
+		}
+		// r^2 <= X; check (r+1)^2 > X.
+		if r != math.MaxUint64 {
+			qhi, qlo := bits.Mul64(r+1, r+1)
+			if qhi < hi || (qhi == hi && qlo <= lo) {
+				r++
+				continue
+			}
+		}
+		return r, phi == hi && plo == lo
+	}
+}
+
+// --- 128-bit helpers ---
+
+func shr128(hi, lo uint64, d uint) (rhi, rlo uint64, lost bool) {
+	switch {
+	case d == 0:
+		return hi, lo, false
+	case d < 64:
+		lost = lo<<(64-d) != 0
+		return hi >> d, hi<<(64-d) | lo>>d, lost
+	case d == 64:
+		return 0, hi, lo != 0
+	case d < 128:
+		lost = lo != 0 || hi<<(128-d) != 0
+		return 0, hi >> (d - 64), lost
+	default:
+		return 0, 0, hi != 0 || lo != 0
+	}
+}
+
+func shl128(hi, lo uint64, d uint) (rhi, rlo uint64) {
+	switch {
+	case d == 0:
+		return hi, lo
+	case d < 64:
+		return hi<<d | lo>>(64-d), lo << d
+	default:
+		return lo << (d - 64), 0
+	}
+}
+
+func leadingZeros128(hi, lo uint64) int {
+	if hi != 0 {
+		return bits.LeadingZeros64(hi)
+	}
+	return 64 + bits.LeadingZeros64(lo)
+}

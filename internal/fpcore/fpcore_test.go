@@ -1,0 +1,210 @@
+package fpcore_test
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"positlab/internal/fpcore"
+)
+
+// magValue reconstructs value = Sig/2^63 * 2^Scale exactly.
+func magValue(m fpcore.Mag) *big.Float {
+	z := new(big.Float).SetPrec(512).SetUint64(m.Sig)
+	return z.SetMantExp(z, m.Scale-63)
+}
+
+// checkTruncation verifies that (result, sticky) is the truncation of
+// the exact value: result <= exact < result + 1 ulp, with sticky true
+// iff strict.
+func checkTruncation(t *testing.T, name string, exact *big.Float, r fpcore.Mag, sticky bool) {
+	t.Helper()
+	rv := magValue(r)
+	cmp := rv.Cmp(exact)
+	if cmp > 0 {
+		t.Fatalf("%s: truncation %v exceeds exact %v", name, rv, exact)
+	}
+	if (cmp != 0) != sticky {
+		t.Fatalf("%s: sticky=%v but truncation %s exact (r=%v exact=%v)",
+			name, sticky, map[bool]string{true: "!=", false: "=="}[cmp != 0], rv, exact)
+	}
+	// Within one ulp: exact < rv + 2^(Scale-63).
+	ulp := new(big.Float).SetPrec(512).SetMantExp(big.NewFloat(1), r.Scale-63)
+	upper := new(big.Float).SetPrec(512).Add(rv, ulp)
+	if exact.Cmp(upper) >= 0 {
+		t.Fatalf("%s: exact %v >= truncation+ulp %v", name, exact, upper)
+	}
+}
+
+func randMag(r *rand.Rand) fpcore.Mag {
+	return fpcore.Mag{
+		Scale: r.Intn(200) - 100,
+		Sig:   r.Uint64() | 1<<63,
+	}
+}
+
+func TestAddTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		a, b := randMag(r), randMag(r)
+		res, sticky := fpcore.Add(a, b)
+		exact := new(big.Float).SetPrec(512).Add(magValue(a), magValue(b))
+		checkTruncation(t, "Add", exact, res, sticky)
+	}
+}
+
+func TestSubTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 5000; i++ {
+		a, b := randMag(r), randMag(r)
+		res, sticky, zero, swapped := fpcore.Sub(a, b)
+		exact := new(big.Float).SetPrec(512).Sub(magValue(a), magValue(b))
+		if zero {
+			if exact.Sign() != 0 {
+				t.Fatalf("Sub: reported zero, exact %v", exact)
+			}
+			continue
+		}
+		if swapped != (exact.Sign() < 0) {
+			t.Fatalf("Sub: swapped=%v but exact sign %d", swapped, exact.Sign())
+		}
+		exact.Abs(exact)
+		checkTruncation(t, "Sub", exact, res, sticky)
+	}
+}
+
+func TestMulTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 5000; i++ {
+		a, b := randMag(r), randMag(r)
+		res, sticky := fpcore.Mul(a, b)
+		exact := new(big.Float).SetPrec(512).Mul(magValue(a), magValue(b))
+		checkTruncation(t, "Mul", exact, res, sticky)
+	}
+}
+
+func TestDivTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	for i := 0; i < 5000; i++ {
+		a, b := randMag(r), randMag(r)
+		res, sticky := fpcore.Div(a, b)
+		// Compare via multiplication to stay exact: res <= a/b
+		// iff res*b <= a.
+		rv := magValue(res)
+		lhs := new(big.Float).SetPrec(512).Mul(rv, magValue(b))
+		cmp := lhs.Cmp(magValue(a))
+		if cmp > 0 {
+			t.Fatalf("Div: truncation exceeds quotient")
+		}
+		if (cmp != 0) != sticky {
+			t.Fatalf("Div: sticky=%v, cmp=%d", sticky, cmp)
+		}
+		// (res + ulp)*b > a.
+		ulp := new(big.Float).SetPrec(512).SetMantExp(big.NewFloat(1), res.Scale-63)
+		upper := new(big.Float).SetPrec(512).Add(rv, ulp)
+		upper.Mul(upper, magValue(b))
+		if upper.Cmp(magValue(a)) <= 0 {
+			t.Fatalf("Div: quotient not within one ulp")
+		}
+	}
+}
+
+func TestSqrtTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	for i := 0; i < 5000; i++ {
+		a := randMag(r)
+		res, sticky := fpcore.Sqrt(a)
+		rv := magValue(res)
+		sq := new(big.Float).SetPrec(512).Mul(rv, rv)
+		cmp := sq.Cmp(magValue(a))
+		if cmp > 0 {
+			t.Fatalf("Sqrt: truncation squared exceeds input")
+		}
+		if (cmp != 0) != sticky {
+			t.Fatalf("Sqrt: sticky=%v, cmp=%d (a=%+v)", sticky, cmp, a)
+		}
+		ulp := new(big.Float).SetPrec(512).SetMantExp(big.NewFloat(1), res.Scale-63)
+		upper := new(big.Float).SetPrec(512).Add(rv, ulp)
+		upper.Mul(upper, upper)
+		if upper.Cmp(magValue(a)) <= 0 {
+			t.Fatalf("Sqrt: root not within one ulp")
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	m := fpcore.Normalize(10, 1) // value = 1 * 2^(10-63)
+	if m.Sig != 1<<63 || m.Scale != 10-63 {
+		t.Fatalf("Normalize(10, 1) = %+v", m)
+	}
+	m = fpcore.Normalize(0, 1<<63)
+	if m.Sig != 1<<63 || m.Scale != 0 {
+		t.Fatalf("Normalize(0, 2^63) = %+v", m)
+	}
+	// Known sqrt: sqrt(4) = 2.
+	r, sticky := fpcore.Sqrt(fpcore.Mag{Scale: 2, Sig: 1 << 63})
+	if sticky || r.Scale != 1 || r.Sig != 1<<63 {
+		t.Fatalf("sqrt(4) = %+v sticky=%v", r, sticky)
+	}
+}
+
+// Property: Add is commutative at the representation level.
+func TestPropAddCommutative(t *testing.T) {
+	f := func(s1, s2 uint64, e1, e2 int16) bool {
+		a := fpcore.Mag{Scale: int(e1 % 200), Sig: s1 | 1<<63}
+		b := fpcore.Mag{Scale: int(e2 % 200), Sig: s2 | 1<<63}
+		r1, st1 := fpcore.Add(a, b)
+		r2, st2 := fpcore.Add(b, a)
+		return r1 == r2 && st1 == st2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul of exact powers of two is exact.
+func TestMulPowersOfTwoExact(t *testing.T) {
+	for _, e1 := range []int{-50, -1, 0, 1, 63} {
+		for _, e2 := range []int{-10, 0, 7} {
+			a := fpcore.Mag{Scale: e1, Sig: 1 << 63}
+			b := fpcore.Mag{Scale: e2, Sig: 1 << 63}
+			r, sticky := fpcore.Mul(a, b)
+			if sticky || r.Scale != e1+e2 || r.Sig != 1<<63 {
+				t.Fatalf("2^%d * 2^%d = %+v sticky=%v", e1, e2, r, sticky)
+			}
+		}
+	}
+}
+
+func TestDivSelfIsOne(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 200; i++ {
+		a := randMag(r)
+		res, sticky := fpcore.Div(a, a)
+		if sticky || res.Scale != 0 || res.Sig != 1<<63 {
+			t.Fatalf("a/a = %+v sticky=%v for a=%+v", res, sticky, a)
+		}
+	}
+}
+
+func TestMathSanity(t *testing.T) {
+	// 1.5 + 2.5 = 4 exactly.
+	mk := func(v float64) fpcore.Mag {
+		fr, exp := math.Frexp(v)
+		return fpcore.Mag{Scale: exp - 1, Sig: uint64(fr * (1 << 63) * 2)}
+	}
+	r, sticky := fpcore.Add(mk(1.5), mk(2.5))
+	if sticky || magToFloat(r) != 4 {
+		t.Fatalf("1.5+2.5 = %g sticky=%v", magToFloat(r), sticky)
+	}
+	d, sticky, zero, _ := fpcore.Sub(mk(4), mk(1.5))
+	if sticky || zero || magToFloat(d) != 2.5 {
+		t.Fatalf("4-1.5 = %g", magToFloat(d))
+	}
+}
+
+func magToFloat(m fpcore.Mag) float64 {
+	return math.Ldexp(float64(m.Sig), m.Scale-63)
+}

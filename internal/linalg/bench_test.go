@@ -1,0 +1,81 @@
+package linalg_test
+
+import (
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+)
+
+func benchMatVec(b *testing.B, f arith.Format) {
+	a := laplacian1D(1000)
+	an := a.ToFormat(f, false)
+	x := linalg.NewVec(f, a.N)
+	one := f.One()
+	for i := range x {
+		x[i] = one
+	}
+	y := linalg.NewVec(f, a.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.MatVec(x, y)
+	}
+}
+
+func BenchmarkMatVec1000Float64(b *testing.B)   { benchMatVec(b, arith.Float64) }
+func BenchmarkMatVec1000Float32(b *testing.B)   { benchMatVec(b, arith.Float32) }
+func BenchmarkMatVec1000Posit32e2(b *testing.B) { benchMatVec(b, arith.Posit32e2) }
+
+func BenchmarkMatVecF64Native(b *testing.B) {
+	a := laplacian1D(1000)
+	x := make([]float64, a.N)
+	y := make([]float64, a.N)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatVecF64(x, y)
+	}
+}
+
+func benchDot(b *testing.B, f arith.Format) {
+	n := 1024
+	x := linalg.NewVec(f, n)
+	y := linalg.NewVec(f, n)
+	for i := range x {
+		x[i] = f.FromFloat64(float64(i%13) - 6)
+		y[i] = f.FromFloat64(float64(i%7) - 3)
+	}
+	var sink arith.Num
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = linalg.Dot(f, x, y)
+	}
+	sinkNum = sink
+}
+
+var sinkNum arith.Num
+
+func BenchmarkDot1024Float64(b *testing.B)   { benchDot(b, arith.Float64) }
+func BenchmarkDot1024Posit32e2(b *testing.B) { benchDot(b, arith.Posit32e2) }
+
+func BenchmarkLanczos(b *testing.B) {
+	a := laplacian1D(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := linalg.Lanczos(a, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEigenvalues100(b *testing.B) {
+	a := laplacian1D(100).ToDense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.SymEigenvalues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

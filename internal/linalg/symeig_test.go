@@ -1,0 +1,127 @@
+package linalg_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/linalg"
+)
+
+func TestSymEigenvaluesKnown(t *testing.T) {
+	// Diagonal matrix.
+	d := linalg.NewDense(3)
+	d.Set(0, 0, 5)
+	d.Set(1, 1, -2)
+	d.Set(2, 2, 1)
+	eigs, err := linalg.SymEigenvalues(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{-2, 1, 5} {
+		if math.Abs(eigs[i]-want) > 1e-12 {
+			t.Fatalf("diag eigs = %v", eigs)
+		}
+	}
+	// 2x2 full: [[2,1],[1,2]] -> 1, 3.
+	m := linalg.NewDense(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	eigs, err = linalg.SymEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eigs[0]-1) > 1e-12 || math.Abs(eigs[1]-3) > 1e-12 {
+		t.Fatalf("2x2 eigs = %v", eigs)
+	}
+	// 1x1.
+	one := linalg.NewDense(1)
+	one.Set(0, 0, 7)
+	eigs, err = linalg.SymEigenvalues(one)
+	if err != nil || eigs[0] != 7 {
+		t.Fatalf("1x1: %v %v", eigs, err)
+	}
+}
+
+// Full Laplacian spectrum against the analytic eigenvalues.
+func TestSymEigenvaluesLaplacian(t *testing.T) {
+	n := 60
+	s := laplacian1D(n)
+	eigs, err := linalg.SymEigenvaluesSparse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eigs) != n {
+		t.Fatalf("eigenvalue count %d", len(eigs))
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(eigs[k-1]-want) > 1e-10 {
+			t.Fatalf("eig %d = %.14g, want %.14g", k, eigs[k-1], want)
+		}
+	}
+}
+
+// Trace and Frobenius invariants: Σλ = tr(A), Σλ² = ‖A‖²_F for
+// symmetric A.
+func TestSymEigenvaluesInvariants(t *testing.T) {
+	// A pseudo-random dense symmetric matrix.
+	n := 25
+	d := linalg.NewDense(n)
+	x := uint64(12345)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%2000)/1000 - 1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := next()
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	eigs, err := linalg.SymEigenvalues(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, frob2, sumEig, sumEig2 float64
+	for i := 0; i < n; i++ {
+		trace += d.At(i, i)
+		for j := 0; j < n; j++ {
+			frob2 += d.At(i, j) * d.At(i, j)
+		}
+	}
+	for _, l := range eigs {
+		sumEig += l
+		sumEig2 += l * l
+	}
+	if math.Abs(trace-sumEig) > 1e-10*math.Abs(trace)+1e-10 {
+		t.Errorf("trace %v != sum of eigenvalues %v", trace, sumEig)
+	}
+	if math.Abs(frob2-sumEig2) > 1e-10*frob2 {
+		t.Errorf("frobenius² %v != sum of λ² %v", frob2, sumEig2)
+	}
+}
+
+// The full solver must agree with Lanczos extremes on a suite-sized
+// random sparse SPD matrix.
+func TestSymEigenvaluesMatchesLanczos(t *testing.T) {
+	s := laplacian1D(120)
+	eigs, err := linalg.SymEigenvaluesSparse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin, lmax, err := linalg.Lanczos(s, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eigs[0]-lmin)/lmin > 1e-6 {
+		t.Errorf("λmin: full %v vs Lanczos %v", eigs[0], lmin)
+	}
+	if math.Abs(eigs[len(eigs)-1]-lmax)/lmax > 1e-8 {
+		t.Errorf("λmax: full %v vs Lanczos %v", eigs[len(eigs)-1], lmax)
+	}
+}

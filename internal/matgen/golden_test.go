@@ -1,0 +1,43 @@
+package matgen_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"positlab/internal/matgen"
+	"positlab/internal/mmarket"
+)
+
+// The checked-in fixture files under testdata/suite are golden copies
+// of generator output (written by cmd/matgen). Regeneration must match
+// them bit for bit — the determinism contract that makes every
+// experiment in EXPERIMENTS.md reproducible.
+func TestGoldenSuiteFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "suite")
+	for _, name := range []string{"bcsstk01", "lund_b"} {
+		path := filepath.Join(dir, name+".mtx")
+		if _, err := os.Stat(path); err != nil {
+			t.Skipf("fixture %s not present: %v", path, err)
+		}
+		golden, _, err := mmarket.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		tgt, err := matgen.TargetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := matgen.Generate(tgt)
+		if golden.NNZ() != m.A.NNZ() || golden.N != m.A.N {
+			t.Fatalf("%s: shape drifted: golden %dx nnz %d, regenerated nnz %d",
+				name, golden.N, golden.NNZ(), m.A.NNZ())
+		}
+		for i := range golden.Val {
+			if golden.Val[i] != m.A.Val[i] || golden.Col[i] != m.A.Col[i] {
+				t.Fatalf("%s: value drifted at entry %d: golden %v, regenerated %v",
+					name, i, golden.Val[i], m.A.Val[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package minifloat implements generic small IEEE-754 binary floating
+// point formats in software: binary(expBits, fracBits) with subnormals,
+// signed zeros, infinities, NaN, and round-to-nearest-even. It provides
+// the Float16 (binary16) arithmetic the paper compares against
+// Posit(16,·), plus BFloat16 as an extension format.
+//
+// All operations are correctly rounded: they compute the exact result
+// significand through the shared fpcore integer pipeline and round
+// once. Nothing is routed through float32/float64 arithmetic, so there
+// is no double rounding anywhere.
+package minifloat
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"positlab/internal/fpcore"
+)
+
+// Format describes an IEEE-754-style binary interchange format.
+type Format struct {
+	exp  uint8 // exponent field width (2..11)
+	frac uint8 // fraction field width (1..52)
+}
+
+// New validates and returns a format.
+func New(expBits, fracBits int) (Format, error) {
+	if expBits < 2 || expBits > 11 {
+		return Format{}, fmt.Errorf("minifloat: exponent width %d out of range [2,11]", expBits)
+	}
+	if fracBits < 1 || fracBits > 52 {
+		return Format{}, fmt.Errorf("minifloat: fraction width %d out of range [1,52]", fracBits)
+	}
+	return Format{exp: uint8(expBits), frac: uint8(fracBits)}, nil
+}
+
+// MustNew is New that panics on invalid parameters.
+func MustNew(expBits, fracBits int) Format {
+	f, err := New(expBits, fracBits)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Standard formats.
+var (
+	// Float16 is IEEE binary16: 1 sign + 5 exponent + 10 fraction.
+	Float16 = MustNew(5, 10)
+	// BFloat16 is the truncated-binary32 brain float: 1+8+7.
+	BFloat16 = MustNew(8, 7)
+	// Float32 is IEEE binary32, usable for cross-checks against native
+	// float32 arithmetic.
+	Float32 = MustNew(8, 23)
+)
+
+// Bits is a pattern stored LSB-aligned in a uint64.
+type Bits uint64
+
+// Width returns the total format width in bits.
+func (f Format) Width() int { return 1 + int(f.exp) + int(f.frac) }
+
+// ExpBits and FracBits return the field widths.
+func (f Format) ExpBits() int  { return int(f.exp) }
+func (f Format) FracBits() int { return int(f.frac) }
+
+func (f Format) String() string {
+	switch f {
+	case Float16:
+		return "Float16"
+	case BFloat16:
+		return "BFloat16"
+	case Float32:
+		return "Float32(soft)"
+	}
+	return fmt.Sprintf("binary(1,%d,%d)", f.exp, f.frac)
+}
+
+// bias returns the exponent bias 2^(exp-1)-1.
+func (f Format) bias() int { return 1<<(f.exp-1) - 1 }
+
+// Emax returns the largest normal exponent (unbiased).
+func (f Format) Emax() int { return f.bias() }
+
+// Emin returns the smallest normal exponent (unbiased).
+func (f Format) Emin() int { return 1 - f.bias() }
+
+// precision returns the significand precision including the hidden bit.
+func (f Format) precision() int { return int(f.frac) + 1 }
+
+func (f Format) signMask() uint64 { return 1 << (f.exp + f.frac) }
+func (f Format) expMask() uint64  { return (1<<f.exp - 1) << f.frac }
+func (f Format) fracMask() uint64 { return 1<<f.frac - 1 }
+
+// Canonical special patterns.
+
+// PosInf and NegInf return the infinity patterns.
+func (f Format) PosInf() Bits { return Bits(f.expMask()) }
+func (f Format) NegInf() Bits { return Bits(f.signMask() | f.expMask()) }
+
+// NaN returns the canonical quiet NaN.
+func (f Format) NaN() Bits { return Bits(f.expMask() | 1<<(f.frac-1)) }
+
+// Zero and NegZero return the signed zero patterns.
+func (f Format) Zero() Bits    { return 0 }
+func (f Format) NegZero() Bits { return Bits(f.signMask()) }
+
+// One returns the pattern for 1.0.
+func (f Format) One() Bits { return Bits(uint64(f.bias()) << f.frac) }
+
+// MaxFinite returns the largest finite pattern.
+func (f Format) MaxFinite() Bits {
+	return Bits((f.expMask() - (1 << f.frac)) | f.fracMask())
+}
+
+// MinSubnormal returns the smallest positive pattern.
+func (f Format) MinSubnormal() Bits { return 1 }
+
+// MinNormal returns the smallest positive normal pattern.
+func (f Format) MinNormal() Bits { return Bits(uint64(1) << f.frac) }
+
+// MaxValue returns MaxFinite as a float64 (65504 for Float16).
+func (f Format) MaxValue() float64 { return f.ToFloat64(f.MaxFinite()) }
+
+// Classification.
+
+func (f Format) IsNaN(p Bits) bool {
+	return uint64(p)&f.expMask() == f.expMask() && uint64(p)&f.fracMask() != 0
+}
+
+func (f Format) IsInf(p Bits) bool {
+	return uint64(p)&f.expMask() == f.expMask() && uint64(p)&f.fracMask() == 0
+}
+
+func (f Format) IsZero(p Bits) bool {
+	return uint64(p)&^f.signMask() == 0
+}
+
+// IsSubnormal reports a nonzero pattern with a zero exponent field.
+func (f Format) IsSubnormal(p Bits) bool {
+	return uint64(p)&f.expMask() == 0 && uint64(p)&f.fracMask() != 0
+}
+
+func (f Format) Signbit(p Bits) bool { return uint64(p)&f.signMask() != 0 }
+
+// Neg flips the sign bit (exact, also on NaN per IEEE negate).
+func (f Format) Neg(p Bits) Bits { return p ^ Bits(f.signMask()) }
+
+// Abs clears the sign bit.
+func (f Format) Abs(p Bits) Bits { return p &^ Bits(f.signMask()) }
+
+// decode unpacks a finite nonzero pattern into an exact fpcore
+// magnitude.
+func (f Format) decode(p Bits) fpcore.Mag {
+	e := (uint64(p) & f.expMask()) >> f.frac
+	m := uint64(p) & f.fracMask()
+	if e == 0 {
+		// Subnormal: value = m * 2^(emin - frac).
+		return fpcore.Normalize(f.Emin()-int(f.frac)+63, m)
+	}
+	sig := (m | 1<<f.frac) << (63 - f.frac)
+	return fpcore.Mag{Scale: int(e) - f.bias(), Sig: sig}
+}
+
+// round encodes a magnitude (with sticky) into the nearest pattern
+// using round-to-nearest-even, handling subnormals, underflow to zero
+// and overflow to infinity.
+func (f Format) round(sign bool, m fpcore.Mag, sticky bool) Bits {
+	s := Bits(0)
+	if sign {
+		s = Bits(f.signMask())
+	}
+	p := f.precision()
+	keep := p
+	if m.Scale < f.Emin() {
+		keep = p - (f.Emin() - m.Scale)
+	}
+	if keep < 0 {
+		return s // below half the smallest subnormal: rounds to zero
+	}
+	var kept, roundBit uint64
+	var rest bool
+	if keep == 0 {
+		// Candidate is zero; the round bit is the significand MSB.
+		kept = 0
+		roundBit = m.Sig >> 63
+		rest = m.Sig<<1 != 0 || sticky
+	} else {
+		kept = m.Sig >> (64 - uint(keep))
+		roundBit = (m.Sig >> (63 - uint(keep))) & 1
+		rest = m.Sig<<(uint(keep)+1) != 0 || sticky
+	}
+	scale := m.Scale
+	if roundBit == 1 && (rest || kept&1 == 1) {
+		kept++
+		if kept == 1<<uint(keep) && keep == p {
+			// Carried past the hidden bit: 2.0 * 2^scale.
+			kept >>= 1
+			scale++
+		}
+		// In the subnormal range a carry to 2^(p-1) simply promotes the
+		// value to the smallest normal; the assembly below handles it.
+	}
+	if kept == 0 {
+		return s
+	}
+	if scale > f.Emax() {
+		return s | f.PosInf()
+	}
+	if kept >= 1<<(p-1) {
+		// Normal number. A subnormal that rounded up to the hidden-bit
+		// position is the smallest normal, 2^emin.
+		if keep < p {
+			scale = f.Emin()
+		}
+		e := uint64(scale+f.bias()) << f.frac
+		return s | Bits(e|(kept&f.fracMask()))
+	}
+	// Subnormal: mantissa field holds kept directly.
+	return s | Bits(kept)
+}
+
+// ToFloat64 converts exactly (every supported format fits in float64).
+func (f Format) ToFloat64(p Bits) float64 {
+	if f.IsNaN(p) {
+		return math.NaN()
+	}
+	if f.IsInf(p) {
+		if f.Signbit(p) {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	if f.IsZero(p) {
+		if f.Signbit(p) {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	m := f.decode(p)
+	v := math.Ldexp(float64(m.Sig), m.Scale-63)
+	if f.Signbit(p) {
+		v = -v
+	}
+	return v
+}
+
+// FromFloat64 converts a float64 to the format with a single correct
+// rounding (the float64 is decomposed exactly first).
+func (f Format) FromFloat64(x float64) Bits {
+	if math.IsNaN(x) {
+		return f.NaN()
+	}
+	if math.IsInf(x, 1) {
+		return f.PosInf()
+	}
+	if math.IsInf(x, -1) {
+		return f.NegInf()
+	}
+	if x == 0 {
+		if math.Signbit(x) {
+			return f.NegZero()
+		}
+		return f.Zero()
+	}
+	sign := math.Signbit(x)
+	fr, exp := math.Frexp(math.Abs(x))
+	m := uint64(math.Ldexp(fr, 53)) // exact: in [2^52, 2^53)
+	lz := bits.LeadingZeros64(m)
+	return f.round(sign, fpcore.Mag{Scale: exp - 1, Sig: m << uint(lz)}, false)
+}
+
+// FromBits reinterprets a raw pattern, masking stray high bits.
+func (f Format) FromBits(u uint64) Bits {
+	return Bits(u & (f.signMask() | f.expMask() | f.fracMask()))
+}

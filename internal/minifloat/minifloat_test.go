@@ -1,0 +1,238 @@
+package minifloat_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/minifloat"
+)
+
+// Float64 reference arithmetic is a valid oracle here: by the
+// double-rounding innocuousness theorem (Figueroa), rounding an exact
+// or 53-bit-rounded result of +,-,*,/,sqrt down to precision p is the
+// correctly rounded result whenever 53 >= 2p+2, which holds for every
+// format this package supports (p <= 24).
+func refBinary(f minifloat.Format, op func(x, y float64) float64, a, b minifloat.Bits) minifloat.Bits {
+	return f.FromFloat64(op(f.ToFloat64(a), f.ToFloat64(b)))
+}
+
+func eqBits(f minifloat.Format, got, want minifloat.Bits) bool {
+	if f.IsNaN(got) && f.IsNaN(want) {
+		return true // any NaN payload is acceptable
+	}
+	return got == want
+}
+
+func TestKnownFloat16Values(t *testing.T) {
+	f := minifloat.Float16
+	cases := []struct {
+		v    float64
+		bits uint64
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{65504, 0x7bff},                 // MaxFinite
+		{6.103515625e-05, 0x0400},       // MinNormal 2^-14
+		{5.960464477539063e-08, 0x0001}, // MinSubnormal 2^-24
+		{0.333251953125, 0x3555},        // fl16(1/3)
+		{65536, 0x7c00},                 // overflows to +Inf
+	}
+	for _, tc := range cases {
+		if got := f.FromFloat64(tc.v); uint64(got) != tc.bits {
+			t.Errorf("FromFloat64(%g) = %#04x, want %#04x", tc.v, uint64(got), tc.bits)
+		}
+	}
+	if f.MaxValue() != 65504 {
+		t.Errorf("Float16 MaxValue = %g, want 65504", f.MaxValue())
+	}
+	if got := f.FromFloat64(1.0 / 3.0); uint64(got) != 0x3555 {
+		t.Errorf("fl16(1/3) = %#04x, want 0x3555", uint64(got))
+	}
+}
+
+// Exhaustive round-trip for all 65536 Float16 patterns and all BFloat16
+// patterns: decode to float64 and re-encode must reproduce the pattern.
+func TestRoundTripExhaustive(t *testing.T) {
+	for _, f := range []minifloat.Format{minifloat.Float16, minifloat.BFloat16, minifloat.MustNew(4, 3), minifloat.MustNew(3, 2)} {
+		limit := uint64(1) << uint(f.Width())
+		for u := uint64(0); u < limit; u++ {
+			p := minifloat.Bits(u)
+			v := f.ToFloat64(p)
+			if f.IsNaN(p) {
+				if !math.IsNaN(v) {
+					t.Fatalf("%v: NaN pattern %#x decoded to %g", f, u, v)
+				}
+				continue
+			}
+			back := f.FromFloat64(v)
+			if back != p {
+				t.Fatalf("%v: %#x -> %g -> %#x", f, u, v, uint64(back))
+			}
+		}
+	}
+}
+
+// Exhaustive binary ops for the 8-bit format binary(4,3) against the
+// float64 reference.
+func TestOpsExhaustiveTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, f := range []minifloat.Format{minifloat.MustNew(4, 3), minifloat.MustNew(3, 4), minifloat.MustNew(5, 2)} {
+		limit := uint64(1) << uint(f.Width())
+		for x := uint64(0); x < limit; x++ {
+			for y := uint64(0); y < limit; y++ {
+				a, b := minifloat.Bits(x), minifloat.Bits(y)
+				checks := []struct {
+					name string
+					got  minifloat.Bits
+					ref  func(x, y float64) float64
+				}{
+					{"add", f.Add(a, b), func(x, y float64) float64 { return x + y }},
+					{"sub", f.Sub(a, b), func(x, y float64) float64 { return x - y }},
+					{"mul", f.Mul(a, b), func(x, y float64) float64 { return x * y }},
+					{"div", f.Div(a, b), func(x, y float64) float64 { return x / y }},
+				}
+				for _, ck := range checks {
+					want := refBinary(f, ck.ref, a, b)
+					if !eqBits(f, ck.got, want) {
+						t.Fatalf("%v: %s(%#x,%#x) = %#x, ref %#x (a=%g b=%g)",
+							f, ck.name, x, y, uint64(ck.got), uint64(want),
+							f.ToFloat64(a), f.ToFloat64(b))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Exhaustive sqrt for all Float16 and BFloat16 patterns.
+func TestSqrtExhaustive(t *testing.T) {
+	for _, f := range []minifloat.Format{minifloat.Float16, minifloat.BFloat16, minifloat.MustNew(4, 3)} {
+		limit := uint64(1) << uint(f.Width())
+		for u := uint64(0); u < limit; u++ {
+			p := minifloat.Bits(u)
+			got := f.Sqrt(p)
+			want := f.FromFloat64(math.Sqrt(f.ToFloat64(p)))
+			if !eqBits(f, got, want) {
+				t.Fatalf("%v: Sqrt(%#x) = %#x, ref %#x (v=%g)", f, u, uint64(got), uint64(want), f.ToFloat64(p))
+			}
+		}
+	}
+}
+
+// Directed + pseudo-random pairs for Float16 and BFloat16 binary ops.
+func TestOpsDirectedFloat16(t *testing.T) {
+	for _, f := range []minifloat.Format{minifloat.Float16, minifloat.BFloat16} {
+		var pats []minifloat.Bits
+		for _, p := range []minifloat.Bits{
+			f.Zero(), f.NegZero(), f.One(), f.Neg(f.One()),
+			f.PosInf(), f.NegInf(), f.NaN(),
+			f.MaxFinite(), f.Neg(f.MaxFinite()),
+			f.MinSubnormal(), f.MinNormal(),
+			f.FromFloat64(0.5), f.FromFloat64(2), f.FromFloat64(3),
+			f.FromFloat64(1.5), f.FromFloat64(1e-7), f.FromFloat64(1e4),
+		} {
+			pats = append(pats, p)
+			pats = append(pats, f.Neg(p))
+		}
+		// Deterministic xorshift spread.
+		x := uint64(0x123456789ABCDEF)
+		mask := uint64(1)<<uint(f.Width()) - 1
+		for i := 0; i < 300; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			pats = append(pats, minifloat.Bits(x&mask))
+		}
+		for _, a := range pats {
+			for _, b := range pats {
+				if got, want := f.Add(a, b), refBinary(f, func(x, y float64) float64 { return x + y }, a, b); !eqBits(f, got, want) {
+					t.Fatalf("%v: Add(%#x,%#x)=%#x ref %#x", f, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+				if got, want := f.Sub(a, b), refBinary(f, func(x, y float64) float64 { return x - y }, a, b); !eqBits(f, got, want) {
+					t.Fatalf("%v: Sub(%#x,%#x)=%#x ref %#x", f, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+				if got, want := f.Mul(a, b), refBinary(f, func(x, y float64) float64 { return x * y }, a, b); !eqBits(f, got, want) {
+					t.Fatalf("%v: Mul(%#x,%#x)=%#x ref %#x", f, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+				if got, want := f.Div(a, b), refBinary(f, func(x, y float64) float64 { return x / y }, a, b); !eqBits(f, got, want) {
+					t.Fatalf("%v: Div(%#x,%#x)=%#x ref %#x", f, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+			}
+		}
+	}
+}
+
+func TestSpecialSemantics(t *testing.T) {
+	f := minifloat.Float16
+	one := f.One()
+	inf := f.PosInf()
+	if !f.IsNaN(f.Add(inf, f.NegInf())) {
+		t.Error("Inf + -Inf must be NaN")
+	}
+	if !f.IsNaN(f.Mul(f.Zero(), inf)) {
+		t.Error("0 * Inf must be NaN")
+	}
+	if !f.IsNaN(f.Div(f.Zero(), f.Zero())) {
+		t.Error("0/0 must be NaN")
+	}
+	if !f.IsNaN(f.Div(inf, inf)) {
+		t.Error("Inf/Inf must be NaN")
+	}
+	if got := f.Div(one, f.Zero()); got != inf {
+		t.Errorf("1/0 = %#x, want +Inf", uint64(got))
+	}
+	if got := f.Div(f.Neg(one), f.Zero()); got != f.NegInf() {
+		t.Errorf("-1/0 = %#x, want -Inf", uint64(got))
+	}
+	if got := f.Add(one, f.Neg(one)); got != f.Zero() || f.Signbit(got) {
+		t.Errorf("1 + -1 = %#x, want +0", uint64(got))
+	}
+	if got := f.Sqrt(f.NegZero()); got != f.NegZero() {
+		t.Errorf("sqrt(-0) = %#x, want -0", uint64(got))
+	}
+	if !f.IsNaN(f.Sqrt(f.Neg(one))) {
+		t.Error("sqrt(-1) must be NaN")
+	}
+	// Overflow to infinity.
+	if got := f.Mul(f.MaxFinite(), f.FromFloat64(2)); got != inf {
+		t.Errorf("maxfinite*2 = %#x, want +Inf", uint64(got))
+	}
+	// Gradual underflow.
+	tiny := f.MinSubnormal()
+	if got := f.Div(tiny, f.FromFloat64(2)); !f.IsZero(got) {
+		t.Errorf("minsub/2 = %#x, want 0 (ties to even)", uint64(got))
+	}
+	if got := f.Mul(f.MinNormal(), f.FromFloat64(0.5)); !f.IsSubnormal(got) {
+		t.Errorf("minnormal/2 = %#x, want subnormal", uint64(got))
+	}
+}
+
+func TestFormatQueries(t *testing.T) {
+	f := minifloat.Float16
+	if f.Width() != 16 || f.ExpBits() != 5 || f.FracBits() != 10 {
+		t.Error("Float16 field widths wrong")
+	}
+	if f.Emax() != 15 || f.Emin() != -14 {
+		t.Errorf("Float16 emax/emin = %d/%d, want 15/-14", f.Emax(), f.Emin())
+	}
+	if v := f.ToFloat64(f.MinNormal()); v != math.Ldexp(1, -14) {
+		t.Errorf("MinNormal = %g, want 2^-14", v)
+	}
+	if v := f.ToFloat64(f.MinSubnormal()); v != math.Ldexp(1, -24) {
+		t.Errorf("MinSubnormal = %g, want 2^-24", v)
+	}
+	b := minifloat.BFloat16
+	if b.Emax() != 127 || b.Emin() != -126 || b.Width() != 16 {
+		t.Error("BFloat16 parameters wrong")
+	}
+	if _, err := minifloat.New(1, 3); err == nil {
+		t.Error("New(1,3) must fail")
+	}
+	if _, err := minifloat.New(5, 60); err == nil {
+		t.Error("New(5,60) must fail")
+	}
+}

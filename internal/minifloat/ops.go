@@ -1,0 +1,149 @@
+package minifloat
+
+import "positlab/internal/fpcore"
+
+// Add returns the correctly rounded sum a + b with IEEE-754 semantics
+// (round-to-nearest-even; Inf - Inf = NaN; exact cancellation gives +0).
+func (f Format) Add(a, b Bits) Bits {
+	switch {
+	case f.IsNaN(a) || f.IsNaN(b):
+		return f.NaN()
+	case f.IsInf(a) && f.IsInf(b):
+		if f.Signbit(a) != f.Signbit(b) {
+			return f.NaN()
+		}
+		return a
+	case f.IsInf(a):
+		return a
+	case f.IsInf(b):
+		return b
+	case f.IsZero(a) && f.IsZero(b):
+		// (+0)+(−0) = +0 under RNE; (−0)+(−0) = −0.
+		if f.Signbit(a) && f.Signbit(b) {
+			return f.NegZero()
+		}
+		return f.Zero()
+	case f.IsZero(a):
+		return b
+	case f.IsZero(b):
+		return a
+	}
+	sa, sb := f.Signbit(a), f.Signbit(b)
+	ma, mb := f.decode(a), f.decode(b)
+	if sa == sb {
+		m, sticky := fpcore.Add(ma, mb)
+		return f.round(sa, m, sticky)
+	}
+	m, sticky, zero, swapped := fpcore.Sub(ma, mb)
+	if zero {
+		return f.Zero() // exact cancellation is +0 under RNE
+	}
+	sign := sa
+	if swapped {
+		sign = sb
+	}
+	return f.round(sign, m, sticky)
+}
+
+// Sub returns the correctly rounded difference a - b.
+func (f Format) Sub(a, b Bits) Bits {
+	if f.IsNaN(b) {
+		return f.NaN()
+	}
+	return f.Add(a, f.Neg(b))
+}
+
+// Mul returns the correctly rounded product a * b (0 * Inf = NaN).
+func (f Format) Mul(a, b Bits) Bits {
+	sign := f.Signbit(a) != f.Signbit(b)
+	switch {
+	case f.IsNaN(a) || f.IsNaN(b):
+		return f.NaN()
+	case f.IsInf(a) || f.IsInf(b):
+		if f.IsZero(a) || f.IsZero(b) {
+			return f.NaN()
+		}
+		return f.signed(f.PosInf(), sign)
+	case f.IsZero(a) || f.IsZero(b):
+		return f.signedZero(sign)
+	}
+	m, sticky := fpcore.Mul(f.decode(a), f.decode(b))
+	return f.round(sign, m, sticky)
+}
+
+// Div returns the correctly rounded quotient a / b (x/0 = ±Inf,
+// 0/0 = Inf/Inf = NaN).
+func (f Format) Div(a, b Bits) Bits {
+	sign := f.Signbit(a) != f.Signbit(b)
+	switch {
+	case f.IsNaN(a) || f.IsNaN(b):
+		return f.NaN()
+	case f.IsInf(a):
+		if f.IsInf(b) {
+			return f.NaN()
+		}
+		return f.signed(f.PosInf(), sign)
+	case f.IsInf(b):
+		return f.signedZero(sign)
+	case f.IsZero(b):
+		if f.IsZero(a) {
+			return f.NaN()
+		}
+		return f.signed(f.PosInf(), sign)
+	case f.IsZero(a):
+		return f.signedZero(sign)
+	}
+	m, sticky := fpcore.Div(f.decode(a), f.decode(b))
+	return f.round(sign, m, sticky)
+}
+
+// Sqrt returns the correctly rounded square root (sqrt(-0) = -0,
+// sqrt of negative = NaN).
+func (f Format) Sqrt(a Bits) Bits {
+	switch {
+	case f.IsNaN(a):
+		return f.NaN()
+	case f.IsZero(a):
+		return a
+	case f.Signbit(a):
+		return f.NaN()
+	case f.IsInf(a):
+		return f.PosInf()
+	}
+	m, sticky := fpcore.Sqrt(f.decode(a))
+	return f.round(false, m, sticky)
+}
+
+// Cmp compares two finite-or-infinite values by value: -1, 0, +1. Any
+// NaN operand returns 2 (unordered).
+func (f Format) Cmp(a, b Bits) int {
+	if f.IsNaN(a) || f.IsNaN(b) {
+		return 2
+	}
+	va, vb := f.ToFloat64(a), f.ToFloat64(b)
+	switch {
+	case va < vb:
+		return -1
+	case va > vb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports a < b (false on NaN, IEEE ordered-compare semantics).
+func (f Format) Less(a, b Bits) bool { return f.Cmp(a, b) == -1 }
+
+func (f Format) signed(p Bits, neg bool) Bits {
+	if neg {
+		return p | Bits(f.signMask())
+	}
+	return p
+}
+
+func (f Format) signedZero(neg bool) Bits {
+	if neg {
+		return f.NegZero()
+	}
+	return f.Zero()
+}

@@ -1,0 +1,35 @@
+package minifloat
+
+import "math"
+
+// DecimalDigitsAt reports the worst-case decimal digits of accuracy
+// when representing magnitudes near |x| in this format: -log10 of the
+// maximum relative rounding error (half the local gap). Out-of-range
+// magnitudes report 0 digits (they overflow to Inf or flush toward
+// zero). This backs the Fig. 3 comparison curves alongside the posit
+// equivalent.
+func (f Format) DecimalDigitsAt(x float64) float64 {
+	x = math.Abs(x)
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	p := f.FromFloat64(x)
+	if f.IsInf(p) || f.IsZero(p) {
+		return 0
+	}
+	// Local gap from the pattern to its successor (positive patterns
+	// order by value).
+	lo := f.ToFloat64(p)
+	next := Bits(uint64(p) + 1)
+	if f.IsInf(next) || f.IsNaN(next) {
+		p = Bits(uint64(p) - 1)
+		lo = f.ToFloat64(p)
+		next = Bits(uint64(p) + 1)
+	}
+	hi := f.ToFloat64(next)
+	relErr := (hi - lo) / 2 / x
+	if relErr <= 0 {
+		return 0
+	}
+	return -math.Log10(relErr)
+}

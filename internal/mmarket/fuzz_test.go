@@ -1,0 +1,46 @@
+package mmarket_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"positlab/internal/mmarket"
+)
+
+// FuzzRead: the parser must never panic and must round-trip whatever
+// it accepts.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.5\n2 1 -0.25\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% c\n1 1 1\n1 1 2e-3\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n3 1 1e400\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, h, err := mmarket.Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if s.N != h.Rows {
+			t.Fatalf("accepted matrix with N %d != header %d", s.N, h.Rows)
+		}
+		// Whatever was accepted must survive a write/read cycle with
+		// identical entries.
+		var buf bytes.Buffer
+		if err := mmarket.Write(&buf, s, false, nil); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, _, err := mmarket.Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v\ninput: %q", err, input)
+		}
+		if back.NNZ() != s.NNZ() {
+			t.Fatalf("round-trip NNZ %d != %d", back.NNZ(), s.NNZ())
+		}
+		for i := range s.Val {
+			if !(back.Val[i] == s.Val[i]) && !(back.Val[i] != back.Val[i] && s.Val[i] != s.Val[i]) {
+				t.Fatalf("round-trip value %v != %v", back.Val[i], s.Val[i])
+			}
+		}
+	})
+}

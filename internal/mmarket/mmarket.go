@@ -1,0 +1,182 @@
+// Package mmarket reads and writes the NIST MatrixMarket exchange
+// format (coordinate, real, general/symmetric), the distribution format
+// of the paper's test matrices. The synthetic replica suite is emitted
+// as genuine .mtx files and re-read through this parser, so experiments
+// exercise the same I/O path the paper's pipeline did.
+package mmarket
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"positlab/internal/linalg"
+)
+
+// Header carries the banner and size line of a MatrixMarket file.
+type Header struct {
+	Object   string // "matrix"
+	Format   string // "coordinate"
+	Field    string // "real" | "integer"
+	Symmetry string // "general" | "symmetric"
+	Comments []string
+	Rows     int
+	Cols     int
+	NNZ      int // stored entries (lower triangle only for symmetric)
+}
+
+// Read parses a coordinate real/integer matrix. Symmetric storage is
+// expanded to both triangles in the returned Sparse.
+func Read(r io.Reader) (*linalg.Sparse, *Header, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("mmarket: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" {
+		return nil, nil, fmt.Errorf("mmarket: missing %%%%MatrixMarket banner")
+	}
+	h := &Header{Object: banner[1], Format: banner[2], Field: banner[3], Symmetry: banner[4]}
+	if h.Object != "matrix" {
+		return nil, nil, fmt.Errorf("mmarket: unsupported object %q", h.Object)
+	}
+	if h.Format != "coordinate" {
+		return nil, nil, fmt.Errorf("mmarket: unsupported format %q (only coordinate)", h.Format)
+	}
+	if h.Field != "real" && h.Field != "integer" {
+		return nil, nil, fmt.Errorf("mmarket: unsupported field %q", h.Field)
+	}
+	if h.Symmetry != "general" && h.Symmetry != "symmetric" {
+		return nil, nil, fmt.Errorf("mmarket: unsupported symmetry %q", h.Symmetry)
+	}
+
+	// Comments, then the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			h.Comments = append(h.Comments, strings.TrimPrefix(line, "%"))
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, nil, fmt.Errorf("mmarket: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+	if len(dims) != 3 {
+		return nil, nil, fmt.Errorf("mmarket: malformed size line %q", sizeLine)
+	}
+	var err error
+	if h.Rows, err = strconv.Atoi(dims[0]); err != nil {
+		return nil, nil, fmt.Errorf("mmarket: bad row count: %v", err)
+	}
+	if h.Cols, err = strconv.Atoi(dims[1]); err != nil {
+		return nil, nil, fmt.Errorf("mmarket: bad column count: %v", err)
+	}
+	if h.NNZ, err = strconv.Atoi(dims[2]); err != nil {
+		return nil, nil, fmt.Errorf("mmarket: bad nnz count: %v", err)
+	}
+	if h.Rows != h.Cols {
+		return nil, nil, fmt.Errorf("mmarket: matrix is %dx%d; only square matrices supported", h.Rows, h.Cols)
+	}
+
+	entries := make([]linalg.Entry, 0, h.NNZ)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("mmarket: malformed entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmarket: bad row index %q: %v", fields[0], err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmarket: bad column index %q: %v", fields[1], err)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmarket: bad value %q: %v", fields[2], err)
+		}
+		if i < 1 || i > h.Rows || j < 1 || j > h.Cols {
+			return nil, nil, fmt.Errorf("mmarket: entry (%d,%d) outside %dx%d", i, j, h.Rows, h.Cols)
+		}
+		entries = append(entries, linalg.Entry{Row: i - 1, Col: j - 1, Val: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(entries) != h.NNZ {
+		return nil, nil, fmt.Errorf("mmarket: size line promises %d entries, found %d", h.NNZ, len(entries))
+	}
+	s, err := linalg.NewSparseFromEntries(h.Rows, entries, h.Symmetry == "symmetric")
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, h, nil
+}
+
+// ReadFile reads a .mtx file from disk.
+func ReadFile(path string) (*linalg.Sparse, *Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits a coordinate real matrix. When symmetric is true only the
+// lower triangle is stored (the caller asserts numerical symmetry).
+// Values print with enough digits to round-trip float64 exactly.
+func Write(w io.Writer, s *linalg.Sparse, symmetric bool, comments []string) error {
+	bw := bufio.NewWriter(w)
+	sym := "general"
+	if symmetric {
+		sym = "symmetric"
+	}
+	fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real %s\n", sym)
+	for _, c := range comments {
+		fmt.Fprintf(bw, "%% %s\n", c)
+	}
+	entries := s.Entries()
+	kept := entries[:0]
+	for _, e := range entries {
+		if symmetric && e.Col > e.Row {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	fmt.Fprintf(bw, "%d %d %d\n", s.N, s.N, len(kept))
+	for _, e := range kept {
+		fmt.Fprintf(bw, "%d %d %s\n", e.Row+1, e.Col+1, strconv.FormatFloat(e.Val, 'g', 17, 64))
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a .mtx file to disk.
+func WriteFile(path string, s *linalg.Sparse, symmetric bool, comments []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, s, symmetric, comments); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,143 @@
+package mmarket_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"positlab/internal/linalg"
+	"positlab/internal/mmarket"
+)
+
+func sample() *linalg.Sparse {
+	s, err := linalg.NewSparseFromEntries(3, []linalg.Entry{
+		{Row: 0, Col: 0, Val: 4}, {Row: 1, Col: 1, Val: 5.5}, {Row: 2, Col: 2, Val: math.Pi},
+		{Row: 1, Col: 0, Val: -1.25}, {Row: 2, Col: 1, Val: 1e-17},
+	}, true)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestRoundTripSymmetric(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := mmarket.Write(&buf, s, true, []string{"test matrix", "generated"}); err != nil {
+		t.Fatal(err)
+	}
+	got, h, err := mmarket.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Symmetry != "symmetric" || h.Rows != 3 || h.NNZ != 5 {
+		t.Fatalf("header = %+v", h)
+	}
+	if len(h.Comments) != 2 || !strings.Contains(h.Comments[0], "test matrix") {
+		t.Fatalf("comments = %v", h.Comments)
+	}
+	if got.NNZ() != s.NNZ() {
+		t.Fatalf("nnz: got %d want %d", got.NNZ(), s.NNZ())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != s.At(i, j) {
+				t.Fatalf("entry (%d,%d): got %g want %g (must round-trip bit-exactly)", i, j, got.At(i, j), s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRoundTripGeneral(t *testing.T) {
+	s, _ := linalg.NewSparseFromEntries(2, []linalg.Entry{
+		{Row: 0, Col: 1, Val: 2.5}, {Row: 1, Col: 0, Val: -3},
+	}, false)
+	var buf bytes.Buffer
+	if err := mmarket.Write(&buf, s, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, h, err := mmarket.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Symmetry != "general" {
+		t.Fatalf("symmetry = %s", h.Symmetry)
+	}
+	if got.At(0, 1) != 2.5 || got.At(1, 0) != -3 || got.At(0, 0) != 0 {
+		t.Fatal("general round-trip failed")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	s := sample()
+	if err := mmarket.WriteFile(path, s, true, []string{"file test"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := mmarket.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 0) != -1.25 {
+		t.Fatal("file round-trip failed")
+	}
+}
+
+func TestReadRealWorldFormat(t *testing.T) {
+	// A fragment in the exact style of a Matrix Market download,
+	// with 1-based indices and exponent notation.
+	input := `%%MatrixMarket matrix coordinate real symmetric
+% Harwell-Boeing style comment
+%   more comment
+3 3 4
+1 1 1.0e+00
+2 1 -2.5e-01
+2 2 2.0e+00
+3 3 4.0e+00
+`
+	s, h, err := mmarket.Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NNZ != 4 || s.NNZ() != 5 { // symmetric expansion adds (1,2)
+		t.Fatalf("nnz: header %d stored %d", h.NNZ, s.NNZ())
+	}
+	if s.At(0, 1) != -0.25 || s.At(1, 0) != -0.25 {
+		t.Fatal("symmetric expansion failed")
+	}
+}
+
+func TestReadIntegerField(t *testing.T) {
+	input := "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 2 -4\n"
+	s, _, err := mmarket.Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 0) != 3 || s.At(1, 1) != -4 {
+		t.Fatal("integer field read failed")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no banner":      "1 1 1\n1 1 2.0\n",
+		"bad object":     "%%MatrixMarket vector coordinate real general\n1 1 1\n",
+		"bad format":     "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"bad field":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2 3\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 2.0\n",
+		"nonsquare":      "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 2.0\n",
+		"missing size":   "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+		"malformed size": "%%MatrixMarket matrix coordinate real general\n2 2\n",
+		"bad entry":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 2.0\n",
+		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 2.0\n",
+		"count mismatch": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 2.0\n",
+	}
+	for name, input := range cases {
+		if _, _, err := mmarket.Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package posit_test
+
+import (
+	"testing"
+
+	"positlab/internal/posit"
+)
+
+// Operand streams exercise varied magnitudes so the benchmarks reflect
+// real decode/round distributions rather than one hot path.
+func operands(c posit.Config, n int) []posit.Bits {
+	out := make([]posit.Bits, n)
+	x := uint64(0x243F6A8885A308D3)
+	mask := uint64(1)<<uint(c.N()) - 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p := posit.Bits(x & mask)
+		if c.IsNaR(p) {
+			p = c.One()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func benchBinary(b *testing.B, c posit.Config, op func(a, x posit.Bits) posit.Bits) {
+	ops := operands(c, 256)
+	var sink posit.Bits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = op(ops[i&255], ops[(i+7)&255])
+	}
+	sinkBits = sink
+}
+
+var sinkBits posit.Bits
+
+func BenchmarkAdd16(b *testing.B) { benchBinary(b, posit.Posit16e2, posit.Posit16e2.Add) }
+func BenchmarkAdd32(b *testing.B) { benchBinary(b, posit.Posit32e2, posit.Posit32e2.Add) }
+func BenchmarkMul16(b *testing.B) { benchBinary(b, posit.Posit16e2, posit.Posit16e2.Mul) }
+func BenchmarkMul32(b *testing.B) { benchBinary(b, posit.Posit32e2, posit.Posit32e2.Mul) }
+func BenchmarkDiv32(b *testing.B) { benchBinary(b, posit.Posit32e2, posit.Posit32e2.Div) }
+
+func BenchmarkSqrt32(b *testing.B) {
+	c := posit.Posit32e2
+	ops := operands(c, 256)
+	for i := range ops {
+		ops[i] = c.Abs(ops[i])
+	}
+	var sink posit.Bits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.Sqrt(ops[i&255])
+	}
+	sinkBits = sink
+}
+
+func BenchmarkFMA32(b *testing.B) {
+	c := posit.Posit32e2
+	ops := operands(c, 256)
+	var sink posit.Bits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.FMA(ops[i&255], ops[(i+5)&255], ops[(i+11)&255])
+	}
+	sinkBits = sink
+}
+
+func BenchmarkToFloat64(b *testing.B) {
+	c := posit.Posit32e2
+	ops := operands(c, 256)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.ToFloat64(ops[i&255])
+	}
+	sinkF = sink
+}
+
+var sinkF float64
+
+func BenchmarkFromFloat64(b *testing.B) {
+	c := posit.Posit32e2
+	vals := make([]float64, 256)
+	for i, p := range operands(c, 256) {
+		vals[i] = c.ToFloat64(p)
+	}
+	var sink posit.Bits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.FromFloat64(vals[i&255])
+	}
+	sinkBits = sink
+}
+
+func BenchmarkQuireAddProduct(b *testing.B) {
+	c := posit.Posit32e2
+	q := c.NewQuire()
+	ops := operands(c, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.AddProduct(ops[i&255], ops[(i+3)&255])
+	}
+	if q.IsNaR() {
+		b.Fatal("unexpected NaR")
+	}
+}

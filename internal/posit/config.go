@@ -1,0 +1,169 @@
+// Package posit implements posit arithmetic as described by Gustafson and
+// Yonemoto ("Beating floating point at its own game", 2017) and used in
+// Buoncristiani et al., "Evaluating the Numerical Stability of Posit
+// Arithmetic" (2020).
+//
+// A posit format is parameterized by its total width n (2..32 bits here)
+// and the exponent field size es (0..4). Values are stored as bit
+// patterns in the low n bits of a uint64 (type Bits). All arithmetic is
+// correctly rounded: operations compute the exact significand with
+// integer arithmetic and round exactly once, using round-to-nearest-even
+// in bit-pattern space (the SoftPosit / posit-standard convention, where
+// real results never round to zero or NaR but clamp to minpos/maxpos).
+//
+// The package deliberately performs no deferred rounding: following the
+// paper's methodology, every operation rounds. An exact quire
+// accumulator is provided separately (see Quire) for ablation studies.
+package posit
+
+import (
+	"fmt"
+)
+
+// MaxBits is the largest supported posit width. The uint64 significand
+// pipeline guarantees correct rounding for widths up to 32 bits with
+// room to spare; the paper only needs 8-, 16- and 32-bit formats.
+const MaxBits = 32
+
+// MaxES is the largest supported exponent field size. USEED for es=4 is
+// 2^16, giving posit(32,4) a scale range of ±496, well inside the exact
+// integer pipeline.
+const MaxES = 4
+
+// Config identifies a posit format by total width and exponent size.
+// The zero Config is invalid; construct with New or MustNew.
+type Config struct {
+	n  uint8
+	es uint8
+}
+
+// New validates and returns a posit format configuration.
+func New(n, es int) (Config, error) {
+	if n < 2 || n > MaxBits {
+		return Config{}, fmt.Errorf("posit: width %d out of range [2,%d]", n, MaxBits)
+	}
+	if es < 0 || es > MaxES {
+		return Config{}, fmt.Errorf("posit: es %d out of range [0,%d]", es, MaxES)
+	}
+	return Config{n: uint8(n), es: uint8(es)}, nil
+}
+
+// MustNew is New that panics on invalid parameters. Use for the
+// standard compile-time-known formats.
+func MustNew(n, es int) Config {
+	c, err := New(n, es)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Standard format configurations used throughout the paper.
+var (
+	Posit8e0  = MustNew(8, 0)
+	Posit8e1  = MustNew(8, 1)
+	Posit8e2  = MustNew(8, 2)
+	Posit16e1 = MustNew(16, 1)
+	Posit16e2 = MustNew(16, 2)
+	Posit32e2 = MustNew(32, 2)
+	Posit32e3 = MustNew(32, 3)
+)
+
+// Bits is an n-bit posit pattern stored LSB-aligned in a uint64. The
+// bits above position n-1 are always zero in canonical patterns.
+type Bits uint64
+
+// N returns the total width in bits.
+func (c Config) N() int { return int(c.n) }
+
+// ES returns the exponent field size in bits.
+func (c Config) ES() int { return int(c.es) }
+
+// USEED returns 2^(2^es), the regime radix (equation 3 of the paper).
+func (c Config) USEED() uint64 { return 1 << (1 << c.es) }
+
+// String renders the format in the paper's Posit(n, es) notation.
+func (c Config) String() string { return fmt.Sprintf("Posit(%d,%d)", c.n, c.es) }
+
+// Valid reports whether c was produced by New/MustNew.
+func (c Config) Valid() bool {
+	return c.n >= 2 && c.n <= MaxBits && c.es <= MaxES
+}
+
+// mask returns the n-bit pattern mask.
+func (c Config) mask() uint64 { return (uint64(1) << c.n) - 1 }
+
+// signBit returns the bit pattern of the sign bit.
+func (c Config) signBit() uint64 { return uint64(1) << (c.n - 1) }
+
+// body returns n-1, the number of bits after the sign bit.
+func (c Config) bodyBits() uint { return uint(c.n) - 1 }
+
+// Zero returns the pattern of posit zero (all bits clear).
+func (c Config) Zero() Bits { return 0 }
+
+// NaR returns Not-a-Real: sign bit set, all other bits clear. NaR is
+// the posit equivalent of both IEEE infinity and NaN.
+func (c Config) NaR() Bits { return Bits(c.signBit()) }
+
+// MaxPos returns the largest positive posit pattern (0111...1).
+func (c Config) MaxPos() Bits { return Bits(c.signBit() - 1) }
+
+// MinPos returns the smallest positive posit pattern (000...01).
+func (c Config) MinPos() Bits { return 1 }
+
+// MaxScale returns the base-2 scale of MaxPos: (n-2) * 2^es.
+func (c Config) MaxScale() int { return int(c.n-2) * (1 << c.es) }
+
+// MinScale returns the base-2 scale of MinPos: -(n-2) * 2^es.
+func (c Config) MinScale() int { return -c.MaxScale() }
+
+// IsZero reports whether p is posit zero.
+func (c Config) IsZero(p Bits) bool { return p == 0 }
+
+// IsNaR reports whether p is Not-a-Real.
+func (c Config) IsNaR(p Bits) bool { return uint64(p) == c.signBit() }
+
+// Signbit reports whether p is negative (sign bit set). NaR reports true.
+func (c Config) Signbit(p Bits) bool { return uint64(p)&c.signBit() != 0 }
+
+// Canonical reports whether the pattern has no stray bits above n-1.
+func (c Config) Canonical(p Bits) bool { return uint64(p)&^c.mask() == 0 }
+
+// Neg negates a posit: two's complement on n bits. Neg(0)=0 and
+// Neg(NaR)=NaR fall out of the arithmetic.
+func (c Config) Neg(p Bits) Bits {
+	return Bits((-uint64(p)) & c.mask())
+}
+
+// Abs returns the absolute value of p. Abs(NaR) = NaR.
+func (c Config) Abs(p Bits) Bits {
+	if c.IsNaR(p) || !c.Signbit(p) {
+		return p
+	}
+	return c.Neg(p)
+}
+
+// signExtend reinterprets the n-bit pattern as a signed integer, the
+// total order on posits (with NaR smallest).
+func (c Config) signExtend(p Bits) int64 {
+	shift := 64 - uint(c.n)
+	return int64(uint64(p)<<shift) >> shift
+}
+
+// Cmp compares two posits in the standard posit total order:
+// NaR < all reals, then by value. It returns -1, 0 or +1.
+func (c Config) Cmp(a, b Bits) int {
+	ia, ib := c.signExtend(a), c.signExtend(b)
+	switch {
+	case ia < ib:
+		return -1
+	case ia > ib:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports a < b in the posit total order.
+func (c Config) Less(a, b Bits) bool { return c.Cmp(a, b) < 0 }

@@ -1,0 +1,58 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FromFloat64 converts a float64 to the nearest posit. NaN and both
+// infinities map to NaR (posits have no infinities; NaR is the sole
+// exceptional value). Conversion of finite values is correctly rounded:
+// a float64 significand is exact in the 1.63 pipeline.
+func (c Config) FromFloat64(x float64) Bits {
+	if x == 0 {
+		return c.Zero()
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return c.NaR()
+	}
+	sign := math.Signbit(x)
+	frac, exp := math.Frexp(math.Abs(x)) // frac in [0.5, 1)
+	// frac * 2^53 is an integer for every finite float64, including
+	// subnormals (Frexp renormalizes them).
+	m := uint64(math.Ldexp(frac, 53)) // in [2^52, 2^53)
+	return c.round(sign, exp-1, m<<11, false)
+}
+
+// FromInt converts an integer to the nearest posit.
+func (c Config) FromInt(v int64) Bits {
+	if v == 0 {
+		return c.Zero()
+	}
+	sign := v < 0
+	var mag uint64
+	if sign {
+		mag = uint64(-v)
+	} else {
+		mag = uint64(v)
+	}
+	scale := 63 - bits.LeadingZeros64(mag)
+	return c.round(sign, scale, mag<<uint(63-scale), false)
+}
+
+// One returns the posit pattern for 1 (0b01000...).
+func (c Config) One() Bits { return Bits(uint64(1) << (c.n - 2)) }
+
+// FromParts builds a posit from an explicit sign, base-2 scale and 1.63
+// significand with a sticky bit, rounding to nearest. It is the hook
+// used by the extended-precision conversion in internal/bigfp.
+func (c Config) FromParts(sign bool, scale int, sig uint64, sticky bool) Bits {
+	if sig == 0 {
+		return c.Zero()
+	}
+	for sig&(1<<63) == 0 {
+		sig <<= 1
+		scale--
+	}
+	return c.round(sign, scale, sig, sticky)
+}

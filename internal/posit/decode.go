@@ -1,0 +1,159 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+)
+
+// unpacked is the exact interior representation of a finite nonzero
+// posit: value = (-1)^sign * (sig / 2^63) * 2^scale with sig in
+// [2^63, 2^64), i.e. a 1.63 fixed-point significand whose top bit is
+// the implicit one. Decoding a canonical pattern is always exact.
+type unpacked struct {
+	sign  bool
+	scale int
+	sig   uint64
+}
+
+// decode unpacks a canonical nonzero non-NaR pattern. Callers must
+// filter zero and NaR first.
+func (c Config) decode(p Bits) unpacked {
+	u := uint64(p)
+	var neg bool
+	if u&c.signBit() != 0 {
+		neg = true
+		u = (-u) & c.mask()
+	}
+	body := c.bodyBits() // n-1 bits after the sign
+	// Left-align the body at bit 63 so the regime starts at the MSB.
+	v := u << (64 - body)
+
+	var k int
+	var used uint // regime bits consumed, including terminator
+	if v&(1<<63) != 0 {
+		run := uint(bits.LeadingZeros64(^v))
+		// A run of ones cannot extend past the body: the padding
+		// below the body is zero, which terminates it.
+		k = int(run) - 1
+		used = run + 1
+		if run >= body { // regime fills the body, no terminator
+			used = body
+			k = int(body) - 1
+		}
+	} else {
+		run := uint(bits.LeadingZeros64(v))
+		if run >= body { // all zeros would be 0/NaR, filtered above
+			run = body
+			used = body
+		} else {
+			used = run + 1
+		}
+		k = -int(run)
+	}
+
+	es := uint(c.es)
+	rem := uint(0)
+	if used < body {
+		rem = body - used
+	}
+	// Exponent: up to es bits; missing low bits are implicitly zero.
+	var e uint64
+	if es > 0 {
+		eb := es
+		if rem < eb {
+			eb = rem
+		}
+		if eb > 0 {
+			e = (v << used) >> (64 - eb) << (es - eb)
+		}
+		if rem > es {
+			rem -= es
+		} else {
+			rem = 0
+		}
+	}
+	// Fraction: remaining rem bits, placed just below the implicit one.
+	sig := uint64(1) << 63
+	if rem > 0 {
+		frac := (v << (used + es)) >> (64 - rem)
+		sig |= frac << (63 - rem)
+	}
+	return unpacked{
+		sign:  neg,
+		scale: k*(1<<c.es) + int(e),
+		sig:   sig,
+	}
+}
+
+// Parts returns the interpreted fields of a finite nonzero posit:
+// sign, regime value k, exponent e, and the fraction as a numerator
+// over 2^63 (the significand below the implicit one). It is intended
+// for inspection tools; arithmetic uses the unpacked form directly.
+func (c Config) Parts(p Bits) (sign bool, k int, e int, frac uint64, ok bool) {
+	if c.IsZero(p) || c.IsNaR(p) {
+		return false, 0, 0, 0, false
+	}
+	u := c.decode(p)
+	pow := 1 << c.es
+	k = floorDiv(u.scale, pow)
+	e = u.scale - k*pow
+	return u.sign, k, e, u.sig << 1, true
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// ToFloat64 converts a posit to float64. The conversion is exact for
+// every supported format (at most 31 significand bits and |scale| <=
+// 496, both well within float64). NaR converts to NaN.
+func (c Config) ToFloat64(p Bits) float64 {
+	if c.IsZero(p) {
+		return 0
+	}
+	if c.IsNaR(p) {
+		return math.NaN()
+	}
+	u := c.decode(p)
+	f := math.Ldexp(float64(u.sig), u.scale-63)
+	if u.sign {
+		f = -f
+	}
+	return f
+}
+
+// FracBits returns the number of explicit fraction bits in the encoding
+// of p (0 for zero and NaR). This is the quantity histogrammed in
+// Fig. 5 of the paper, where the posit advantage over Float32 is
+// FracBits - 23.
+func (c Config) FracBits(p Bits) int {
+	if c.IsZero(p) || c.IsNaR(p) {
+		return 0
+	}
+	u := c.decode(p)
+	return c.FracBitsAtScale(u.scale)
+}
+
+// FracBitsAtScale returns how many fraction bits the format offers for
+// a value of the given base-2 scale, i.e. n-1 minus regime and exponent
+// field widths, clamped to [0, n-1-es].
+func (c Config) FracBitsAtScale(scale int) int {
+	pow := 1 << c.es
+	k := floorDiv(scale, pow)
+	var rlen int
+	if k >= 0 {
+		rlen = k + 2
+	} else {
+		rlen = -k + 1
+	}
+	fb := int(c.bodyBits()) - rlen - int(c.es)
+	if fb < 0 {
+		fb = 0
+	}
+	return fb
+}

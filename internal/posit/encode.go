@@ -1,0 +1,83 @@
+package posit
+
+// round encodes an exact or truncated unpacked value into the nearest
+// posit pattern. sig must have bit 63 set (1.63 normalized); sticky
+// records whether any nonzero value bits lie below sig. Rounding is
+// round-to-nearest-even on the bit pattern, the posit-standard rule:
+// real values never round to zero or NaR; magnitudes beyond the posit
+// range clamp to MinPos/MaxPos.
+func (c Config) round(sign bool, scale int, sig uint64, sticky bool) Bits {
+	body := c.bodyBits()
+	es := uint(c.es)
+	pow := 1 << c.es
+
+	k := floorDiv(scale, pow)
+	e := uint64(scale - k*pow) // 0 <= e < 2^es
+
+	// Regime saturation: |value| beyond the representable scale range
+	// clamps without rounding (the standard forbids rounding to NaR or
+	// to zero). Values with k == ±maxK flow through the general path,
+	// which truncates them onto MaxPos/MinPos correctly.
+	maxK := int(body) - 1
+	if k > maxK {
+		return c.withSign(c.MaxPos(), sign)
+	}
+	if k < -maxK {
+		return c.withSign(c.MinPos(), sign)
+	}
+
+	// Materialize the top 64 bits of the ideal unbounded body string:
+	// [regime][exponent][fraction...], MSB first, plus a sticky for
+	// everything that falls off the end.
+	var hi uint64
+	var rlen uint
+	if k >= 0 {
+		rlen = uint(k) + 2
+		hi = ^uint64(0) << (64 - (rlen - 1)) // k+1 ones, then a zero
+	} else {
+		rlen = uint(-k) + 1
+		hi = uint64(1) << (64 - rlen) // -k zeros, then a one
+	}
+	// rlen <= body <= 31 and es <= 4, so the exponent always fits.
+	if es > 0 {
+		hi |= e << (64 - rlen - es)
+	}
+	fracTop := sig << 1 // fraction bits left-aligned at bit 63
+	shift := rlen + es
+	if shift < 64 {
+		hi |= fracTop >> shift
+		if shift > 0 && fracTop<<(64-shift) != 0 {
+			sticky = true
+		}
+	} else if fracTop != 0 {
+		sticky = true
+	}
+
+	// Keep the top n-1 bits; round-to-nearest-even on the pattern.
+	pat := hi >> (64 - body)
+	roundBit := (hi >> (63 - body)) & 1
+	if hi<<(body+1) != 0 {
+		sticky = true
+	}
+	if roundBit == 1 && (sticky || pat&1 == 1) {
+		pat++
+	}
+
+	switch {
+	case pat == 0:
+		// A nonzero real never rounds to zero.
+		pat = 1
+	case pat >= uint64(1)<<body:
+		// A real never rounds to NaR; clamp to MaxPos.
+		pat = uint64(1)<<body - 1
+	}
+	return c.withSign(Bits(pat), sign)
+}
+
+// withSign applies a sign to a nonnegative magnitude pattern.
+func (c Config) withSign(p Bits, neg bool) Bits {
+	if neg {
+		return c.Neg(p)
+	}
+	return p
+}

@@ -1,0 +1,151 @@
+package posit
+
+import "math/bits"
+
+// FMA returns the fused multiply-add a*b + d with a single rounding.
+// The paper's headline experiments round after every operation, so the
+// solvers do not use FMA; it is provided for completeness and for the
+// deferred-rounding ablation alongside the quire.
+func (c Config) FMA(a, b, d Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) || c.IsNaR(d) {
+		return c.NaR()
+	}
+	if c.IsZero(a) || c.IsZero(b) {
+		return d
+	}
+	if c.IsZero(d) {
+		return c.Mul(a, b)
+	}
+	ua, ub, ud := c.decode(a), c.decode(b), c.decode(d)
+
+	// Exact product as a 192-bit significand (top bit 191 set after
+	// normalization), value = P / 2^191 * 2^pscale.
+	phi, plo := bits.Mul64(ua.sig, ub.sig) // in [2^126, 2^128)
+	pscale := ua.scale + ub.scale
+	var p [3]uint64 // little-endian words: p[2] most significant
+	if phi&(1<<63) != 0 {
+		p = [3]uint64{0, plo, phi}
+		pscale++
+	} else {
+		p = [3]uint64{0, plo << 1, phi<<1 | plo>>63}
+	}
+	psign := ua.sign != ub.sign
+
+	// Addend as a 192-bit significand.
+	q := [3]uint64{0, 0, ud.sig}
+	qscale, qsign := ud.scale, ud.sign
+
+	// Order so p has the larger magnitude.
+	if qscale > pscale || (qscale == pscale && cmp192(q, p) > 0) {
+		p, q = q, p
+		pscale, qscale = qscale, pscale
+		psign, qsign = qsign, psign
+	}
+	shift := uint(pscale - qscale)
+	q, lost := shr192(q, shift)
+
+	var r [3]uint64
+	scale := pscale
+	if psign == qsign {
+		var carry uint64
+		r[0], carry = bits.Add64(p[0], q[0], 0)
+		r[1], carry = bits.Add64(p[1], q[1], carry)
+		r[2], carry = bits.Add64(p[2], q[2], carry)
+		if carry != 0 {
+			if r[0]&1 != 0 {
+				lost = true
+			}
+			r = shr192once(r)
+			r[2] |= 1 << 63
+			scale++
+		}
+	} else {
+		if lost {
+			// Borrow one ulp so truncation brackets from below.
+			var carry uint64
+			q[0], carry = bits.Add64(q[0], 1, 0)
+			q[1], carry = bits.Add64(q[1], 0, carry)
+			q[2], _ = bits.Add64(q[2], 0, carry)
+		}
+		var borrow uint64
+		r[0], borrow = bits.Sub64(p[0], q[0], 0)
+		r[1], borrow = bits.Sub64(p[1], q[1], borrow)
+		r[2], _ = bits.Sub64(p[2], q[2], borrow)
+		if r[0] == 0 && r[1] == 0 && r[2] == 0 {
+			return c.Zero()
+		}
+		lz := leadingZeros192(r)
+		if lz > 0 {
+			// Massive cancellation only occurs with shift <= 1,
+			// where every bit was held exactly (lost can only be set
+			// for shift > 64, which forces r[2] >= 2^62).
+			r = shl192(r, uint(lz))
+			scale -= lz
+		}
+	}
+	if r[0] != 0 || r[1] != 0 {
+		lost = true
+	}
+	return c.round(psign, scale, r[2], lost)
+}
+
+func cmp192(a, b [3]uint64) int {
+	for i := 2; i >= 0; i-- {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func shr192(a [3]uint64, d uint) (r [3]uint64, lost bool) {
+	for d >= 64 {
+		if a[0] != 0 {
+			lost = true
+		}
+		a[0], a[1], a[2] = a[1], a[2], 0
+		d -= 64
+	}
+	if d == 0 {
+		return a, lost
+	}
+	if a[0]<<(64-d) != 0 {
+		lost = true
+	}
+	r[0] = a[0]>>d | a[1]<<(64-d)
+	r[1] = a[1]>>d | a[2]<<(64-d)
+	r[2] = a[2] >> d
+	return r, lost
+}
+
+func shr192once(a [3]uint64) [3]uint64 {
+	return [3]uint64{a[0]>>1 | a[1]<<63, a[1]>>1 | a[2]<<63, a[2] >> 1}
+}
+
+func shl192(a [3]uint64, d uint) [3]uint64 {
+	for d >= 64 {
+		a[0], a[1], a[2] = 0, a[0], a[1]
+		d -= 64
+	}
+	if d == 0 {
+		return a
+	}
+	return [3]uint64{
+		a[0] << d,
+		a[1]<<d | a[0]>>(64-d),
+		a[2]<<d | a[1]>>(64-d),
+	}
+}
+
+func leadingZeros192(a [3]uint64) int {
+	if a[2] != 0 {
+		return bits.LeadingZeros64(a[2])
+	}
+	if a[1] != 0 {
+		return 64 + bits.LeadingZeros64(a[1])
+	}
+	return 128 + bits.LeadingZeros64(a[0])
+}

@@ -1,0 +1,84 @@
+package posit_test
+
+import (
+	"testing"
+
+	"positlab/internal/bigfp"
+	"positlab/internal/posit"
+)
+
+// Native fuzz targets: the seed corpus runs under plain `go test`, and
+// `go test -fuzz` explores beyond it. Every target compares the library
+// against the independent big.Float oracle, so any discrepancy the
+// fuzzer can reach is a real bug.
+
+func fuzzConfig(sel byte) posit.Config {
+	cfgs := []posit.Config{
+		posit.Posit8e0, posit.Posit8e1, posit.Posit8e2,
+		posit.Posit16e1, posit.Posit16e2,
+		posit.Posit32e2, posit.Posit32e3,
+		posit.MustNew(5, 1), posit.MustNew(11, 3), posit.MustNew(24, 0),
+	}
+	return cfgs[int(sel)%len(cfgs)]
+}
+
+func FuzzBinaryOpsAgainstOracle(f *testing.F) {
+	f.Add(uint64(0x40), uint64(0x3f), byte(0))
+	f.Add(uint64(0x7fff), uint64(0x0001), byte(4))
+	f.Add(uint64(0x80000000), uint64(0x40000000), byte(5))
+	f.Add(uint64(0xffffffff), uint64(0x1), byte(6))
+	f.Fuzz(func(t *testing.T, a, b uint64, sel byte) {
+		c := fuzzConfig(sel)
+		mask := uint64(1)<<uint(c.N()) - 1
+		pa, pb := posit.Bits(a&mask), posit.Bits(b&mask)
+		if got, want := c.Add(pa, pb), bigfp.AddRef(c, pa, pb); got != want {
+			t.Fatalf("%v: Add(%#x,%#x) = %#x, oracle %#x", c, uint64(pa), uint64(pb), uint64(got), uint64(want))
+		}
+		if got, want := c.Mul(pa, pb), bigfp.MulRef(c, pa, pb); got != want {
+			t.Fatalf("%v: Mul(%#x,%#x) = %#x, oracle %#x", c, uint64(pa), uint64(pb), uint64(got), uint64(want))
+		}
+		if got, want := c.Div(pa, pb), bigfp.DivRef(c, pa, pb); got != want {
+			t.Fatalf("%v: Div(%#x,%#x) = %#x, oracle %#x", c, uint64(pa), uint64(pb), uint64(got), uint64(want))
+		}
+		if got, want := c.Sub(pa, pb), bigfp.SubRef(c, pa, pb); got != want {
+			t.Fatalf("%v: Sub(%#x,%#x) = %#x, oracle %#x", c, uint64(pa), uint64(pb), uint64(got), uint64(want))
+		}
+	})
+}
+
+func FuzzSqrtAgainstOracle(f *testing.F) {
+	f.Add(uint64(0x40), byte(0))
+	f.Add(uint64(0x7fffffff), byte(5))
+	f.Fuzz(func(t *testing.T, a uint64, sel byte) {
+		c := fuzzConfig(sel)
+		pa := posit.Bits(a & (uint64(1)<<uint(c.N()) - 1))
+		if got, want := c.Sqrt(pa), bigfp.SqrtRef(c, pa); got != want {
+			t.Fatalf("%v: Sqrt(%#x) = %#x, oracle %#x", c, uint64(pa), uint64(got), uint64(want))
+		}
+	})
+}
+
+func FuzzFMAAgainstOracle(f *testing.F) {
+	f.Add(uint64(0x40), uint64(0x41), uint64(0xc0), byte(4))
+	f.Fuzz(func(t *testing.T, a, b, d uint64, sel byte) {
+		c := fuzzConfig(sel)
+		mask := uint64(1)<<uint(c.N()) - 1
+		pa, pb, pd := posit.Bits(a&mask), posit.Bits(b&mask), posit.Bits(d&mask)
+		if got, want := c.FMA(pa, pb, pd), bigfp.FMARef(c, pa, pb, pd); got != want {
+			t.Fatalf("%v: FMA(%#x,%#x,%#x) = %#x, oracle %#x",
+				c, uint64(pa), uint64(pb), uint64(pd), uint64(got), uint64(want))
+		}
+	})
+}
+
+func FuzzFromFloat64AgainstOracle(f *testing.F) {
+	f.Add(3.14159, byte(5))
+	f.Add(-1e300, byte(6))
+	f.Add(1e-300, byte(3))
+	f.Fuzz(func(t *testing.T, x float64, sel byte) {
+		c := fuzzConfig(sel)
+		if got, want := c.FromFloat64(x), bigfp.FromFloat64Ref(c, x); got != want {
+			t.Fatalf("%v: FromFloat64(%g) = %#x, oracle %#x", c, x, uint64(got), uint64(want))
+		}
+	})
+}

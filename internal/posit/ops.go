@@ -1,0 +1,92 @@
+package posit
+
+import "positlab/internal/fpcore"
+
+// Arithmetic. Every operation decodes exactly, computes the exact
+// result significand through the shared fpcore 128-bit pipeline (plus a
+// sticky bit for anything beyond), and rounds exactly once via
+// Config.round.
+//
+// NaR propagates through every operation, and division by zero and
+// square roots of negative values produce NaR, per the posit standard.
+
+func (u unpacked) mag() fpcore.Mag {
+	return fpcore.Mag{Scale: u.scale, Sig: u.sig}
+}
+
+// Add returns the correctly rounded sum a + b.
+func (c Config) Add(a, b Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) {
+		return c.NaR()
+	}
+	if c.IsZero(a) {
+		return b
+	}
+	if c.IsZero(b) {
+		return a
+	}
+	ua, ub := c.decode(a), c.decode(b)
+	if ua.sign == ub.sign {
+		m, sticky := fpcore.Add(ua.mag(), ub.mag())
+		return c.round(ua.sign, m.Scale, m.Sig, sticky)
+	}
+	m, sticky, zero, swapped := fpcore.Sub(ua.mag(), ub.mag())
+	if zero {
+		return c.Zero()
+	}
+	sign := ua.sign
+	if swapped {
+		sign = ub.sign
+	}
+	return c.round(sign, m.Scale, m.Sig, sticky)
+}
+
+// Sub returns the correctly rounded difference a - b. Posit negation is
+// exact, so subtraction reduces to addition of the negation.
+func (c Config) Sub(a, b Bits) Bits {
+	return c.Add(a, c.Neg(b))
+}
+
+// Mul returns the correctly rounded product a * b.
+func (c Config) Mul(a, b Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) {
+		return c.NaR()
+	}
+	if c.IsZero(a) || c.IsZero(b) {
+		return c.Zero()
+	}
+	ua, ub := c.decode(a), c.decode(b)
+	m, sticky := fpcore.Mul(ua.mag(), ub.mag())
+	return c.round(ua.sign != ub.sign, m.Scale, m.Sig, sticky)
+}
+
+// Div returns the correctly rounded quotient a / b. Division by zero
+// yields NaR.
+func (c Config) Div(a, b Bits) Bits {
+	if c.IsNaR(a) || c.IsNaR(b) || c.IsZero(b) {
+		return c.NaR()
+	}
+	if c.IsZero(a) {
+		return c.Zero()
+	}
+	ua, ub := c.decode(a), c.decode(b)
+	m, sticky := fpcore.Div(ua.mag(), ub.mag())
+	return c.round(ua.sign != ub.sign, m.Scale, m.Sig, sticky)
+}
+
+// Sqrt returns the correctly rounded square root of a. Square roots of
+// negative values (and of NaR) are NaR; Sqrt(0) = 0.
+func (c Config) Sqrt(a Bits) Bits {
+	if c.IsNaR(a) {
+		return c.NaR()
+	}
+	if c.IsZero(a) {
+		return c.Zero()
+	}
+	if c.Signbit(a) {
+		return c.NaR()
+	}
+	u := c.decode(a)
+	m, sticky := fpcore.Sqrt(u.mag())
+	return c.round(false, m.Scale, m.Sig, sticky)
+}

@@ -1,0 +1,394 @@
+package posit_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/bigfp"
+	"positlab/internal/posit"
+)
+
+// knownValues spot-checks hand-computed encodings from the posit
+// literature (Gustafson & Yonemoto 2017, Table 1 examples and basics).
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		n, es int
+		value float64
+		want  uint64
+	}{
+		// posit(8,0): regime k then frac; 1.5 = 0 10 10000.
+		{8, 0, 1, 0b01000000},
+		{8, 0, 1.5, 0b01010000},
+		{8, 0, 0.5, 0b00100000},
+		{8, 0, 2, 0b01100000},
+		// posit(8,1): scale = 2k + e; 2 = 0 10 1 0000, 4 = 0 110 0 000.
+		{8, 1, 1, 0b01000000},
+		{8, 1, 2, 0b01010000},
+		{8, 1, 4, 0b01100000},
+		{8, 1, 0.25, 0b00100000},
+		// posit(16,1): 1 = 0100...0
+		{16, 1, 1, 0x4000},
+		// posit(32,2): 1 = 0x40000000
+		{32, 2, 1, 0x40000000},
+	}
+	for _, tc := range cases {
+		c := posit.MustNew(tc.n, tc.es)
+		got := c.FromFloat64(tc.value)
+		if uint64(got) != tc.want {
+			t.Errorf("%v FromFloat64(%g) = %#x, want %#x", c, tc.value, uint64(got), tc.want)
+		}
+		back := c.ToFloat64(got)
+		if back != tc.value {
+			t.Errorf("%v ToFloat64(%#x) = %g, want %g", c, tc.want, back, tc.value)
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit16e1, posit.Posit16e2, posit.Posit32e2} {
+		if !c.IsZero(c.FromFloat64(0)) {
+			t.Errorf("%v: 0 must encode to zero pattern", c)
+		}
+		for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if !c.IsNaR(c.FromFloat64(x)) {
+				t.Errorf("%v: %v must encode to NaR", c, x)
+			}
+		}
+		if !math.IsNaN(c.ToFloat64(c.NaR())) {
+			t.Errorf("%v: NaR must decode to NaN", c)
+		}
+		if c.ToFloat64(c.Zero()) != 0 {
+			t.Errorf("%v: zero must decode to 0", c)
+		}
+		one := c.One()
+		if c.ToFloat64(one) != 1 {
+			t.Errorf("%v: One() = %#x decodes to %g, want 1", c, uint64(one), c.ToFloat64(one))
+		}
+		// NaR propagation through every operation.
+		nar := c.NaR()
+		for name, got := range map[string]posit.Bits{
+			"add":     c.Add(nar, one),
+			"sub":     c.Sub(one, nar),
+			"mul":     c.Mul(nar, nar),
+			"div":     c.Div(one, nar),
+			"div0":    c.Div(one, c.Zero()),
+			"sqrt":    c.Sqrt(nar),
+			"sqrtNeg": c.Sqrt(c.Neg(one)),
+			"fma":     c.FMA(nar, one, one),
+		} {
+			if !c.IsNaR(got) {
+				t.Errorf("%v: %s must yield NaR, got %#x", c, name, uint64(got))
+			}
+		}
+		// Zero behaviour.
+		if got := c.Mul(c.Zero(), c.MaxPos()); !c.IsZero(got) {
+			t.Errorf("%v: 0*maxpos = %#x, want 0", c, uint64(got))
+		}
+		if got := c.Div(c.Zero(), one); !c.IsZero(got) {
+			t.Errorf("%v: 0/1 = %#x, want 0", c, uint64(got))
+		}
+		if got := c.Sqrt(c.Zero()); !c.IsZero(got) {
+			t.Errorf("%v: sqrt(0) = %#x, want 0", c, uint64(got))
+		}
+	}
+}
+
+// TestRoundTripAllPatterns: decode→float64→encode is the identity for
+// every pattern of every 8..16-bit format (float64 holds any supported
+// posit exactly).
+func TestRoundTripAllPatterns(t *testing.T) {
+	for _, cfg := range []struct{ n, es int }{
+		{3, 0}, {4, 1}, {5, 2}, {6, 0}, {7, 3},
+		{8, 0}, {8, 1}, {8, 2}, {8, 3},
+		{9, 1}, {10, 2}, {12, 0}, {14, 4},
+		{16, 0}, {16, 1}, {16, 2},
+	} {
+		c := posit.MustNew(cfg.n, cfg.es)
+		limit := uint64(1) << uint(cfg.n)
+		for pat := uint64(0); pat < limit; pat++ {
+			p := posit.Bits(pat)
+			f := c.ToFloat64(p)
+			if c.IsNaR(p) {
+				if !math.IsNaN(f) {
+					t.Fatalf("%v: NaR decoded to %g", c, f)
+				}
+				continue
+			}
+			back := c.FromFloat64(f)
+			if back != p {
+				t.Fatalf("%v: pattern %#x -> %g -> %#x (round-trip failed)", c, pat, f, uint64(back))
+			}
+		}
+	}
+}
+
+// TestDecodeAgainstOracle: the library's ToFloat64 must agree exactly
+// with the independent field-by-field big.Float reconstruction.
+func TestDecodeAgainstOracle(t *testing.T) {
+	for _, cfg := range []struct{ n, es int }{
+		{8, 0}, {8, 1}, {8, 2}, {16, 1}, {16, 2}, {12, 3},
+	} {
+		c := posit.MustNew(cfg.n, cfg.es)
+		limit := uint64(1) << uint(cfg.n)
+		for pat := uint64(0); pat < limit; pat++ {
+			p := posit.Bits(pat)
+			if c.IsNaR(p) {
+				continue
+			}
+			want, _ := bigfp.FromPosit(c, p)
+			wf, _ := want.Float64()
+			if got := c.ToFloat64(p); got != wf {
+				t.Fatalf("%v: pattern %#x decodes to %g, oracle says %g", c, pat, got, wf)
+			}
+		}
+	}
+}
+
+// exhaustive binary-op check against the oracle for a full format.
+func checkBinaryExhaustive(t *testing.T, c posit.Config,
+	name string,
+	op func(a, b posit.Bits) posit.Bits,
+	ref func(c posit.Config, a, b posit.Bits) posit.Bits,
+) {
+	t.Helper()
+	limit := uint64(1) << uint(c.N())
+	for a := uint64(0); a < limit; a++ {
+		for b := uint64(0); b < limit; b++ {
+			pa, pb := posit.Bits(a), posit.Bits(b)
+			got := op(pa, pb)
+			want := ref(c, pa, pb)
+			if got != want {
+				t.Fatalf("%v: %s(%#x, %#x) = %#x, oracle %#x (a=%g b=%g got=%g want=%g)",
+					c, name, a, b, uint64(got), uint64(want),
+					c.ToFloat64(pa), c.ToFloat64(pb), c.ToFloat64(got), c.ToFloat64(want))
+			}
+		}
+	}
+}
+
+func TestAddExhaustivePosit8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit8e1, posit.Posit8e2} {
+		checkBinaryExhaustive(t, c, "Add", c.Add, bigfp.AddRef)
+	}
+}
+
+func TestSubExhaustivePosit8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	c := posit.Posit8e1
+	checkBinaryExhaustive(t, c, "Sub", c.Sub, bigfp.SubRef)
+}
+
+func TestMulExhaustivePosit8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit8e1, posit.Posit8e2} {
+		checkBinaryExhaustive(t, c, "Mul", c.Mul, bigfp.MulRef)
+	}
+}
+
+func TestDivExhaustivePosit8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit8e1, posit.Posit8e2} {
+		checkBinaryExhaustive(t, c, "Div", c.Div, bigfp.DivRef)
+	}
+}
+
+// Tiny formats stress regime/exponent-field rounding edges, where the
+// cut can fall inside the exponent field.
+func TestOpsExhaustiveTinyFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, cfg := range []struct{ n, es int }{
+		{3, 0}, {3, 1}, {3, 2}, {4, 0}, {4, 2}, {5, 1}, {5, 3}, {6, 2}, {6, 4}, {7, 1},
+	} {
+		c := posit.MustNew(cfg.n, cfg.es)
+		checkBinaryExhaustive(t, c, "Add", c.Add, bigfp.AddRef)
+		checkBinaryExhaustive(t, c, "Mul", c.Mul, bigfp.MulRef)
+		checkBinaryExhaustive(t, c, "Div", c.Div, bigfp.DivRef)
+	}
+}
+
+func TestSqrtExhaustive16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, c := range []posit.Config{posit.Posit8e2, posit.Posit16e1, posit.Posit16e2} {
+		limit := uint64(1) << uint(c.N())
+		for a := uint64(0); a < limit; a++ {
+			pa := posit.Bits(a)
+			got := c.Sqrt(pa)
+			want := bigfp.SqrtRef(c, pa)
+			if got != want {
+				t.Fatalf("%v: Sqrt(%#x)=%#x oracle %#x (a=%g)", c, a, uint64(got), uint64(want), c.ToFloat64(pa))
+			}
+		}
+	}
+}
+
+// interestingPatterns returns boundary-heavy operands for a format:
+// extremes, golden-zone values, regime transitions, and a pseudo-random
+// spread (deterministic; no global RNG state).
+func interestingPatterns(c posit.Config, extra int) []posit.Bits {
+	set := map[posit.Bits]bool{}
+	add := func(p posit.Bits) {
+		set[posit.Bits(uint64(p)&((1<<uint(c.N()))-1))] = true
+	}
+	add(c.Zero())
+	add(c.NaR())
+	add(c.One())
+	add(c.Neg(c.One()))
+	add(c.MinPos())
+	add(c.MaxPos())
+	add(c.Neg(c.MinPos()))
+	add(c.Neg(c.MaxPos()))
+	for i := 0; i < 10; i++ {
+		add(posit.Bits(uint64(c.MinPos()) + uint64(i)))
+		add(posit.Bits(uint64(c.MaxPos()) - uint64(i)))
+		add(posit.Bits(uint64(c.One()) + uint64(i)))
+		add(posit.Bits(uint64(c.One()) - uint64(i)))
+	}
+	// Regime transitions: every power of USEED in range.
+	for s := c.MinScale(); s <= c.MaxScale(); s += 1 << uint(c.ES()) {
+		p := c.FromFloat64(math.Ldexp(1, s))
+		add(p)
+		add(c.Neg(p))
+		add(c.Next(p))
+		add(c.Prev(p))
+	}
+	// Deterministic xorshift spread.
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < extra; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		add(posit.Bits(x))
+	}
+	out := make([]posit.Bits, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestOpsDirectedLargeFormats runs the differential check over
+// boundary-heavy operand pairs for 16- and 32-bit formats.
+func TestOpsDirectedLargeFormats(t *testing.T) {
+	configs := []posit.Config{
+		posit.Posit16e1, posit.Posit16e2, posit.Posit32e2, posit.Posit32e3,
+		posit.MustNew(32, 0), posit.MustNew(32, 4), posit.MustNew(24, 2),
+	}
+	extra := 40
+	if testing.Short() {
+		extra = 10
+	}
+	for _, c := range configs {
+		pats := interestingPatterns(c, extra)
+		for _, a := range pats {
+			for _, b := range pats {
+				if got, want := c.Add(a, b), bigfp.AddRef(c, a, b); got != want {
+					t.Fatalf("%v: Add(%#x,%#x)=%#x oracle %#x", c, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+				if got, want := c.Mul(a, b), bigfp.MulRef(c, a, b); got != want {
+					t.Fatalf("%v: Mul(%#x,%#x)=%#x oracle %#x", c, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+				if got, want := c.Div(a, b), bigfp.DivRef(c, a, b); got != want {
+					t.Fatalf("%v: Div(%#x,%#x)=%#x oracle %#x", c, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+				if got, want := c.Sub(a, b), bigfp.SubRef(c, a, b); got != want {
+					t.Fatalf("%v: Sub(%#x,%#x)=%#x oracle %#x", c, uint64(a), uint64(b), uint64(got), uint64(want))
+				}
+			}
+		}
+		for _, a := range pats {
+			if got, want := c.Sqrt(a), bigfp.SqrtRef(c, a); got != want {
+				t.Fatalf("%v: Sqrt(%#x)=%#x oracle %#x", c, uint64(a), uint64(got), uint64(want))
+			}
+		}
+	}
+}
+
+// TestFMADirected checks the fused multiply-add against the oracle on
+// boundary-heavy triples.
+func TestFMADirected(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e2, posit.Posit32e2} {
+		pats := interestingPatterns(c, 8)
+		// Subsample triples deterministically to bound the cube.
+		for i, a := range pats {
+			for j, b := range pats {
+				if (i+j)%3 != 0 {
+					continue
+				}
+				for k, d := range pats {
+					if (i+j+k)%5 != 0 {
+						continue
+					}
+					got := c.FMA(a, b, d)
+					want := bigfp.FMARef(c, a, b, d)
+					if got != want {
+						t.Fatalf("%v: FMA(%#x,%#x,%#x)=%#x oracle %#x",
+							c, uint64(a), uint64(b), uint64(d), uint64(got), uint64(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFMAExhaustiveTiny: every (a,b,d) triple of small formats against
+// the oracle — full coverage of the 192-bit FMA pipeline's branches.
+func TestFMAExhaustiveTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive differential test")
+	}
+	for _, cfg := range []struct{ n, es int }{{4, 1}, {5, 0}, {5, 2}} {
+		c := posit.MustNew(cfg.n, cfg.es)
+		limit := uint64(1) << uint(cfg.n)
+		for a := uint64(0); a < limit; a++ {
+			for b := uint64(0); b < limit; b++ {
+				for d := uint64(0); d < limit; d++ {
+					pa, pb, pd := posit.Bits(a), posit.Bits(b), posit.Bits(d)
+					got := c.FMA(pa, pb, pd)
+					want := bigfp.FMARef(c, pa, pb, pd)
+					if got != want {
+						t.Fatalf("%v: FMA(%#x,%#x,%#x) = %#x, oracle %#x",
+							c, a, b, d, uint64(got), uint64(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFromFloat64Directed: conversions of awkward float64s.
+func TestFromFloat64Directed(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.5, 2, 3, 1e-30, 1e30, 1e-300, 1e300,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		6.5504e4, 1.0000001, 0.9999999, math.Pi, -math.E,
+		math.Ldexp(1, 120), math.Ldexp(1, -120),
+		math.Ldexp(1.5, 24), math.Ldexp(1.99999988079071, 127),
+	}
+	for _, c := range []posit.Config{posit.Posit8e1, posit.Posit16e1, posit.Posit16e2, posit.Posit32e2, posit.Posit32e3} {
+		for _, v := range values {
+			got := c.FromFloat64(v)
+			want := bigfp.FromFloat64Ref(c, v)
+			if got != want {
+				t.Fatalf("%v: FromFloat64(%g)=%#x oracle %#x", c, v, uint64(got), uint64(want))
+			}
+			if v != 0 {
+				if got2, want2 := c.FromFloat64(-v), bigfp.FromFloat64Ref(c, -v); got2 != want2 {
+					t.Fatalf("%v: FromFloat64(%g)=%#x oracle %#x", c, -v, uint64(got2), uint64(want2))
+				}
+			}
+		}
+	}
+}

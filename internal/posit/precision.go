@@ -1,0 +1,77 @@
+package posit
+
+import "math"
+
+// Precision-inspection helpers behind the paper's Fig. 3 (digits of
+// accuracy vs magnitude) and Fig. 5 (extra fraction bits over Float32).
+
+// Next returns the next posit in the total order (pattern successor).
+// Next(MaxPos) is NaR's predecessor wrap target in pattern space; the
+// caller is expected to stop at MaxPos. Next(NaR) is the most negative
+// real.
+func (c Config) Next(p Bits) Bits {
+	return Bits((uint64(p) + 1) & c.mask())
+}
+
+// Prev returns the previous posit in the total order.
+func (c Config) Prev(p Bits) Bits {
+	return Bits((uint64(p) - 1) & c.mask())
+}
+
+// ULP returns the gap between p and its successor as a float64, for a
+// finite nonnegative p below MaxPos.
+func (c Config) ULP(p Bits) float64 {
+	return c.ToFloat64(c.Next(p)) - c.ToFloat64(p)
+}
+
+// DecimalDigitsAt reports the worst-case number of decimal digits of
+// accuracy when representing values of magnitude |x|: the quantity
+// plotted in Fig. 3(b), -log10 of the maximum relative rounding error
+// at that magnitude (half the local relative gap).
+func (c Config) DecimalDigitsAt(x float64) float64 {
+	x = math.Abs(x)
+	if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return 0
+	}
+	// Out-of-range magnitudes clamp to minpos/maxpos with unbounded
+	// relative error; report zero digits like the IEEE formats do for
+	// overflow/underflow.
+	if x < c.ToFloat64(c.MinPos()) || x > c.ToFloat64(c.MaxPos()) {
+		return 0
+	}
+	p := c.Abs(c.FromFloat64(x))
+	if c.IsZero(p) || c.IsNaR(p) {
+		return 0
+	}
+	if p == c.MaxPos() {
+		p = c.Prev(p)
+	}
+	lo, hi := c.ToFloat64(p), c.ToFloat64(c.Next(p))
+	relErr := (hi - lo) / 2 / x
+	if relErr <= 0 {
+		return 0
+	}
+	d := -math.Log10(relErr)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DynamicRange returns the base-10 logs of MinPos and MaxPos values.
+func (c Config) DynamicRange() (lo, hi float64) {
+	ln2 := math.Ln2 / math.Ln10
+	return float64(c.MinScale()) * ln2, float64(c.MaxScale()) * ln2
+}
+
+// ExtraFracBitsVsFloat32 returns how many more explicit fraction bits
+// the posit encoding of x carries than IEEE Float32's 23, the histogram
+// quantity of Fig. 5. Values outside float32's normalized range still
+// compare against 23 bits, matching the paper's methodology.
+func (c Config) ExtraFracBitsVsFloat32(x float64) int {
+	p := c.FromFloat64(x)
+	if c.IsZero(p) || c.IsNaR(p) {
+		return 0
+	}
+	return c.FracBits(p) - 23
+}

@@ -1,0 +1,288 @@
+package posit_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"positlab/internal/posit"
+)
+
+// quickCfg draws patterns uniformly for a format.
+func quickCfg(c posit.Config) *quick.Config {
+	mask := uint64(1)<<uint(c.N()) - 1
+	return &quick.Config{
+		MaxCount: 3000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(r.Uint64() & mask)
+			}
+		},
+	}
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e1, posit.Posit16e1, posit.Posit16e2, posit.Posit32e2, posit.Posit32e3} {
+		f := func(a, b uint64) bool {
+			pa, pb := posit.Bits(a), posit.Bits(b)
+			return c.Add(pa, pb) == c.Add(pb, pa)
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestPropMulCommutative(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e1, posit.Posit16e2, posit.Posit32e2} {
+		f := func(a, b uint64) bool {
+			pa, pb := posit.Bits(a), posit.Bits(b)
+			return c.Mul(pa, pb) == c.Mul(pb, pa)
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// x + (-x) == 0 exactly: posit negation is exact and subtraction of
+// equal magnitudes cancels exactly.
+func TestPropAddNegCancels(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e2, posit.Posit32e2} {
+		f := func(a uint64) bool {
+			pa := posit.Bits(a)
+			if c.IsNaR(pa) {
+				return c.IsNaR(c.Add(pa, c.Neg(pa)))
+			}
+			return c.IsZero(c.Add(pa, c.Neg(pa)))
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Multiplying by one and dividing by one are exact identities.
+func TestPropMulDivByOne(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit16e1, posit.Posit32e2, posit.Posit32e3} {
+		one := c.One()
+		f := func(a uint64) bool {
+			pa := posit.Bits(a)
+			return c.Mul(pa, one) == pa && c.Div(pa, one) == pa
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// x/x == 1 for finite nonzero x.
+func TestPropDivSelf(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e2, posit.Posit32e2} {
+		f := func(a uint64) bool {
+			pa := posit.Bits(a)
+			if c.IsNaR(pa) || c.IsZero(pa) {
+				return true
+			}
+			return c.Div(pa, pa) == c.One()
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Negation symmetry: op(-a, -b) == -op(a, b) for add; mul sign algebra.
+func TestPropNegationSymmetry(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e1, posit.Posit32e2} {
+		f := func(a, b uint64) bool {
+			pa, pb := posit.Bits(a), posit.Bits(b)
+			lhs := c.Add(c.Neg(pa), c.Neg(pb))
+			rhs := c.Neg(c.Add(pa, pb))
+			if lhs != rhs {
+				return false
+			}
+			return c.Mul(c.Neg(pa), pb) == c.Neg(c.Mul(pa, pb))
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Monotonicity of conversion: float order maps to posit total order.
+func TestPropFromFloat64Monotone(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e2, posit.Posit32e2} {
+		f := func(xb, yb uint64) bool {
+			x := math.Float64frombits(xb)
+			y := math.Float64frombits(yb)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return true
+			}
+			if x > y {
+				x, y = y, x
+			}
+			px, py := c.FromFloat64(x), c.FromFloat64(y)
+			return c.Cmp(px, py) <= 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Conversion round-trip: posit -> float64 -> posit is the identity
+// (every supported posit is exactly a float64).
+func TestPropFloat64RoundTrip(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit32e2, posit.Posit32e3, posit.MustNew(32, 0)} {
+		f := func(a uint64) bool {
+			pa := posit.Bits(a)
+			if c.IsNaR(pa) {
+				return true
+			}
+			return c.FromFloat64(c.ToFloat64(pa)) == pa
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Sqrt(Mul(x,x)) tracks |x| to within the error budget imposed by the
+// square's own rounding. In the golden zone that is one pattern; in the
+// tapered tail, where the square may keep as few as zero fraction bits,
+// the tolerance grows to about 2^(fbAbs - fbSq - 1) patterns.
+func TestPropSqrtOfSquareNearAbs(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e2, posit.Posit32e2} {
+		f := func(a uint64) bool {
+			pa := posit.Bits(a)
+			if c.IsNaR(pa) || c.IsZero(pa) {
+				return true
+			}
+			abs := c.Abs(pa)
+			sq := c.Mul(abs, abs)
+			if sq == c.MaxPos() || sq == c.MinPos() {
+				return true // clamped square loses the relationship
+			}
+			got := c.Sqrt(sq)
+			// Error budget in log2 space: the square rounds by up to
+			// half its local pattern gap, sqrt halves that, and the
+			// sqrt itself rounds by up to half the gap at the result.
+			gapLog2 := func(p posit.Bits) float64 {
+				up, down := 0.0, 0.0
+				if p != c.MaxPos() {
+					up = math.Log2(c.ToFloat64(c.Next(p)) / c.ToFloat64(p))
+				}
+				if p != c.MinPos() {
+					down = math.Log2(c.ToFloat64(p) / c.ToFloat64(c.Prev(p)))
+				}
+				return math.Max(up, down)
+			}
+			tol := 0.5*gapLog2(sq) + 0.5*gapLog2(abs) + 0.5*gapLog2(got) + 1e-3
+			err := math.Abs(math.Log2(c.ToFloat64(got) / c.ToFloat64(abs)))
+			return err <= tol
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Sqrt is monotone over nonnegative posits.
+func TestPropSqrtMonotone(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e2, posit.Posit32e3} {
+		f := func(a, b uint64) bool {
+			pa, pb := c.Abs(posit.Bits(a)), c.Abs(posit.Bits(b))
+			if c.IsNaR(pa) || c.IsNaR(pb) {
+				return true
+			}
+			if c.Cmp(pa, pb) > 0 {
+				pa, pb = pb, pa
+			}
+			return c.Cmp(c.Sqrt(pa), c.Sqrt(pb)) <= 0
+		}
+		if err := quick.Check(f, quickCfg(c)); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Sqrt of representable even powers of two is exact.
+func TestSqrtExactPowers(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e1, posit.Posit32e2} {
+		for s := c.MinScale() / 2; s <= c.MaxScale()/2; s++ {
+			x := c.FromFloat64(math.Ldexp(1, 2*s))
+			want := c.FromFloat64(math.Ldexp(1, s))
+			// At the extremes the regime squeezes out exponent bits and
+			// 2^(2s) may not be representable; only exact powers apply.
+			if c.ToFloat64(x) != math.Ldexp(1, 2*s) || c.ToFloat64(want) != math.Ldexp(1, s) {
+				continue
+			}
+			if got := c.Sqrt(x); got != want {
+				t.Errorf("%v: Sqrt(2^%d) = %#x, want %#x", c, 2*s, uint64(got), uint64(want))
+			}
+		}
+	}
+}
+
+// Pattern-successor values strictly increase over the real patterns.
+func TestNextStrictlyIncreasing(t *testing.T) {
+	for _, cfg := range []struct{ n, es int }{{8, 0}, {8, 2}, {12, 1}, {16, 2}} {
+		c := posit.MustNew(cfg.n, cfg.es)
+		// Walk the total order from the most negative real to MaxPos.
+		p := c.Next(c.NaR())
+		prev := c.ToFloat64(p)
+		for p != c.MaxPos() {
+			p = c.Next(p)
+			v := c.ToFloat64(p)
+			if !(v > prev) {
+				t.Fatalf("%v: order violation at %#x: %g !> %g", c, uint64(p), v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// FracBitsAtScale must agree with the explicit encoding at every scale.
+func TestFracBitsConsistency(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit16e1, posit.Posit32e2, posit.Posit32e3} {
+		for s := c.MinScale(); s <= c.MaxScale(); s++ {
+			p := c.FromFloat64(math.Ldexp(1, s))
+			if c.IsZero(p) || c.IsNaR(p) {
+				continue
+			}
+			if got, want := c.FracBits(p), c.FracBitsAtScale(s); got != want {
+				t.Errorf("%v scale %d: FracBits=%d, FracBitsAtScale=%d", c, s, got, want)
+			}
+		}
+	}
+}
+
+// The paper's §II numbers: posit(32,2) epsilon near one is 2^-28
+// (3.73e-9); float32's is 5.96e-8. DecimalDigitsAt must reproduce the
+// golden-zone advantage.
+func TestGoldenZoneDigits(t *testing.T) {
+	p32 := posit.Posit32e2
+	dPosit := p32.DecimalDigitsAt(1.0)
+	// Near 1.0 posit(32,2) has 27 fraction bits (body 31 = regime 2 +
+	// es 2 + frac 27): digits = -log10(2^-28) ~ 8.43.
+	if dPosit < 8.3 || dPosit > 8.6 {
+		t.Errorf("posit(32,2) digits at 1.0 = %v, want ~8.43", dPosit)
+	}
+	// Far from one the advantage inverts: at 2^80 float32 still has 7.2
+	// digits, posit(32,2) has regime ~22 bits -> ~7 fraction bits.
+	dFar := p32.DecimalDigitsAt(math.Ldexp(1, 80))
+	if dFar > 3.5 {
+		t.Errorf("posit(32,2) digits at 2^80 = %v, want < 3.5", dFar)
+	}
+}
+
+func TestDynamicRange(t *testing.T) {
+	lo, hi := posit.Posit16e2.DynamicRange()
+	// posit(16,2): maxpos = 2^56 ~ 7.2e16.
+	if math.Abs(hi-16.86) > 0.1 || math.Abs(lo+16.86) > 0.1 {
+		t.Errorf("posit(16,2) dynamic range = (%v, %v), want ±16.86", lo, hi)
+	}
+}

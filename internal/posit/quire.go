@@ -1,0 +1,177 @@
+package posit
+
+import "math/bits"
+
+// Quire is the exact fixed-point accumulator the posit standard
+// prescribes for deferred-rounding collective operations (dot products,
+// sums): products accumulate without intermediate rounding and the
+// running value rounds once on read-out.
+//
+// The paper's headline experiments deliberately avoid the quire (§II-C)
+// so that the comparison against IEEE floats — which round after every
+// operation — isolates properties of the number format itself. The
+// quire is provided here for the deferred-rounding ablation benchmark.
+//
+// The accumulator is wide enough that no sum of fewer than 2^63
+// products can overflow: two's complement, LSB weight 2^(2*MinScale-126)
+// (exact for any product pattern), 63 guard bits above 2^(2*MaxScale+2).
+type Quire struct {
+	c      Config
+	w      []uint64 // little-endian two's complement
+	lsbExp int      // base-2 weight of bit 0
+	nar    bool
+}
+
+// NewQuire allocates a zeroed quire for the format.
+func (c Config) NewQuire() *Quire {
+	lsbExp := 2*c.MinScale() - 126
+	msbExp := 2*c.MaxScale() + 2 + 63
+	totalBits := msbExp - lsbExp + 2 // + sign headroom
+	words := (totalBits + 63) / 64
+	return &Quire{c: c, w: make([]uint64, words), lsbExp: lsbExp}
+}
+
+// Reset clears the accumulator to zero.
+func (q *Quire) Reset() {
+	for i := range q.w {
+		q.w[i] = 0
+	}
+	q.nar = false
+}
+
+// IsNaR reports whether a NaR was absorbed.
+func (q *Quire) IsNaR() bool { return q.nar }
+
+// AddProduct accumulates a*b exactly.
+func (q *Quire) AddProduct(a, b Bits) {
+	q.mulAcc(a, b, false)
+}
+
+// SubProduct accumulates -(a*b) exactly.
+func (q *Quire) SubProduct(a, b Bits) {
+	q.mulAcc(a, b, true)
+}
+
+// Add accumulates a single posit value exactly.
+func (q *Quire) Add(a Bits) {
+	q.mulAcc(a, q.c.One(), false)
+}
+
+// Sub accumulates -a exactly.
+func (q *Quire) Sub(a Bits) {
+	q.mulAcc(a, q.c.One(), true)
+}
+
+func (q *Quire) mulAcc(a, b Bits, negate bool) {
+	c := q.c
+	if c.IsNaR(a) || c.IsNaR(b) {
+		q.nar = true
+		return
+	}
+	if c.IsZero(a) || c.IsZero(b) {
+		return
+	}
+	ua, ub := c.decode(a), c.decode(b)
+	phi, plo := bits.Mul64(ua.sig, ub.sig) // P in [2^126, 2^128)
+	// value = P * 2^(s-126); LSB lands at bit s - 2*MinScale.
+	shift := uint(ua.scale + ub.scale - 2*c.MinScale())
+	neg := (ua.sign != ub.sign) != negate
+	q.accumulate(phi, plo, shift, neg)
+}
+
+// accumulate adds or subtracts (hi,lo) << shift into the accumulator.
+func (q *Quire) accumulate(hi, lo uint64, shift uint, neg bool) {
+	word := int(shift / 64)
+	s := shift % 64
+	var w0, w1, w2 uint64
+	if s == 0 {
+		w0, w1, w2 = lo, hi, 0
+	} else {
+		w0 = lo << s
+		w1 = hi<<s | lo>>(64-s)
+		w2 = hi >> (64 - s)
+	}
+	if !neg {
+		var carry uint64
+		q.w[word], carry = bits.Add64(q.w[word], w0, 0)
+		q.w[word+1], carry = bits.Add64(q.w[word+1], w1, carry)
+		q.w[word+2], carry = bits.Add64(q.w[word+2], w2, carry)
+		for i := word + 3; carry != 0 && i < len(q.w); i++ {
+			q.w[i], carry = bits.Add64(q.w[i], 0, carry)
+		}
+	} else {
+		var borrow uint64
+		q.w[word], borrow = bits.Sub64(q.w[word], w0, 0)
+		q.w[word+1], borrow = bits.Sub64(q.w[word+1], w1, borrow)
+		q.w[word+2], borrow = bits.Sub64(q.w[word+2], w2, borrow)
+		for i := word + 3; borrow != 0 && i < len(q.w); i++ {
+			q.w[i], borrow = bits.Sub64(q.w[i], 0, borrow)
+		}
+	}
+}
+
+// Round reads the accumulated value out as a correctly rounded posit.
+// The quire itself is unchanged.
+func (q *Quire) Round() Bits {
+	c := q.c
+	if q.nar {
+		return c.NaR()
+	}
+	// Determine sign from the top bit; negate to magnitude if needed.
+	top := q.w[len(q.w)-1]
+	neg := top&(1<<63) != 0
+	mag := make([]uint64, len(q.w))
+	if neg {
+		var borrow uint64
+		for i := range q.w {
+			mag[i], borrow = bits.Sub64(0, q.w[i], borrow)
+		}
+	} else {
+		copy(mag, q.w)
+	}
+	// Locate the most significant set bit.
+	msWord := -1
+	for i := len(mag) - 1; i >= 0; i-- {
+		if mag[i] != 0 {
+			msWord = i
+			break
+		}
+	}
+	if msWord < 0 {
+		return c.Zero()
+	}
+	msBit := 63 - bits.LeadingZeros64(mag[msWord])
+	bitPos := msWord*64 + msBit
+	scale := bitPos + q.lsbExp
+
+	// Extract the 64 bits [bitPos-63, bitPos] as the significand;
+	// everything below is sticky.
+	sig, sticky := extractWindow(mag, bitPos-63)
+	return c.round(neg, scale, sig, sticky)
+}
+
+// extractWindow reads the 64 bits starting at lowBit (which may be
+// negative, padding with zeros below) and reports whether any set bit
+// lies below the window. The caller guarantees the value's MSB sits at
+// lowBit+63, so a negative lowBit satisfies -lowBit < 64.
+func extractWindow(mag []uint64, lowBit int) (sig uint64, sticky bool) {
+	if lowBit <= 0 {
+		return mag[0] << uint(-lowBit), false
+	}
+	word := lowBit / 64
+	off := uint(lowBit % 64)
+	if off == 0 {
+		sig = mag[word]
+	} else {
+		sig = mag[word] >> off
+		if word+1 < len(mag) {
+			sig |= mag[word+1] << (64 - off)
+		}
+	}
+	for i := 0; i < word; i++ {
+		if mag[i] != 0 {
+			return sig, true
+		}
+	}
+	return sig, off > 0 && mag[word]<<(64-off) != 0
+}

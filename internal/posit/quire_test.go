@@ -1,0 +1,163 @@
+package posit_test
+
+import (
+	"math/big"
+	"testing"
+
+	"positlab/internal/bigfp"
+	"positlab/internal/posit"
+)
+
+// quireDotRef accumulates the exact dot product of posit vectors in
+// big.Float and rounds once, which is the quire's contract.
+func quireDotRef(c posit.Config, xs, ys []posit.Bits) posit.Bits {
+	sum := new(big.Float).SetPrec(bigfp.Prec)
+	for i := range xs {
+		vx, okx := bigfp.FromPosit(c, xs[i])
+		vy, oky := bigfp.FromPosit(c, ys[i])
+		if !okx || !oky {
+			return c.NaR()
+		}
+		prod := new(big.Float).SetPrec(bigfp.Prec).Mul(vx, vy)
+		sum.Add(sum, prod)
+	}
+	return bigfp.RoundToPosit(c, sum)
+}
+
+func quireDot(c posit.Config, xs, ys []posit.Bits) posit.Bits {
+	q := c.NewQuire()
+	for i := range xs {
+		q.AddProduct(xs[i], ys[i])
+	}
+	return q.Round()
+}
+
+func TestQuireDotAgainstOracle(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit8e2, posit.Posit16e1, posit.Posit16e2, posit.Posit32e2} {
+		pats := interestingPatterns(c, 20)
+		// Filter NaR out; it is tested separately.
+		reals := pats[:0:0]
+		for _, p := range pats {
+			if !c.IsNaR(p) {
+				reals = append(reals, p)
+			}
+		}
+		// Deterministic pairing sweeps.
+		for stride := 1; stride <= 7; stride += 2 {
+			var xs, ys []posit.Bits
+			for i, p := range reals {
+				xs = append(xs, p)
+				ys = append(ys, reals[(i*stride+3)%len(reals)])
+			}
+			got := quireDot(c, xs, ys)
+			want := quireDotRef(c, xs, ys)
+			if got != want {
+				t.Fatalf("%v stride %d: quire dot = %#x, oracle %#x", c, stride, uint64(got), uint64(want))
+			}
+		}
+	}
+}
+
+// The motivating case: pairwise-cancelling huge products followed by a
+// tiny one. Round-per-op loses the tiny term; the quire keeps it.
+func TestQuireExactCancellation(t *testing.T) {
+	c := posit.Posit32e2
+	big1 := c.FromFloat64(1e12)
+	tiny := c.FromFloat64(3.0)
+	one := c.One()
+
+	q := c.NewQuire()
+	q.AddProduct(big1, big1)
+	q.AddProduct(tiny, one)
+	q.SubProduct(big1, big1)
+	got := q.Round()
+	if got != tiny {
+		t.Fatalf("quire cancellation: got %g, want 3", c.ToFloat64(got))
+	}
+
+	// Round-per-op for contrast: (big^2 + 3) - big^2 == 0 in posit32.
+	perOp := c.Sub(c.Add(c.Mul(big1, big1), tiny), c.Mul(big1, big1))
+	if !c.IsZero(perOp) {
+		t.Logf("note: round-per-op kept the tiny term (%g); expected loss", c.ToFloat64(perOp))
+	}
+}
+
+func TestQuireAddSubScalars(t *testing.T) {
+	c := posit.Posit16e2
+	q := c.NewQuire()
+	vals := []float64{1.5, -2.25, 1024, 3.0e-4, -0.5, 7}
+	sum := new(big.Float).SetPrec(bigfp.Prec)
+	for _, v := range vals {
+		p := c.FromFloat64(v)
+		q.Add(p)
+		pv, _ := bigfp.FromPosit(c, p)
+		sum.Add(sum, pv)
+	}
+	want := bigfp.RoundToPosit(c, sum)
+	if got := q.Round(); got != want {
+		t.Fatalf("quire scalar sum = %#x, want %#x", uint64(got), uint64(want))
+	}
+	for _, v := range vals {
+		q.Sub(c.FromFloat64(v))
+	}
+	if got := q.Round(); !c.IsZero(got) {
+		t.Fatalf("quire sum minus itself = %g, want 0", c.ToFloat64(got))
+	}
+}
+
+func TestQuireNaRAndReset(t *testing.T) {
+	c := posit.Posit16e2
+	q := c.NewQuire()
+	q.AddProduct(c.One(), c.NaR())
+	if !q.IsNaR() || !c.IsNaR(q.Round()) {
+		t.Fatal("quire must absorb NaR")
+	}
+	q.Reset()
+	if q.IsNaR() || !c.IsZero(q.Round()) {
+		t.Fatal("reset quire must read zero")
+	}
+}
+
+// Extremes: maxpos^2 and minpos^2 accumulate without overflow.
+func TestQuireExtremes(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit16e2, posit.Posit32e2, posit.MustNew(32, 4)} {
+		q := c.NewQuire()
+		q.AddProduct(c.MaxPos(), c.MaxPos())
+		if got := q.Round(); got != c.MaxPos() {
+			t.Errorf("%v: maxpos^2 rounds to %#x, want maxpos %#x", c, uint64(got), uint64(c.MaxPos()))
+		}
+		q.Reset()
+		q.AddProduct(c.MinPos(), c.MinPos())
+		if got := q.Round(); got != c.MinPos() {
+			t.Errorf("%v: minpos^2 rounds to %#x, want minpos clamp %#x", c, uint64(got), uint64(c.MinPos()))
+		}
+		q.Reset()
+		q.AddProduct(c.MaxPos(), c.MaxPos())
+		q.SubProduct(c.MaxPos(), c.MaxPos())
+		q.AddProduct(c.MinPos(), c.MinPos())
+		q.SubProduct(c.MinPos(), c.MinPos())
+		if got := q.Round(); !c.IsZero(got) {
+			t.Errorf("%v: exact telescoping sum = %#x, want 0", c, uint64(got))
+		}
+	}
+}
+
+// Accumulating 10_000 copies of the same product must equal the exact
+// scaled value rounded once.
+func TestQuireRepeatedAccumulation(t *testing.T) {
+	c := posit.Posit16e2
+	x := c.FromFloat64(1.0 / 3.0)
+	q := c.NewQuire()
+	const reps = 10000
+	for i := 0; i < reps; i++ {
+		q.AddProduct(x, x)
+	}
+	vx, _ := bigfp.FromPosit(c, x)
+	prod := new(big.Float).SetPrec(bigfp.Prec).Mul(vx, vx)
+	prod.Mul(prod, big.NewFloat(reps).SetPrec(bigfp.Prec))
+	want := bigfp.RoundToPosit(c, prod)
+	if got := q.Round(); got != want {
+		t.Fatalf("repeated accumulation = %#x (%g), want %#x (%g)",
+			uint64(got), c.ToFloat64(got), uint64(want), c.ToFloat64(want))
+	}
+}

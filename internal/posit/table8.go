@@ -1,0 +1,55 @@
+package posit
+
+import "fmt"
+
+// Table8 is a fully tabulated 8-bit posit ALU: every binary operation
+// precomputed into a 64 KiB byte table, the way hardware and embedded
+// implementations typically realize posit8 arithmetic. Results are
+// bit-identical to the computed pipeline (the constructor derives the
+// tables from it), but each operation is a single indexed load.
+type Table8 struct {
+	c                  Config
+	add, sub, mul, div [1 << 16]uint8
+	sqrt               [1 << 8]uint8
+}
+
+// NewTable8 builds the tables for an 8-bit configuration.
+func NewTable8(c Config) (*Table8, error) {
+	if c.N() != 8 {
+		return nil, fmt.Errorf("posit: Table8 requires an 8-bit format, got %v", c)
+	}
+	t := &Table8{c: c}
+	for a := 0; a < 256; a++ {
+		pa := Bits(a)
+		t.sqrt[a] = uint8(c.Sqrt(pa))
+		for b := 0; b < 256; b++ {
+			pb := Bits(b)
+			idx := a<<8 | b
+			t.add[idx] = uint8(c.Add(pa, pb))
+			t.sub[idx] = uint8(c.Sub(pa, pb))
+			t.mul[idx] = uint8(c.Mul(pa, pb))
+			t.div[idx] = uint8(c.Div(pa, pb))
+		}
+	}
+	return t, nil
+}
+
+// Config returns the underlying format.
+func (t *Table8) Config() Config { return t.c }
+
+func idx8(a, b Bits) int { return int(a&0xff)<<8 | int(b&0xff) }
+
+// Add returns the tabulated a + b.
+func (t *Table8) Add(a, b Bits) Bits { return Bits(t.add[idx8(a, b)]) }
+
+// Sub returns the tabulated a - b.
+func (t *Table8) Sub(a, b Bits) Bits { return Bits(t.sub[idx8(a, b)]) }
+
+// Mul returns the tabulated a * b.
+func (t *Table8) Mul(a, b Bits) Bits { return Bits(t.mul[idx8(a, b)]) }
+
+// Div returns the tabulated a / b.
+func (t *Table8) Div(a, b Bits) Bits { return Bits(t.div[idx8(a, b)]) }
+
+// Sqrt returns the tabulated square root.
+func (t *Table8) Sqrt(a Bits) Bits { return Bits(t.sqrt[a&0xff]) }

@@ -1,0 +1,60 @@
+package posit_test
+
+import (
+	"testing"
+
+	"positlab/internal/posit"
+)
+
+func TestTable8MatchesComputed(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit8e1, posit.Posit8e2} {
+		tab, err := posit.NewTable8(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Config() != c {
+			t.Fatal("config not retained")
+		}
+		for a := uint64(0); a < 256; a++ {
+			pa := posit.Bits(a)
+			if got, want := tab.Sqrt(pa), c.Sqrt(pa); got != want {
+				t.Fatalf("%v: Sqrt(%#x) = %#x, want %#x", c, a, uint64(got), uint64(want))
+			}
+			for b := uint64(0); b < 256; b++ {
+				pb := posit.Bits(b)
+				if got, want := tab.Add(pa, pb), c.Add(pa, pb); got != want {
+					t.Fatalf("%v: Add(%#x,%#x)", c, a, b)
+				}
+				if got, want := tab.Sub(pa, pb), c.Sub(pa, pb); got != want {
+					t.Fatalf("%v: Sub(%#x,%#x)", c, a, b)
+				}
+				if got, want := tab.Mul(pa, pb), c.Mul(pa, pb); got != want {
+					t.Fatalf("%v: Mul(%#x,%#x)", c, a, b)
+				}
+				if got, want := tab.Div(pa, pb), c.Div(pa, pb); got != want {
+					t.Fatalf("%v: Div(%#x,%#x)", c, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTable8RejectsWideFormats(t *testing.T) {
+	if _, err := posit.NewTable8(posit.Posit16e1); err == nil {
+		t.Fatal("16-bit format must be rejected")
+	}
+}
+
+func BenchmarkTable8Add(b *testing.B) {
+	tab, err := posit.NewTable8(posit.Posit8e1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := operands(posit.Posit8e1, 256)
+	var sink posit.Bits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = tab.Add(ops[i&255], ops[(i+7)&255])
+	}
+	sinkBits = sink
+}

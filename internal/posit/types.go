@@ -1,0 +1,86 @@
+package posit
+
+import "strconv"
+
+// Ergonomic value types for the three classic posit sizes of Gustafson
+// & Yonemoto (2017): posit8 (es=0), posit16 (es=1), posit32 (es=2).
+// They wrap the pattern-level API in method form, so numerical code
+// reads like arithmetic:
+//
+//	sum := posit.P32From(1.5).Add(posit.P32From(2.25))
+//
+// For other configurations, use Config directly.
+
+// P8 is a posit(8,0) value.
+type P8 Bits
+
+// P16 is a posit(16,1) value.
+type P16 Bits
+
+// P32 is a posit(32,2) value.
+type P32 Bits
+
+// P8From, P16From and P32From convert from float64 with correct
+// rounding.
+func P8From(x float64) P8   { return P8(Posit8e0.FromFloat64(x)) }
+func P16From(x float64) P16 { return P16(Posit16e1.FromFloat64(x)) }
+func P32From(x float64) P32 { return P32(Posit32e2.FromFloat64(x)) }
+
+// P8 methods.
+
+func (p P8) Add(q P8) P8      { return P8(Posit8e0.Add(Bits(p), Bits(q))) }
+func (p P8) Sub(q P8) P8      { return P8(Posit8e0.Sub(Bits(p), Bits(q))) }
+func (p P8) Mul(q P8) P8      { return P8(Posit8e0.Mul(Bits(p), Bits(q))) }
+func (p P8) Div(q P8) P8      { return P8(Posit8e0.Div(Bits(p), Bits(q))) }
+func (p P8) Sqrt() P8         { return P8(Posit8e0.Sqrt(Bits(p))) }
+func (p P8) Neg() P8          { return P8(Posit8e0.Neg(Bits(p))) }
+func (p P8) Abs() P8          { return P8(Posit8e0.Abs(Bits(p))) }
+func (p P8) Float64() float64 { return Posit8e0.ToFloat64(Bits(p)) }
+func (p P8) IsNaR() bool      { return Posit8e0.IsNaR(Bits(p)) }
+func (p P8) IsZero() bool     { return Posit8e0.IsZero(Bits(p)) }
+func (p P8) Less(q P8) bool   { return Posit8e0.Less(Bits(p), Bits(q)) }
+func (p P8) Bits() Bits       { return Bits(p) }
+func (p P8) String() string   { return positString(Posit8e0, Bits(p)) }
+
+// P16 methods.
+
+func (p P16) Add(q P16) P16    { return P16(Posit16e1.Add(Bits(p), Bits(q))) }
+func (p P16) Sub(q P16) P16    { return P16(Posit16e1.Sub(Bits(p), Bits(q))) }
+func (p P16) Mul(q P16) P16    { return P16(Posit16e1.Mul(Bits(p), Bits(q))) }
+func (p P16) Div(q P16) P16    { return P16(Posit16e1.Div(Bits(p), Bits(q))) }
+func (p P16) Sqrt() P16        { return P16(Posit16e1.Sqrt(Bits(p))) }
+func (p P16) Neg() P16         { return P16(Posit16e1.Neg(Bits(p))) }
+func (p P16) Abs() P16         { return P16(Posit16e1.Abs(Bits(p))) }
+func (p P16) FMA(q, r P16) P16 { return P16(Posit16e1.FMA(Bits(p), Bits(q), Bits(r))) }
+func (p P16) Float64() float64 { return Posit16e1.ToFloat64(Bits(p)) }
+func (p P16) IsNaR() bool      { return Posit16e1.IsNaR(Bits(p)) }
+func (p P16) IsZero() bool     { return Posit16e1.IsZero(Bits(p)) }
+func (p P16) Less(q P16) bool  { return Posit16e1.Less(Bits(p), Bits(q)) }
+func (p P16) Bits() Bits       { return Bits(p) }
+func (p P16) String() string   { return positString(Posit16e1, Bits(p)) }
+
+// P32 methods.
+
+func (p P32) Add(q P32) P32    { return P32(Posit32e2.Add(Bits(p), Bits(q))) }
+func (p P32) Sub(q P32) P32    { return P32(Posit32e2.Sub(Bits(p), Bits(q))) }
+func (p P32) Mul(q P32) P32    { return P32(Posit32e2.Mul(Bits(p), Bits(q))) }
+func (p P32) Div(q P32) P32    { return P32(Posit32e2.Div(Bits(p), Bits(q))) }
+func (p P32) Sqrt() P32        { return P32(Posit32e2.Sqrt(Bits(p))) }
+func (p P32) Neg() P32         { return P32(Posit32e2.Neg(Bits(p))) }
+func (p P32) Abs() P32         { return P32(Posit32e2.Abs(Bits(p))) }
+func (p P32) FMA(q, r P32) P32 { return P32(Posit32e2.FMA(Bits(p), Bits(q), Bits(r))) }
+func (p P32) Float64() float64 { return Posit32e2.ToFloat64(Bits(p)) }
+func (p P32) IsNaR() bool      { return Posit32e2.IsNaR(Bits(p)) }
+func (p P32) IsZero() bool     { return Posit32e2.IsZero(Bits(p)) }
+func (p P32) Less(q P32) bool  { return Posit32e2.Less(Bits(p), Bits(q)) }
+func (p P32) Bits() Bits       { return Bits(p) }
+func (p P32) String() string   { return positString(Posit32e2, Bits(p)) }
+
+// positString renders the shortest float64 text of the exact value
+// (every supported posit is an exact float64).
+func positString(c Config, p Bits) string {
+	if c.IsNaR(p) {
+		return "NaR"
+	}
+	return strconv.FormatFloat(c.ToFloat64(p), 'g', -1, 64)
+}

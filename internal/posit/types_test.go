@@ -1,0 +1,78 @@
+package posit_test
+
+import (
+	"testing"
+
+	"positlab/internal/posit"
+)
+
+func TestValueTypesArithmetic(t *testing.T) {
+	// P32 chains.
+	x := posit.P32From(1.5).Add(posit.P32From(2.25))
+	if x.Float64() != 3.75 {
+		t.Errorf("P32 1.5+2.25 = %v", x)
+	}
+	if got := posit.P32From(9).Sqrt().Float64(); got != 3 {
+		t.Errorf("P32 sqrt(9) = %g", got)
+	}
+	if got := posit.P32From(2).FMA(posit.P32From(3), posit.P32From(1)).Float64(); got != 7 {
+		t.Errorf("P32 fma(2,3,1) = %g", got)
+	}
+	if !posit.P32From(1).Div(posit.P32From(0)).IsNaR() {
+		t.Error("P32 1/0 must be NaR")
+	}
+	if posit.P32From(-2).Abs().Float64() != 2 || posit.P32From(2).Neg().Float64() != -2 {
+		t.Error("P32 abs/neg wrong")
+	}
+	if !posit.P32From(1).Less(posit.P32From(2)) {
+		t.Error("P32 ordering wrong")
+	}
+	if s := posit.P32From(0.5).String(); s != "0.5" {
+		t.Errorf("P32 String = %q", s)
+	}
+	if s := posit.P32From(1).Div(posit.P32From(0)).String(); s != "NaR" {
+		t.Errorf("NaR String = %q", s)
+	}
+
+	// P16 (es=1).
+	y := posit.P16From(10).Mul(posit.P16From(0.5))
+	if y.Float64() != 5 {
+		t.Errorf("P16 10*0.5 = %v", y)
+	}
+	if got := posit.P16From(7).Sub(posit.P16From(7)); !got.IsZero() {
+		t.Error("P16 7-7 must be zero")
+	}
+	if got := posit.P16From(3).FMA(posit.P16From(3), posit.P16From(-9)); !got.IsZero() {
+		t.Error("P16 fma(3,3,-9) must be zero")
+	}
+
+	// P8 (es=0): coarse but consistent with the config API.
+	z := posit.P8From(2).Div(posit.P8From(4))
+	if z.Float64() != 0.5 {
+		t.Errorf("P8 2/4 = %v", z)
+	}
+	if posit.P8From(1).Bits() != posit.Posit8e0.One() {
+		t.Error("P8 Bits() accessor wrong")
+	}
+	if posit.P8From(2).Sqrt().IsNaR() {
+		t.Error("P8 sqrt(2) must be real")
+	}
+	if posit.P8From(-1).Add(posit.P8From(1)).Float64() != 0 {
+		t.Error("P8 -1+1 wrong")
+	}
+}
+
+// Value-type results must be bit-identical to the Config API.
+func TestValueTypesMatchConfigAPI(t *testing.T) {
+	c := posit.Posit32e2
+	vals := []float64{0, 1, -2.5, 3.14159, 1e10, 1e-10}
+	for _, a := range vals {
+		for _, b := range vals {
+			got := posit.P32From(a).Mul(posit.P32From(b)).Bits()
+			want := c.Mul(c.FromFloat64(a), c.FromFloat64(b))
+			if got != want {
+				t.Fatalf("P32 Mul(%g,%g) diverges from Config API", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package positio_test
+
+import (
+	"fmt"
+
+	"positlab/internal/posit"
+	"positlab/internal/positio"
+)
+
+func ExampleParse() {
+	p, _ := positio.Parse(posit.Posit16e2, "3.14159")
+	fmt.Printf("%#04x %s\n", uint64(p), positio.Format(posit.Posit16e2, p))
+	// Output: 0x4c91 3.142
+}
+
+func ExampleFormat_shortest() {
+	c := posit.Posit16e2
+	third := c.Div(c.One(), c.FromFloat64(3))
+	// The shortest decimal that round-trips the pattern — far fewer
+	// digits than float64 would need.
+	fmt.Println(positio.Format(c, third))
+	// Output: 0.3334
+}
+
+func ExampleFields() {
+	c := posit.Posit8e1
+	fmt.Println(positio.Fields(c, c.FromFloat64(2)))
+	// Output: 0 10 1 0000
+}

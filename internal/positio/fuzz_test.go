@@ -1,0 +1,58 @@
+package positio_test
+
+import (
+	"testing"
+
+	"positlab/internal/posit"
+	"positlab/internal/positio"
+)
+
+// FuzzParse: arbitrary strings must parse or error, never panic; and
+// anything accepted must re-format and re-parse to the same pattern.
+func FuzzParse(f *testing.F) {
+	f.Add("3.14", byte(1))
+	f.Add("-2.5e-7", byte(4))
+	f.Add("NaR", byte(0))
+	f.Add("1e999999", byte(2))
+	f.Add("0x1p4", byte(3))
+	f.Fuzz(func(t *testing.T, s string, sel byte) {
+		cfgs := []posit.Config{
+			posit.Posit8e0, posit.Posit16e1, posit.Posit16e2,
+			posit.Posit32e2, posit.MustNew(6, 3),
+		}
+		c := cfgs[int(sel)%len(cfgs)]
+		p, err := positio.Parse(c, s)
+		if err != nil {
+			return
+		}
+		if !c.Canonical(p) {
+			t.Fatalf("Parse(%q) produced non-canonical pattern %#x", s, uint64(p))
+		}
+		out := positio.Format(c, p)
+		back, err := positio.Parse(c, out)
+		if err != nil {
+			t.Fatalf("Format(%#x) = %q does not re-parse: %v", uint64(p), out, err)
+		}
+		if back != p {
+			t.Fatalf("Parse(%q) = %#x, re-parse of %q = %#x", s, uint64(p), out, uint64(back))
+		}
+	})
+}
+
+// FuzzPatternRoundTrip: every pattern formats and parses back exactly.
+func FuzzPatternRoundTrip(f *testing.F) {
+	f.Add(uint64(0x4000), byte(2))
+	f.Add(uint64(0xffff), byte(3))
+	f.Fuzz(func(t *testing.T, pat uint64, sel byte) {
+		cfgs := []posit.Config{
+			posit.Posit8e1, posit.Posit16e1, posit.Posit16e2, posit.Posit32e2,
+		}
+		c := cfgs[int(sel)%len(cfgs)]
+		p := posit.Bits(pat & (uint64(1)<<uint(c.N()) - 1))
+		s := positio.Format(c, p)
+		back, err := positio.Parse(c, s)
+		if err != nil || back != p {
+			t.Fatalf("%v: %#x -> %q -> %#x (%v)", c, uint64(p), s, uint64(back), err)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+// Package positio converts posits to and from decimal strings: exact
+// correctly rounded parsing at any precision, shortest-round-trip
+// formatting, and binary field rendering for inspection tools.
+package positio
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"positlab/internal/bigfp"
+	"positlab/internal/posit"
+)
+
+// Parse reads a decimal string (strconv syntax: "3.14", "-2.5e-7",
+// "NaR" case-insensitively) into the nearest posit with a single
+// correct rounding. The decimal is parsed into a big.Float whose
+// precision scales with the input length, so even adversarial
+// near-midpoint strings round correctly.
+func Parse(c posit.Config, s string) (posit.Bits, error) {
+	trimmed := strings.TrimSpace(s)
+	if strings.EqualFold(trimmed, "nar") || strings.EqualFold(trimmed, "nan") {
+		return c.NaR(), nil
+	}
+	// Precision: 4 bits per input character covers any decimal digit
+	// (log2(10) < 4) with the exponent and sign for free; floor at 64.
+	prec := uint(4 * len(trimmed))
+	if prec < 64 {
+		prec = 64
+	}
+	v, _, err := big.ParseFloat(trimmed, 10, prec, big.ToNearestEven)
+	if err != nil {
+		return 0, fmt.Errorf("positio: parsing %q: %w", s, err)
+	}
+	return bigfp.RoundToPosit(c, v), nil
+}
+
+// Format renders a posit as the shortest decimal string that parses
+// back to the same pattern. NaR renders as "NaR".
+func Format(c posit.Config, p posit.Bits) string {
+	if c.IsNaR(p) {
+		return "NaR"
+	}
+	if c.IsZero(p) {
+		return "0"
+	}
+	v := c.ToFloat64(p) // exact for every supported format
+	for prec := 1; prec <= 17; prec++ {
+		s := strconv.FormatFloat(v, 'g', prec, 64)
+		if back, err := Parse(c, s); err == nil && back == p {
+			return s
+		}
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Fields renders the pattern's binary decomposition with fields
+// separated by spaces: "sign regime [exponent] [fraction]", e.g.
+// "0 10 1 0010011" for a posit(11,1). Zero and NaR render their
+// special patterns whole.
+func Fields(c posit.Config, p posit.Bits) string {
+	n := c.N()
+	bits := fmt.Sprintf("%0*b", n, uint64(p))
+	if c.IsZero(p) || c.IsNaR(p) {
+		return bits
+	}
+	// Regime length: run of identical bits after the sign, plus the
+	// terminating opposite bit (when present).
+	body := bits[1:]
+	run := 1
+	for run < len(body) && body[run] == body[0] {
+		run++
+	}
+	rlen := run
+	if run < len(body) {
+		rlen++ // terminator
+	}
+	var parts []string
+	parts = append(parts, bits[:1], body[:rlen])
+	rest := body[rlen:]
+	es := c.ES()
+	if es > len(rest) {
+		es = len(rest)
+	}
+	if es > 0 {
+		parts = append(parts, rest[:es])
+	}
+	if frac := rest[es:]; len(frac) > 0 {
+		parts = append(parts, frac)
+	}
+	return strings.Join(parts, " ")
+}
+
+// MustParse is Parse that panics, for tests and literals.
+func MustParse(c posit.Config, s string) posit.Bits {
+	p, err := Parse(c, s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,143 @@
+package positio_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"positlab/internal/posit"
+	"positlab/internal/positio"
+)
+
+func TestParseBasics(t *testing.T) {
+	c := posit.Posit16e2
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0},
+		{"1", 1},
+		{"-1", -1},
+		{"2.5", 2.5},
+		{"1e3", 1000},
+		{" 0.5 ", 0.5},
+	}
+	for _, tc := range cases {
+		p, err := positio.Parse(c, tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := c.ToFloat64(p); got != tc.want {
+			t.Errorf("Parse(%q) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	for _, nar := range []string{"NaR", "nar", "NaN"} {
+		p, err := positio.Parse(c, nar)
+		if err != nil || !c.IsNaR(p) {
+			t.Errorf("Parse(%q) = %#x, %v", nar, uint64(p), err)
+		}
+	}
+	if _, err := positio.Parse(c, "not a number"); err == nil {
+		t.Error("garbage must error")
+	}
+}
+
+// Parse must agree with the library's correctly rounded conversion for
+// decimals that are exactly float64 values.
+func TestParseMatchesFromFloat64(t *testing.T) {
+	c := posit.Posit32e2
+	for _, v := range []float64{3.14159, 1e-30, 7.25e18, 123456.789, 2.3283064365386963e-10, -0.1} {
+		want := c.FromFloat64(v)
+		got := positio.MustParse(c, strconv.FormatFloat(v, 'g', 17, 64))
+		if got != want {
+			t.Errorf("Parse(%v) = %#x, FromFloat64 = %#x", v, uint64(got), uint64(want))
+		}
+	}
+}
+
+// Midpoint decimals round to the even pattern: the adversarial case
+// for any float64-mediated parser, which this package must get right.
+func TestParseExactMidpoints(t *testing.T) {
+	c := posit.Posit8e0
+	// Between 1.0 (0x40) and 1.03125 (0x41): midpoint 1.015625 -> even
+	// pattern 0x40. Between 0x41 and 0x42: midpoint 1.046875 -> 0x42.
+	if got := positio.MustParse(c, "1.015625"); uint64(got) != 0x40 {
+		t.Errorf("midpoint tie-down = %#x, want 0x40", uint64(got))
+	}
+	if got := positio.MustParse(c, "1.046875"); uint64(got) != 0x42 {
+		t.Errorf("midpoint tie-up = %#x, want 0x42", uint64(got))
+	}
+	// A hair above the first midpoint must round up even with a long
+	// decimal tail.
+	if got := positio.MustParse(c, "1.0156250000000000000000000000001"); uint64(got) != 0x41 {
+		t.Errorf("just above midpoint = %#x, want 0x41", uint64(got))
+	}
+}
+
+// Format produces the shortest decimal that parses back to the same
+// pattern, for every pattern of the 8- and 16-bit formats.
+func TestFormatRoundTripExhaustive(t *testing.T) {
+	for _, c := range []posit.Config{posit.Posit8e0, posit.Posit8e2, posit.Posit16e1} {
+		limit := uint64(1) << uint(c.N())
+		for pat := uint64(0); pat < limit; pat++ {
+			p := posit.Bits(pat)
+			s := positio.Format(c, p)
+			back, err := positio.Parse(c, s)
+			if err != nil {
+				t.Fatalf("%v: Format(%#x) = %q does not parse: %v", c, pat, s, err)
+			}
+			if back != p {
+				t.Fatalf("%v: %#x -> %q -> %#x", c, pat, s, uint64(back))
+			}
+		}
+	}
+}
+
+func TestFormatShortness(t *testing.T) {
+	c := posit.Posit16e2
+	if s := positio.Format(c, c.One()); s != "1" {
+		t.Errorf("Format(1) = %q", s)
+	}
+	if s := positio.Format(c, c.NaR()); s != "NaR" {
+		t.Errorf("Format(NaR) = %q", s)
+	}
+	if s := positio.Format(c, c.Zero()); s != "0" {
+		t.Errorf("Format(0) = %q", s)
+	}
+	// A third needs only enough digits to pick the right pattern, far
+	// fewer than float64's 17.
+	third := c.FromFloat64(1.0 / 3.0)
+	s := positio.Format(c, third)
+	if len(s) > 9 {
+		t.Errorf("Format(1/3) = %q, suspiciously long", s)
+	}
+}
+
+func TestFields(t *testing.T) {
+	c := posit.Posit8e1
+	// 2.0 = 0 10 1 0000: sign 0, regime 10, exponent 1, fraction 0000.
+	p := c.FromFloat64(2)
+	if got := positio.Fields(c, p); got != "0 10 1 0000" {
+		t.Errorf("Fields(2.0) = %q", got)
+	}
+	// Zero and NaR render whole.
+	if got := positio.Fields(c, c.Zero()); got != "00000000" {
+		t.Errorf("Fields(0) = %q", got)
+	}
+	if got := positio.Fields(c, c.NaR()); got != "10000000" {
+		t.Errorf("Fields(NaR) = %q", got)
+	}
+	// maxpos: regime consumes the whole body.
+	if got := positio.Fields(c, c.MaxPos()); got != "0 1111111" {
+		t.Errorf("Fields(maxpos) = %q", got)
+	}
+	// Field strings reassemble to the original pattern.
+	for pat := uint64(0); pat < 256; pat++ {
+		s := positio.Fields(c, posit.Bits(pat))
+		joined := strings.ReplaceAll(s, " ", "")
+		back, err := strconv.ParseUint(joined, 2, 64)
+		if err != nil || back != pat {
+			t.Fatalf("Fields(%#x) = %q does not reassemble", pat, s)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, and simple ASCII bar charts for terminal consumption.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders headers and rows as an aligned monospace table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders headers and rows as comma-separated values. Cells
+// containing commas or quotes are quoted.
+func CSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders labeled values as a horizontal ASCII bar chart, scaled
+// to width characters. Negative values draw to the left of a center
+// axis when any value is negative.
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxAbs := 0.0
+	hasNeg := false
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < 0 {
+			hasNeg = true
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		v := values[i]
+		fmt.Fprintf(&b, "%-*s ", lw, l)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteString("(n/a)\n")
+			continue
+		}
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(width) / 2))
+		if !hasNeg {
+			n = int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+			b.WriteString(strings.Repeat("#", n))
+		} else {
+			half := width / 2
+			if v < 0 {
+				b.WriteString(strings.Repeat(" ", half-n))
+				b.WriteString(strings.Repeat("#", n))
+				b.WriteString("|")
+			} else {
+				b.WriteString(strings.Repeat(" ", half))
+				b.WriteString("|")
+				b.WriteString(strings.Repeat("#", n))
+			}
+		}
+		fmt.Fprintf(&b, " %.4g\n", v)
+	}
+	return b.String()
+}
+
+// FormatCount renders an iteration count with the paper's conventions:
+// failed runs render as "-", capped runs as "<cap>+".
+func FormatCount(iters int, converged, failed bool, cap int) string {
+	if failed {
+		return "-"
+	}
+	if !converged {
+		return fmt.Sprintf("%d+", cap)
+	}
+	return fmt.Sprintf("%d", iters)
+}
+
+// Sci renders a float in compact scientific notation, with "-" for NaN.
+func Sci(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2e", v)
+}

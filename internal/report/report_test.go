@@ -1,0 +1,88 @@
+package report_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"positlab/internal/report"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := report.Table(
+		[]string{"name", "value"},
+		[][]string{{"a", "1"}, {"longer-name", "12345"}},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All rows share the same width up to trailing spaces.
+	w := len(strings.TrimRight(lines[3], " "))
+	if !strings.HasPrefix(lines[3], "longer-name") {
+		t.Error("row content wrong")
+	}
+	if len(strings.TrimRight(lines[1], " ")) < w-6 {
+		t.Error("separator not sized to columns")
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Error("header missing")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	out := report.CSV(
+		[]string{"a", "b"},
+		[][]string{{`has,comma`, `has"quote`}, {"plain", "x"}},
+	)
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Error("comma cell not quoted")
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Error("quote cell not escaped")
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Error("header wrong")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := report.Bars([]string{"x", "y"}, []float64{1, 2}, 20)
+	if !strings.Contains(out, "#") {
+		t.Error("no bars drawn")
+	}
+	// Negative values draw a centered axis.
+	out = report.Bars([]string{"neg", "pos"}, []float64{-1, 1}, 20)
+	if !strings.Contains(out, "|") {
+		t.Error("no axis for signed chart")
+	}
+	// NaN renders as n/a, zero max does not divide by zero.
+	out = report.Bars([]string{"n"}, []float64{math.NaN()}, 20)
+	if !strings.Contains(out, "n/a") {
+		t.Error("NaN not handled")
+	}
+	if out := report.Bars([]string{"z"}, []float64{0}, 20); !strings.Contains(out, "0") {
+		t.Error("zero row missing")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	if got := report.FormatCount(5, true, false, 1000); got != "5" {
+		t.Errorf("converged = %q", got)
+	}
+	if got := report.FormatCount(1000, false, false, 1000); got != "1000+" {
+		t.Errorf("capped = %q", got)
+	}
+	if got := report.FormatCount(3, false, true, 1000); got != "-" {
+		t.Errorf("failed = %q", got)
+	}
+}
+
+func TestSci(t *testing.T) {
+	if got := report.Sci(12345.678); got != "1.23e+04" {
+		t.Errorf("Sci = %q", got)
+	}
+	if got := report.Sci(math.NaN()); got != "-" {
+		t.Errorf("Sci(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Package scaling implements the paper's three matrix-rescaling
+// strategies:
+//
+//   - power-of-two rescaling of the whole system so ‖A‖∞ lands near
+//     2^10, used to pull CG iterates into the posit golden zone (§V-B);
+//   - Algorithm 3: rescaling by the nearest power of two of the average
+//     absolute diagonal entry, used for the Cholesky direct solver
+//     (§V-C2);
+//   - Algorithms 4–5: Higham's two-sided diagonal equilibration plus a
+//     μ shift for squeezing a matrix into a half-precision format, with
+//     the paper's format-aware choice of μ (a power of 4 near
+//     0.1·Float16max for IEEE half precision, USEED for posits).
+package scaling
+
+import (
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+	"positlab/internal/posit"
+)
+
+// NearestPowerOfTwo returns 2^round(log2(x)) for x > 0.
+func NearestPowerOfTwo(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Ldexp(1, int(math.Round(math.Log2(x))))
+}
+
+// NearestPowerOfFour returns 4^round(log4(x)) for x > 0 — the paper
+// rounds Higham's μ to a power of four because Cholesky takes square
+// roots, and USEED is itself a power of four for es ≥ 1 (§V-D2).
+func NearestPowerOfFour(x float64) float64 {
+	if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Pow(4, math.Round(math.Log2(x)/2))
+}
+
+// InfNormPow2 returns the power-of-two factor s such that s·‖A‖∞ is as
+// close as possible to the target (the paper targets 2^10 for CG). The
+// caller applies A ← s·A, b ← s·b; powers of two keep Float32 results
+// bit-identical away from its exponent limits.
+func InfNormPow2(a *linalg.Sparse, target float64) float64 {
+	norm := a.NormInf()
+	if norm == 0 {
+		return 1
+	}
+	return NearestPowerOfTwo(target / norm)
+}
+
+// RescaleSystemCG applies the §V-B CG rescaling in place: scale the
+// whole system by a power of two so ‖A‖∞ ≈ 2^10.
+func RescaleSystemCG(a *linalg.Sparse, b []float64) (factor float64) {
+	s := InfNormPow2(a, math.Ldexp(1, 10))
+	a.Scale(s)
+	for i := range b {
+		b[i] *= s
+	}
+	return s
+}
+
+// DiagAvgPow2 implements Algorithm 3's scale factor: the nearest power
+// of two of the average absolute diagonal entry. The system is solved
+// as (A/s)·x = (b/s), leaving x unchanged.
+func DiagAvgPow2(a *linalg.Sparse) float64 {
+	d := a.Diag()
+	sum := 0.0
+	for _, v := range d {
+		sum += math.Abs(v)
+	}
+	if sum == 0 {
+		return 1
+	}
+	return NearestPowerOfTwo(sum / float64(len(d)))
+}
+
+// RescaleSystemCholesky applies Algorithm 3 in place: A ← A/s, b ← b/s
+// with s = nearestPowerOfTwo(average(|A_kk|)).
+func RescaleSystemCholesky(a *linalg.Sparse, b []float64) (factor float64) {
+	s := DiagAvgPow2(a)
+	inv := 1 / s
+	a.Scale(inv)
+	for i := range b {
+		b[i] *= inv
+	}
+	return s
+}
+
+// HighamEquilibrate computes the diagonal R of Algorithm 5: iteratively
+// r_i ← ‖A(i,:)‖∞^{-1/2}, A ← diag(r)·A·diag(r), R ← diag(r)·R until
+// every row's largest magnitude is within tol of one. For symmetric A
+// this is symmetry-preserving row/column equilibration; it converges in
+// a handful of sweeps. The input matrix is not modified.
+func HighamEquilibrate(a *linalg.Sparse, tol float64, maxSweeps int) []float64 {
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 100
+	}
+	work := a.Clone()
+	r := make([]float64, a.N)
+	for i := range r {
+		r[i] = 1
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rows := work.RowNormInf()
+		worst := 0.0
+		for _, m := range rows {
+			if d := math.Abs(m - 1); d > worst {
+				worst = d
+			}
+		}
+		if worst <= tol {
+			break
+		}
+		d := make([]float64, a.N)
+		for i, m := range rows {
+			if m > 0 {
+				d[i] = 1 / math.Sqrt(m)
+			} else {
+				d[i] = 1
+			}
+		}
+		work.ScaleSym(d)
+		for i := range r {
+			r[i] *= d[i]
+		}
+	}
+	return r
+}
+
+// MuForFloat16 is Higham's shift for IEEE half precision: 0.1 times the
+// largest finite Float16, rounded to the nearest power of four (§V-D2).
+func MuForFloat16(maxValue float64) float64 {
+	return NearestPowerOfFour(0.1 * maxValue)
+}
+
+// MuForPosit is the paper's shift for posits: exactly USEED, so each
+// equilibrated row and column has maximum entry equal to USEED and sits
+// flush against the golden zone (§V-D2).
+func MuForPosit(c posit.Config) float64 {
+	return float64(c.USEED())
+}
+
+// MuFor picks the paper's μ for an arbitrary format: USEED for posit
+// formats, the power-of-four rounding of 0.1·max for IEEE formats.
+func MuFor(f arith.Format) float64 {
+	if c, ok := arith.PositConfig(f); ok {
+		return MuForPosit(c)
+	}
+	return MuForFloat16(f.MaxValue())
+}

@@ -1,0 +1,160 @@
+package scaling_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/matgen"
+	"positlab/internal/posit"
+	"positlab/internal/scaling"
+	"positlab/internal/solvers"
+)
+
+func TestNearestPowerOfTwo(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {2, 2}, {3, 4}, {1.4, 1}, {1.5, 2}, {0.75, 1},
+		{1000, 1024}, {0.3, 0.25}, {6e-1, 0.5},
+	}
+	for _, tc := range cases {
+		if got := scaling.NearestPowerOfTwo(tc.in); got != tc.want {
+			t.Errorf("NearestPowerOfTwo(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	// Degenerate inputs fall back to 1.
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if got := scaling.NearestPowerOfTwo(bad); got != 1 {
+			t.Errorf("NearestPowerOfTwo(%g) = %g, want 1", bad, got)
+		}
+	}
+}
+
+func TestNearestPowerOfFour(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 1}, {4, 4}, {16, 16}, {3, 4}, {5, 4}, {10, 16}, {0.3, 0.25},
+		{6550.4, 4096},
+	}
+	for _, tc := range cases {
+		if got := scaling.NearestPowerOfFour(tc.in); got != tc.want {
+			t.Errorf("NearestPowerOfFour(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRescaleSystemCG(t *testing.T) {
+	tgt, _ := matgen.TargetByName("nos1") // ‖A‖₂ = 2.5e9
+	m := matgen.Generate(tgt)
+	a := m.A.Clone()
+	b := append([]float64(nil), m.B...)
+	s := scaling.RescaleSystemCG(a, b)
+	// Scale factor is a power of two.
+	if f, _ := math.Frexp(s); f != 0.5 {
+		t.Fatalf("scale %g not a power of two", s)
+	}
+	// ‖A‖∞ lands within a factor of two of 2^10.
+	norm := a.NormInf()
+	if norm < 512 || norm > 2048 {
+		t.Fatalf("scaled ‖A‖∞ = %g, want near 1024", norm)
+	}
+	// The solution is unchanged: s·A·x̂ = s·b.
+	ax := make([]float64, a.N)
+	a.MatVecF64(m.XHat, ax)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-9*math.Abs(b[i])+1e-300 {
+			t.Fatalf("scaled system no longer consistent at %d", i)
+		}
+	}
+}
+
+func TestRescaleSystemCholesky(t *testing.T) {
+	tgt, _ := matgen.TargetByName("bcsstk01") // ‖A‖₂ = 3e9
+	m := matgen.Generate(tgt)
+	a := m.A.Clone()
+	b := append([]float64(nil), m.B...)
+	s := scaling.RescaleSystemCholesky(a, b)
+	if f, _ := math.Frexp(s); f != 0.5 {
+		t.Fatalf("scale %g not a power of two", s)
+	}
+	// After scaling, the average |diagonal| is within [0.5, 2].
+	d := a.Diag()
+	sum := 0.0
+	for _, v := range d {
+		sum += math.Abs(v)
+	}
+	avg := sum / float64(len(d))
+	if avg < 0.5 || avg > 2 {
+		t.Fatalf("scaled diagonal average = %g, want ~1", avg)
+	}
+	// Solution unchanged: x̂ still solves the scaled system.
+	ax := make([]float64, a.N)
+	a.MatVecF64(m.XHat, ax)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-9*math.Abs(b[i])+1e-300 {
+			t.Fatal("scaled system inconsistent")
+		}
+	}
+}
+
+func TestHighamEquilibrate(t *testing.T) {
+	for _, name := range []string{"nos1", "bcsstk01", "lund_b"} {
+		tgt, _ := matgen.TargetByName(name)
+		m := matgen.Generate(tgt)
+		r := scaling.HighamEquilibrate(m.A, 1e-8, 100)
+		// RAR must have every row's max |entry| equal to one.
+		scaled := m.A.Clone()
+		scaled.ScaleSym(r)
+		for i, mx := range scaled.RowNormInf() {
+			if math.Abs(mx-1) > 1e-6 {
+				t.Fatalf("%s: row %d max = %g after equilibration", name, i, mx)
+			}
+		}
+		if !scaled.IsSymmetric(1e-12) {
+			t.Fatalf("%s: equilibration broke symmetry", name)
+		}
+	}
+}
+
+func TestMuChoices(t *testing.T) {
+	// Float16: 0.1 * 65504 = 6550.4 -> nearest power of 4 is 4096.
+	if got := scaling.MuForFloat16(65504); got != 4096 {
+		t.Fatalf("MuForFloat16 = %g, want 4096", got)
+	}
+	// Posits: exactly USEED.
+	if got := scaling.MuForPosit(posit.Posit16e2); got != 16 {
+		t.Fatalf("MuForPosit(16,2) = %g, want 16", got)
+	}
+	if got := scaling.MuForPosit(posit.Posit16e1); got != 4 {
+		t.Fatalf("MuForPosit(16,1) = %g, want 4", got)
+	}
+	if got := scaling.MuFor(arith.Posit16e2); got != 16 {
+		t.Fatalf("MuFor(posit16e2) = %g", got)
+	}
+	if got := scaling.MuFor(arith.Float16); got != 4096 {
+		t.Fatalf("MuFor(float16) = %g", got)
+	}
+}
+
+// End-to-end: Higham scaling rescues Float16 IR on a matrix whose raw
+// entries are far outside Float16 range — the Table III mechanism.
+func TestHighamScalingRescuesFloat16(t *testing.T) {
+	tgt, _ := matgen.TargetByName("bcsstk01") // ‖A‖₂ = 3e9, N = 48
+	m := matgen.Generate(tgt)
+
+	naive := solvers.MixedIR(m.A, m.B, arith.Float16, solvers.IRScaling{}, solvers.IROptions{})
+	if naive.Converged {
+		t.Log("note: naive Float16 IR converged; Table II marks bcsstk01 as failing")
+	}
+
+	r := scaling.HighamEquilibrate(m.A, 1e-8, 100)
+	mu := scaling.MuFor(arith.Float16)
+	sc := solvers.MixedIR(m.A, m.B, arith.Float16, solvers.IRScaling{R: r, Mu: mu}, solvers.IROptions{})
+	if sc.FactorFailed || !sc.Converged {
+		t.Fatalf("Higham-scaled Float16 IR failed: %+v", sc)
+	}
+	// And posit(16,1) with mu = USEED converges too.
+	mp := scaling.MuFor(arith.Posit16e1)
+	sp := solvers.MixedIR(m.A, m.B, arith.Posit16e1, solvers.IRScaling{R: r, Mu: mp}, solvers.IROptions{})
+	if sp.FactorFailed || !sp.Converged {
+		t.Fatalf("Higham-scaled posit(16,1) IR failed: %+v", sp)
+	}
+}

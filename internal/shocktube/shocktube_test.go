@@ -1,0 +1,87 @@
+package shocktube_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/shocktube"
+)
+
+func TestSodInitialState(t *testing.T) {
+	s := shocktube.NewSod(arith.Float64, 100)
+	rho := s.Density()
+	if rho[0] != 1 || rho[99] != 0.125 {
+		t.Fatalf("initial densities %g, %g", rho[0], rho[99])
+	}
+}
+
+func TestFloat64ReferenceRun(t *testing.T) {
+	s, steps, failed := shocktube.Run(arith.Float64, shocktube.Config{Cells: 200})
+	if failed {
+		t.Fatal("float64 run failed")
+	}
+	if steps < 50 {
+		t.Fatalf("only %d steps", steps)
+	}
+	rho := s.Density()
+	// Physical sanity at t=0.2: density bounded by initial extremes,
+	// left state undisturbed, and a rarefaction/contact/shock structure
+	// in between (monotone decrease from 1.0 to 0.125 for first-order
+	// Rusanov).
+	for i, r := range rho {
+		if r < 0.1 || r > 1.01 {
+			t.Fatalf("unphysical density %g at cell %d", r, i)
+		}
+	}
+	if math.Abs(rho[0]-1) > 1e-6 {
+		t.Errorf("left state disturbed: %g", rho[0])
+	}
+	if math.Abs(rho[199]-0.125) > 1e-6 {
+		t.Errorf("right state disturbed: %g", rho[199])
+	}
+	// Sod's exact contact/shock plateau densities are ~0.426 and
+	// ~0.266; a first-order scheme at 200 cells lands near them.
+	mid := rho[120]
+	if mid < 0.2 || mid > 0.5 {
+		t.Errorf("post-shock region density %g implausible", mid)
+	}
+}
+
+// Every format completes the run; error vs the float64 reference ranks
+// by precision, and the narrow working range keeps 16-bit formats
+// usable (the paper's §VII intuition).
+func TestFormatsRankByPrecision(t *testing.T) {
+	ref, _, failed := shocktube.Run(arith.Float64, shocktube.Config{Cells: 100})
+	if failed {
+		t.Fatal("reference failed")
+	}
+	refRho := ref.Density()
+	errOf := func(f arith.Format) float64 {
+		s, _, failed := shocktube.Run(f, shocktube.Config{Cells: 100})
+		if failed {
+			t.Fatalf("%s run failed", f.Name())
+		}
+		return shocktube.RelErrorL2(s.Density(), refRho)
+	}
+	e32 := errOf(arith.Float32)
+	ep32 := errOf(arith.Posit32e2)
+	e16 := errOf(arith.Float16)
+	ep16 := errOf(arith.Posit16e2)
+	if !(e32 < e16 && ep32 < ep16) {
+		t.Errorf("32-bit should beat 16-bit: %g vs %g, %g vs %g", e32, e16, ep32, ep16)
+	}
+	if !(ep32 < e32) {
+		t.Errorf("posit(32,2) error %g should beat float32 %g in the golden-zone regime", ep32, e32)
+	}
+	if e16 > 0.05 || ep16 > 0.05 {
+		t.Errorf("16-bit formats should stay usable: float16 %g, posit16 %g", e16, ep16)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s, steps, failed := shocktube.Run(arith.Float64, shocktube.Config{Cells: 50, TEnd: 0.05})
+	if failed || steps == 0 || len(s.Rho) != 50 {
+		t.Fatalf("short run: steps=%d failed=%v", steps, failed)
+	}
+}

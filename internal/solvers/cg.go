@@ -1,0 +1,107 @@
+// Package solvers implements the paper's three solver workloads over
+// any arith.Format: the conjugate gradient method (Algorithm 1),
+// Cholesky factorization with triangular solves (Algorithm 2), and
+// mixed-precision iterative refinement with a low-precision
+// factorization and Float64 refinement (§IV-E, §V-D).
+package solvers
+
+import (
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+)
+
+// CGResult reports a conjugate-gradient run.
+type CGResult struct {
+	// Iterations performed (the paper's Fig. 6/7 y-axis).
+	Iterations int
+	// Converged reports that the recurrence residual satisfied
+	// ‖r‖ ≤ tol·‖b‖ within the iteration cap.
+	Converged bool
+	// Failed reports an arithmetic exception (posit NaR, IEEE NaN/Inf)
+	// during the iteration, which also means not converged.
+	Failed bool
+	// RelResidual is the final recurrence-residual ratio ‖r‖/‖b‖ as
+	// computed in the working format.
+	RelResidual float64
+	// X is the computed solution, exact float64 images of the format
+	// iterates.
+	X []float64
+}
+
+// CG runs Algorithm 1 of the paper in the matrix's format: plain
+// conjugate gradients with the residual maintained by the recurrence
+// r ← r − α·A·p and the convergence test ‖r‖ ≤ tol·‖b‖ evaluated on the
+// recurrence residual (the paper notes and accepts the slight
+// premature-convergence bias this brings, §IV-C).
+func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
+	f := a.F
+	n := a.N
+
+	x := linalg.NewVec(f, n)
+	r := append([]arith.Num(nil), b...)
+	p := append([]arith.Num(nil), b...)
+	ap := linalg.NewVec(f, n)
+
+	rr := linalg.Dot(f, r, r)
+	normB2 := f.ToFloat64(rr) // x₀ = 0 ⇒ r₀ = b
+	thresh := tol * tol * normB2
+
+	res := CGResult{}
+	if f.Bad(rr) {
+		res.Failed = true
+		res.X = linalg.VecToFloat64(f, x)
+		return res
+	}
+	if f.ToFloat64(rr) <= thresh {
+		res.Converged = true
+		res.X = linalg.VecToFloat64(f, x)
+		return res
+	}
+
+	for k := 0; k < maxIter; k++ {
+		a.MatVec(p, ap)
+		pap := linalg.Dot(f, p, ap)
+		alpha := f.Div(rr, pap)
+		if f.Bad(alpha) {
+			res.Iterations = k + 1
+			res.Failed = true
+			break
+		}
+		linalg.Axpy(f, alpha, p, x)         // x += α p
+		linalg.Axpy(f, f.Neg(alpha), ap, r) // r -= α Ap
+		rrNew := linalg.Dot(f, r, r)
+		if f.Bad(rrNew) {
+			res.Iterations = k + 1
+			res.Failed = true
+			break
+		}
+		res.Iterations = k + 1
+		if f.ToFloat64(rrNew) <= thresh {
+			res.Converged = true
+			rr = rrNew
+			break
+		}
+		beta := f.Div(rrNew, rr)
+		if f.Bad(beta) {
+			res.Failed = true
+			break
+		}
+		// p = r + β p
+		for i := range p {
+			p[i] = f.Add(r[i], f.Mul(beta, p[i]))
+		}
+		rr = rrNew
+	}
+	res.X = linalg.VecToFloat64(f, x)
+	if normB2 > 0 {
+		res.RelResidual = sqrtf(f.ToFloat64(rr) / normB2)
+	}
+	return res
+}
+
+func sqrtf(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return sqrt64(x)
+}

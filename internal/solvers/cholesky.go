@@ -1,0 +1,153 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+)
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }
+
+// ErrNotPositiveDefinite reports a Cholesky breakdown: a pivot that is
+// zero, negative, or an arithmetic exception in the working format.
+// In the mixed-precision tables this is the "arithmetic error
+// encountered during factorization" case rendered as '-'.
+var ErrNotPositiveDefinite = errors.New("solvers: matrix not positive definite in working precision")
+
+// Cholesky computes the upper-triangular factor R with A = RᵀR in the
+// matrix's format, rounding after every operation. Only the upper
+// triangle of a is read. The returned matrix has R in its upper
+// triangle and zeros below.
+func Cholesky(a *linalg.DenseNum) (*linalg.DenseNum, error) {
+	f := a.F
+	n := a.N
+	r := linalg.NewDenseNum(f, n)
+	zero := f.Zero()
+
+	for j := 0; j < n; j++ {
+		// Pivot: R[j][j] = sqrt(a[j][j] - Σ_{k<j} R[k][j]²).
+		s := a.At(j, j)
+		for k := 0; k < j; k++ {
+			rkj := r.At(k, j)
+			s = f.Sub(s, f.Mul(rkj, rkj))
+		}
+		if f.Bad(s) || f.IsZero(s) || f.Less(s, zero) {
+			return nil, ErrNotPositiveDefinite
+		}
+		piv := f.Sqrt(s)
+		if f.Bad(piv) || f.IsZero(piv) {
+			return nil, ErrNotPositiveDefinite
+		}
+		r.Set(j, j, piv)
+		// Row j of R: R[j][i] = (a[j][i] - Σ_{k<j} R[k][j]·R[k][i]) / pivot.
+		for i := j + 1; i < n; i++ {
+			t := a.At(j, i)
+			for k := 0; k < j; k++ {
+				t = f.Sub(t, f.Mul(r.At(k, j), r.At(k, i)))
+			}
+			q := f.Div(t, piv)
+			if f.Bad(q) {
+				return nil, ErrNotPositiveDefinite
+			}
+			r.Set(j, i, q)
+		}
+	}
+	return r, nil
+}
+
+// SolveUpper solves R·x = y for upper-triangular R by back
+// substitution in R's format.
+func SolveUpper(r *linalg.DenseNum, y []arith.Num) []arith.Num {
+	f := r.F
+	n := r.N
+	x := append([]arith.Num(nil), y...)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s = f.Sub(s, f.Mul(r.At(i, j), x[j]))
+		}
+		x[i] = f.Div(s, r.At(i, i))
+	}
+	return x
+}
+
+// SolveLowerT solves Rᵀ·y = b (forward substitution on the transpose of
+// upper-triangular R) in R's format.
+func SolveLowerT(r *linalg.DenseNum, b []arith.Num) []arith.Num {
+	f := r.F
+	n := r.N
+	y := append([]arith.Num(nil), b...)
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s = f.Sub(s, f.Mul(r.At(j, i), y[j]))
+		}
+		y[i] = f.Div(s, r.At(i, i))
+	}
+	return y
+}
+
+// CholeskySolve factors A and solves A·x = b entirely in A's format:
+// one pass of Algorithm 2 (factor, forward substitution, back
+// substitution) with no refinement, the configuration of the paper's
+// single-precision direct-solver experiments (§IV-D).
+func CholeskySolve(a *linalg.DenseNum, b []arith.Num) ([]arith.Num, error) {
+	r, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	y := SolveLowerT(r, b)
+	x := SolveUpper(r, y)
+	if linalg.HasBad(a.F, x) {
+		return nil, ErrNotPositiveDefinite
+	}
+	return x, nil
+}
+
+// BackwardError returns the relative backward error ‖b − A·x‖₂ / ‖b‖₂
+// evaluated in float64 against the float64 master matrix (the paper's
+// Cholesky metric, §IV-D).
+func BackwardError(a *linalg.Sparse, b, x []float64) float64 {
+	n := a.N
+	ax := make([]float64, n)
+	a.MatVecF64(x, ax)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	nb := linalg.Norm2F64(b)
+	if nb == 0 {
+		return linalg.Norm2F64(r)
+	}
+	return linalg.Norm2F64(r) / nb
+}
+
+// FactorizationError returns ‖RᵀR − A‖_F / ‖A‖_F in float64, the
+// factorization backward error of Fig. 10(b).
+func FactorizationError(a *linalg.Dense, r *linalg.DenseNum) float64 {
+	n := a.N
+	rf := r.ToFloat64()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (RᵀR)[i][j] = Σ_k R[k][i]·R[k][j], k ≤ min(i,j).
+			m := i
+			if j < m {
+				m = j
+			}
+			s := 0.0
+			for k := 0; k <= m; k++ {
+				s += rf.At(k, i) * rf.At(k, j)
+			}
+			d := s - a.At(i, j)
+			num += d * d
+			den += a.At(i, j) * a.At(i, j)
+		}
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}

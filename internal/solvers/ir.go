@@ -1,0 +1,183 @@
+package solvers
+
+import (
+	"math"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+)
+
+// IRScaling configures the matrix preparation for mixed-precision
+// iterative refinement.
+//
+// Nil R and Mu <= 0 (or 1) is the naive Table II configuration: the
+// matrix is cast directly to the low-precision format with overflow
+// clamped to the largest finite value.
+//
+// With R set (Higham's Algorithm 5 equilibration) and Mu set (the
+// Algorithm 4 shift: a power of 4 near 0.1·max for Float16, USEED for
+// posits), the factored matrix is fl_low(Mu·R·A·R) — Algorithm 4 of the
+// paper.
+type IRScaling struct {
+	R  []float64
+	Mu float64
+}
+
+// IROptions controls the refinement loop.
+type IROptions struct {
+	// Tol is the convergence threshold on the normwise relative
+	// backward error ‖b−Ax‖₂/(‖A‖_F·‖x‖₂+‖b‖₂), evaluated in Float64.
+	// Zero means 1e-15 (solution accurate to working precision, the
+	// paper's Higham-style criterion).
+	Tol float64
+	// MaxIter caps refinement iterations. Zero means 1000, the paper's
+	// "1000+" cap.
+	MaxIter int
+}
+
+// IRResult reports a mixed-precision iterative refinement run.
+type IRResult struct {
+	// Iterations until convergence (or the cap).
+	Iterations int
+	// Converged: backward error reached Tol within MaxIter.
+	Converged bool
+	// FactorFailed: the low-precision Cholesky broke down (the '-'
+	// entries of Tables II/III).
+	FactorFailed bool
+	// FactorError is ‖R̃ᵀR̃ − Â‖_F/‖Â‖_F of the low-precision factor
+	// against the (scaled) matrix it factored — Fig. 10(b).
+	FactorError float64
+	// BackwardError is the final normwise relative backward error.
+	BackwardError float64
+	// X is the computed solution (in the original, unscaled variables).
+	X []float64
+}
+
+// MixedIR runs Algorithm 2 as mixed-precision iterative refinement:
+// Cholesky factorization of the (optionally Higham-scaled) matrix in
+// the low format, refinement arithmetic entirely in Float64 (the
+// paper's working precision, §IV-E).
+func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt IROptions) IRResult {
+	n := a.N
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-15
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 1000
+	}
+	mu := sc.Mu
+	if mu <= 0 {
+		mu = 1
+	}
+
+	// Â = μ·R·A·R in float64, dense.
+	ah := a.ToDense()
+	if sc.R != nil {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ah.Set(i, j, ah.At(i, j)*sc.R[i]*sc.R[j])
+			}
+		}
+	}
+	if mu != 1 {
+		for i := range ah.A {
+			ah.A[i] *= mu
+		}
+	}
+
+	// Cast with the paper's clamping rule and factor in low precision.
+	ahLow := ah.ToFormat(low, true)
+	rLow, err := Cholesky(ahLow)
+	res := IRResult{}
+	if err != nil {
+		res.FactorFailed = true
+		return res
+	}
+	res.FactorError = FactorizationError(ah, rLow)
+
+	// Promote the factor to float64 for the refinement solves.
+	rf := rLow.ToFloat64()
+
+	x := make([]float64, n)
+	r := make([]float64, n)
+	ax := make([]float64, n)
+	normAF := a.NormFrob()
+	normB := linalg.Norm2F64(b)
+
+	for k := 1; k <= maxIter; k++ {
+		// r = b − A·x against the float64 master matrix.
+		a.MatVecF64(x, ax)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		eta := linalg.Norm2F64(r) / (normAF*linalg.Norm2F64(x) + normB)
+		res.BackwardError = eta
+		res.Iterations = k - 1
+		res.X = append(res.X[:0], x...)
+		if eta <= tol {
+			res.Converged = true
+			return res
+		}
+		if math.IsNaN(eta) || math.IsInf(eta, 0) {
+			return res // diverged
+		}
+		// Correction: Â·v = μ·R∘r, then d = μ·R∘v maps back to the
+		// original variables (d = μ·R·Â⁻¹·R·r solves A·d ≈ r).
+		u := make([]float64, n)
+		if sc.R != nil {
+			for i := range u {
+				u[i] = sc.R[i] * r[i]
+			}
+		} else {
+			copy(u, r)
+		}
+		v := solveCholF64(rf, u)
+		if sc.R != nil {
+			for i := range v {
+				v[i] = mu * sc.R[i] * v[i]
+			}
+		} else if mu != 1 {
+			for i := range v {
+				v[i] = mu * v[i]
+			}
+		}
+		for i := range x {
+			x[i] += v[i]
+		}
+	}
+	res.Iterations = maxIter
+	// One final residual check at the cap.
+	a.MatVecF64(x, ax)
+	for i := range r {
+		r[i] = b[i] - ax[i]
+	}
+	res.BackwardError = linalg.Norm2F64(r) / (normAF*linalg.Norm2F64(x) + normB)
+	res.Converged = res.BackwardError <= tol
+	res.X = x
+	return res
+}
+
+// solveCholF64 solves (RᵀR)·x = b in float64 given the upper factor.
+func solveCholF64(r *linalg.Dense, b []float64) []float64 {
+	n := r.N
+	y := append([]float64(nil), b...)
+	// Forward: Rᵀ·y = b.
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s -= r.At(j, i) * y[j]
+		}
+		y[i] = s / r.At(i, i)
+	}
+	// Backward: R·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * y[j]
+		}
+		y[i] = s / r.At(i, i)
+	}
+	return y
+}

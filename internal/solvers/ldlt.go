@@ -1,0 +1,92 @@
+package solvers
+
+import (
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+)
+
+// LDLT computes the square-root-free factorization A = LᵀDL (unit
+// upper-triangular L stored in the strict upper triangle, D on the
+// diagonal) in the matrix's format.
+//
+// The paper attributes its power-of-four μ rounding to Cholesky's use
+// of the square-root operator (§V-D2: "Cholesky factorization, unlike
+// LU, makes use of the square-root operator"). LDLᵀ takes no square
+// roots, so comparing the two factorizations under power-of-two vs
+// power-of-four shifts isolates that explanation — see
+// BenchmarkAblationLDLTShift.
+func LDLT(a *linalg.DenseNum) (*linalg.DenseNum, error) {
+	f := a.F
+	n := a.N
+	out := linalg.NewDenseNum(f, n)
+	zero := f.Zero()
+
+	for j := 0; j < n; j++ {
+		// d_j = a_jj - Σ_{k<j} d_k · l_kj².
+		dj := a.At(j, j)
+		for k := 0; k < j; k++ {
+			lkj := out.At(k, j)
+			dj = f.Sub(dj, f.Mul(out.At(k, k), f.Mul(lkj, lkj)))
+		}
+		if f.Bad(dj) || f.IsZero(dj) || f.Less(dj, zero) {
+			return nil, ErrNotPositiveDefinite
+		}
+		out.Set(j, j, dj)
+		// l_ji = (a_ji - Σ_{k<j} d_k · l_kj · l_ki) / d_j.
+		for i := j + 1; i < n; i++ {
+			t := a.At(j, i)
+			for k := 0; k < j; k++ {
+				t = f.Sub(t, f.Mul(out.At(k, k), f.Mul(out.At(k, j), out.At(k, i))))
+			}
+			q := f.Div(t, dj)
+			if f.Bad(q) {
+				return nil, ErrNotPositiveDefinite
+			}
+			out.Set(j, i, q)
+		}
+	}
+	return out, nil
+}
+
+// LDLTSolve solves A·x = b given the LDLT output: forward substitution
+// with unit Lᵀ, diagonal scaling, back substitution with unit L.
+func LDLTSolve(ld *linalg.DenseNum, b []arith.Num) []arith.Num {
+	f := ld.F
+	n := ld.N
+	y := append([]arith.Num(nil), b...)
+	// Lᵀ y = b (unit lower-triangular Lᵀ: entries ld[j][i] for j<i).
+	for i := 0; i < n; i++ {
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s = f.Sub(s, f.Mul(ld.At(j, i), y[j]))
+		}
+		y[i] = s
+	}
+	// D z = y.
+	for i := 0; i < n; i++ {
+		y[i] = f.Div(y[i], ld.At(i, i))
+	}
+	// L x = z (unit upper-triangular).
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s = f.Sub(s, f.Mul(ld.At(i, j), y[j]))
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LDLTDirectSolve factors and solves in one pass, the square-root-free
+// analogue of CholeskySolve.
+func LDLTDirectSolve(a *linalg.DenseNum, b []arith.Num) ([]arith.Num, error) {
+	ld, err := LDLT(a)
+	if err != nil {
+		return nil, err
+	}
+	x := LDLTSolve(ld, b)
+	if linalg.HasBad(a.F, x) {
+		return nil, ErrNotPositiveDefinite
+	}
+	return x, nil
+}

@@ -1,0 +1,139 @@
+package solvers_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+	"positlab/internal/matgen"
+	"positlab/internal/solvers"
+)
+
+// Randomized-instance properties over the RandomSPD generator: these
+// assert the numerical-analysis contracts the experiments rely on.
+
+func randomInstances(t *testing.T) []*linalg.Sparse {
+	t.Helper()
+	var out []*linalg.Sparse
+	for _, cfg := range []struct {
+		n     int
+		cond  float64
+		norm  float64
+		seed  uint64
+		intri float64
+	}{
+		{30, 1e2, 1.0, 11, 10},
+		{50, 1e4, 1e3, 12, 50},
+		{70, 1e6, 1e-2, 13, 100},
+		{40, 1e3, 1e6, 14, 30},
+	} {
+		a, err := matgen.RandomSPD(cfg.n, cfg.cond, cfg.norm, 5, cfg.intri, cfg.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Cholesky in float64 is backward stable: relative backward error
+// O(n·eps) regardless of conditioning.
+func TestPropCholeskyBackwardStable(t *testing.T) {
+	for _, a := range randomInstances(t) {
+		_, b := onesRHS(a)
+		x, err := solvers.CholeskySolve(a.ToDense().ToFormat(arith.Float64, false), linalg.VecFromFloat64(arith.Float64, b))
+		if err != nil {
+			t.Fatalf("n=%d: %v", a.N, err)
+		}
+		be := solvers.BackwardError(a, b, linalg.VecToFloat64(arith.Float64, x))
+		if be > float64(a.N)*1e-14 {
+			t.Errorf("n=%d: backward error %g exceeds n*eps budget", a.N, be)
+		}
+	}
+}
+
+// LDLT and Cholesky solve to comparable backward error on the same
+// instance in the same format.
+func TestPropLDLTComparableToCholesky(t *testing.T) {
+	for _, a := range randomInstances(t) {
+		_, b := onesRHS(a)
+		for _, f := range []arith.Format{arith.Float64, arith.Posit32e2} {
+			an := a.ToDense().ToFormat(f, false)
+			bn := linalg.VecFromFloat64(f, b)
+			xc, err1 := solvers.CholeskySolve(an, bn)
+			xl, err2 := solvers.LDLTDirectSolve(an, bn)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("n=%d %s: %v %v", a.N, f.Name(), err1, err2)
+			}
+			bec := solvers.BackwardError(a, b, linalg.VecToFloat64(f, xc))
+			bel := solvers.BackwardError(a, b, linalg.VecToFloat64(f, xl))
+			if bel > 100*bec+1e-13 || bec > 100*bel+1e-13 {
+				t.Errorf("n=%d %s: cholesky %g vs ldlt %g", a.N, f.Name(), bec, bel)
+			}
+		}
+	}
+}
+
+// CG in float64 converges within the theoretical sqrt(cond) budget
+// (with slack) and the recurrence residual tracks the true residual.
+func TestPropCGConvergesWithinBudget(t *testing.T) {
+	for _, a := range randomInstances(t) {
+		_, b := onesRHS(a)
+		f := arith.Float64
+		res := solvers.CG(a.ToFormat(f, false), linalg.VecFromFloat64(f, b), 1e-6, 20*a.N)
+		if !res.Converged {
+			t.Fatalf("n=%d: no convergence", a.N)
+		}
+		be := solvers.BackwardError(a, b, res.X)
+		// Recurrence residual may drift from truth; allow an order.
+		if be > 1e-4 {
+			t.Errorf("n=%d: converged flag but true backward error %g", a.N, be)
+		}
+	}
+}
+
+// Mixed IR with a 16-bit factorization still reaches Float64-level
+// backward error whenever the factorization succeeds, independent of
+// the matrix's scale (the refinement does the precision work).
+func TestPropMixedIRReachesWorkingPrecision(t *testing.T) {
+	for _, a := range randomInstances(t) {
+		_, b := onesRHS(a)
+		res := solvers.MixedIR(a, b, arith.Posit16e2, solvers.IRScaling{}, solvers.IROptions{})
+		if res.FactorFailed {
+			continue // out of the 16-bit format's reach: allowed
+		}
+		if res.Converged && res.BackwardError > 1e-14 {
+			t.Errorf("n=%d: converged at backward error %g", a.N, res.BackwardError)
+		}
+	}
+}
+
+// Solutions are invariant (to rounding) under the paper's power-of-two
+// system rescaling for float64.
+func TestPropRescaleInvariance(t *testing.T) {
+	for _, a := range randomInstances(t) {
+		_, b := onesRHS(a)
+		f := arith.Float64
+		x1, err := solvers.CholeskySolve(a.ToDense().ToFormat(f, false), linalg.VecFromFloat64(f, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2 := a.Clone()
+		b2 := append([]float64(nil), b...)
+		a2.Scale(0.25)
+		for i := range b2 {
+			b2[i] *= 0.25
+		}
+		x2, err := solvers.CholeskySolve(a2.ToDense().ToFormat(f, false), linalg.VecFromFloat64(f, b2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x1 {
+			v1, v2 := f.ToFloat64(x1[i]), f.ToFloat64(x2[i])
+			if math.Abs(v1-v2) > 1e-12*(math.Abs(v1)+1e-300) {
+				t.Fatalf("n=%d: power-of-two rescale changed the solution at %d: %g vs %g", a.N, i, v1, v2)
+			}
+		}
+	}
+}

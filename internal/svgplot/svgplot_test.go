@@ -1,0 +1,104 @@
+package svgplot_test
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+
+	"positlab/internal/svgplot"
+)
+
+// wellFormed checks the output parses as XML end to end.
+func wellFormed(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed XML: %v\n%s", err, s[:min(len(s), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPlotSVG(t *testing.T) {
+	p := &svgplot.Plot{
+		Title:  "digits & <escapes>",
+		XLabel: "log10(x)",
+		YLabel: "digits",
+		Series: []svgplot.Series{
+			{Name: "posit(32,2)", X: []float64{-2, -1, 0, 1, 2}, Y: []float64{6, 7, 8.4, 7, 6}},
+			{Name: "float32", X: []float64{-2, -1, 0, 1, 2}, Y: []float64{7.2, 7.2, 7.2, 7.2, 7.2}},
+			{Name: "scatter", X: []float64{0, 1}, Y: []float64{5, 6}, Points: true},
+		},
+	}
+	s := p.SVG()
+	wellFormed(t, s)
+	for _, want := range []string{"<svg", "polyline", "circle", "posit(32,2)", "&lt;escapes&gt;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	p := &svgplot.Plot{
+		LogX: true, LogY: true,
+		Series: []svgplot.Series{
+			{Name: "err", X: []float64{1, 10, 100, 1000}, Y: []float64{1e-8, 1e-7, 1e-6, 1e-5}},
+		},
+	}
+	s := p.SVG()
+	wellFormed(t, s)
+	if !strings.Contains(s, "1e") {
+		t.Error("log tick labels missing")
+	}
+}
+
+func TestPlotHandlesBadValues(t *testing.T) {
+	p := &svgplot.Plot{
+		Series: []svgplot.Series{
+			{Name: "holes", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), math.Inf(1)}},
+		},
+	}
+	wellFormed(t, p.SVG()) // must not panic or emit NaN coordinates
+	if strings.Contains(p.SVG(), "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := &svgplot.BarChart{
+		Title:  "improvement",
+		YLabel: "%",
+		Labels: []string{"a", "b", "c"},
+		Groups: map[string][]float64{
+			"posit(32,2)": {10, -20, 30},
+			"posit(32,3)": {5, 15, math.NaN()},
+		},
+		GroupOrder: []string{"posit(32,2)", "posit(32,3)"},
+	}
+	s := c.SVG()
+	wellFormed(t, s)
+	if strings.Count(s, "<rect") < 6 { // frame + background + >=4 bars + legend
+		t.Errorf("too few rects:\n%s", s)
+	}
+	if !strings.Contains(s, "rotate(-45") {
+		t.Error("labels not rotated")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	wellFormed(t, (&svgplot.Plot{}).SVG())
+	wellFormed(t, (&svgplot.BarChart{}).SVG())
+}
