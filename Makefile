@@ -1,0 +1,29 @@
+# Developer entry points. `make verify` is the repo's gate: vet,
+# build, the full test suite, and a race-detector pass over the
+# concurrent paths (the runner scheduler and the experiment suite's
+# singleflight generation).
+
+GO ?= go
+
+.PHONY: verify vet build test race bench-runner
+
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runner/... ./internal/experiments/... ./internal/arith/...
+
+# Reproduce BENCH_runner.json's timing comparison on a small subset
+# (the checked-in file records the full 19-matrix suite).
+bench-runner:
+	$(GO) build -o /tmp/positlab-experiments ./cmd/experiments
+	time /tmp/positlab-experiments -jobs 1 all >/dev/null
+	time /tmp/positlab-experiments -jobs 4 all >/dev/null

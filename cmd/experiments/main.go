@@ -1,167 +1,226 @@
 // Command experiments regenerates the paper's tables and figures on
-// the synthetic Table I replica suite.
+// the synthetic Table I replica suite, scheduling them through the
+// internal/runner subsystem: independent experiments fan out across a
+// worker pool, results are cached on disk, and progress is reported
+// live.
 //
 // Usage:
 //
 //	experiments [-matrices a,b,c] [-cgcap N] [-irmax N]
-//	            [-svg dir] [-csv dir] [ids...]
+//	            [-jobs N] [-timeout D] [-cache dir] [-runs file]
+//	            [-instrument] [-svg dir] [-csv dir] [ids...]
 //
 // where ids are any of: table1 fig3 fig5 fig6 fig7 fig8 fig9 table2
 // table3 fig10 ext-fft ext-shock ext-bicg ext-gmres all (default all).
+//
+// Exit status is 0 on success, 1 when any job or output write failed
+// (completed experiments are still printed), and 2 on usage errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"positlab/internal/experiments"
+	"positlab/internal/matgen"
+	"positlab/internal/runner"
 )
 
-func main() {
-	matrices := flag.String("matrices", "", "comma-separated matrix subset (default: all 19)")
-	cgcap := flag.Int("cgcap", 10, "CG iteration cap as a multiple of N")
-	irmax := flag.Int("irmax", 1000, "iterative-refinement iteration cap")
-	svgDir := flag.String("svg", "", "also write each figure as SVG into this directory")
-	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
-	flag.Parse()
+// displayOrder is the canonical output order — the order the serial
+// driver ran in — so parallel runs print byte-identical reports.
+var displayOrder = []string{
+	"table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"table2", "table3", "fig10",
+	"ext-fft", "ext-shock", "ext-bicg", "ext-gmres",
+}
 
-	writeFile := func(dir, name, content string) {
-		if dir == "" {
-			return
-		}
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("  (wrote %s)\n", path)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	matrices := fs.String("matrices", "", "comma-separated matrix subset (default: all 19)")
+	cgcap := fs.Int("cgcap", 10, "CG iteration cap as a multiple of N")
+	irmax := fs.Int("irmax", 1000, "iterative-refinement iteration cap")
+	svgDir := fs.String("svg", "", "also write each figure as SVG into this directory")
+	csvDir := fs.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	jobs := fs.Int("jobs", 0, "concurrent experiment jobs (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	cacheDir := fs.String("cache", "", "on-disk result cache directory (empty = no cache)")
+	runsPath := fs.String("runs", "", "write a machine-readable runs.json report to this file")
+	instrument := fs.Bool("instrument", false, "count per-job arithmetic operations into the run report")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
 
-	writeSVG := func(name, content string) { writeFile(*svgDir, name, content) }
-	writeCSV := func(name, content string) { writeFile(*csvDir, name, content) }
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "experiments: "+format+"\n", args...)
+		return 2
+	}
+	if *jobs < 0 {
+		return usage("-jobs must be >= 0, got %d", *jobs)
+	}
+	if *cgcap < 1 {
+		return usage("-cgcap must be >= 1, got %d", *cgcap)
+	}
+	if *irmax < 1 {
+		return usage("-irmax must be >= 1, got %d", *irmax)
+	}
+	if *timeout < 0 {
+		return usage("-timeout must be >= 0, got %v", *timeout)
+	}
 
 	opt := experiments.Options{CGCapFactor: *cgcap, IRMaxIter: *irmax}
 	if *matrices != "" {
 		opt.Matrices = strings.Split(*matrices, ",")
+		for _, name := range opt.Matrices {
+			if _, err := matgen.TargetByName(name); err != nil {
+				return usage("-matrices: %v", err)
+			}
+		}
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = []string{"all"}
 	}
-	known := []string{"table1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "fig10", "ext-fft", "ext-shock", "ext-bicg", "ext-gmres"}
 	want := map[string]bool{}
 	for _, id := range ids {
 		if id == "all" {
-			for _, k := range known {
+			for _, k := range displayOrder {
 				want[k] = true
 			}
 			continue
 		}
-		ok := false
-		for _, k := range known {
-			if id == k {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s, all)\n", id, strings.Join(known, " "))
-			os.Exit(2)
+		if _, ok := runner.Default.Lookup(id); !ok {
+			return usage("unknown experiment %q (known: %s, all)", id, strings.Join(displayOrder, " "))
 		}
 		want[id] = true
 	}
-
-	run := func(id, title string, f func() string) {
-		if !want[id] {
-			return
+	var selected []string
+	for _, id := range displayOrder {
+		if want[id] {
+			selected = append(selected, id)
 		}
-		t0 := time.Now()
-		body := f()
-		fmt.Printf("== %s: %s ==\n%s(%v)\n\n", id, title, body, time.Since(t0).Round(time.Millisecond))
 	}
 
-	run("table1", "matrix suite inventory", func() string {
-		rows := experiments.Table1(opt)
-		writeCSV("table1.csv", experiments.Table1CSV(rows))
-		return experiments.RenderTable1(rows)
-	})
-	run("fig3", "decimal digits of accuracy vs magnitude", func() string {
-		pts := experiments.Fig3(nil, 4)
-		writeSVG("fig3.svg", experiments.Fig3SVG(nil, pts))
-		writeCSV("fig3.csv", experiments.Fig3CSV(nil, pts))
-		return experiments.RenderFig3(nil, experiments.Fig3(nil, 1))
-	})
-	run("fig5", "posit32 extra fraction bits over Float32", func() string {
-		hists := experiments.Fig5(opt)
-		writeSVG("fig5.svg", experiments.Fig5SVG(hists))
-		return experiments.RenderFig5(hists)
-	})
-	run("fig6", "CG iterations, unscaled", func() string {
-		rows := experiments.Fig6(opt)
-		writeCSV("fig6.csv", experiments.CGCSV(rows))
-		writeSVG("fig6a.svg", experiments.CGSVG(rows, "Fig. 6(a): CG iterations, unscaled"))
-		writeSVG("fig6b.svg", experiments.CGImprovementSVG(rows, "Fig. 6(b): % improvement over Float32, unscaled"))
-		return experiments.RenderCG(rows)
-	})
-	run("fig7", "CG iterations, rescaled to ||A||inf ~ 2^10", func() string {
-		rows := experiments.Fig7(opt)
-		writeCSV("fig7.csv", experiments.CGCSV(rows))
-		writeSVG("fig7a.svg", experiments.CGSVG(rows, "Fig. 7(a): CG iterations, rescaled"))
-		writeSVG("fig7b.svg", experiments.CGImprovementSVG(rows, "Fig. 7(b): % improvement over Float32, rescaled"))
-		return experiments.RenderCG(rows)
-	})
-	run("fig8", "Cholesky relative backward error, unscaled", func() string {
-		rows := experiments.Fig8(opt)
-		writeCSV("fig8.csv", experiments.CholCSV(rows))
-		writeSVG("fig8a.svg", experiments.CholSVG(rows, "Fig. 8(a): digits advantage over Float32, unscaled"))
-		writeSVG("fig8b.svg", experiments.CholNormScatterSVG(rows))
-		return experiments.RenderChol(rows)
-	})
-	run("fig9", "Cholesky backward error, Algorithm 3 rescaling", func() string {
-		rows := experiments.Fig9(opt)
-		writeCSV("fig9.csv", experiments.CholCSV(rows))
-		writeSVG("fig9.svg", experiments.CholSVG(rows, "Fig. 9: digits advantage over Float32, Algorithm 3 rescaling"))
-		return experiments.RenderChol(rows)
-	})
-	run("table2", "naive mixed-precision iterative refinement", func() string {
-		rows := experiments.Table2(opt)
-		writeCSV("table2.csv", experiments.IRCSV(rows, *irmax))
-		return experiments.RenderIR(rows, *irmax, false)
-	})
-	run("table3", "iterative refinement with Higham scaling", func() string {
-		rows := experiments.Table3(opt)
-		writeCSV("table3.csv", experiments.IRCSV(rows, *irmax))
-		return experiments.RenderIR(rows, *irmax, true)
-	})
-	run("fig10", "refinement-step reduction and factor-error digits", func() string {
-		rows := experiments.Fig10(opt)
-		pctSVG, digitsSVG := experiments.Fig10SVG(rows)
-		writeSVG("fig10a.svg", pctSVG)
-		writeSVG("fig10b.svg", digitsSVG)
-		return experiments.RenderFig10(rows)
-	})
-	run("ext-fft", "future work: FFT accuracy per format (§VII)", func() string {
-		return experiments.RenderExtFFT(experiments.ExtFFT())
-	})
-	run("ext-shock", "future work: Sod shock tube per format (§VII)", func() string {
-		return experiments.RenderExtShock(experiments.ExtShock())
-	})
-	run("ext-bicg", "future work: BiCG iterate growth vs CG (§VI)", func() string {
-		s := experiments.RenderExtBiCG(experiments.ExtBiCG(opt))
-		s += "\nconvection-diffusion Peclet sweep (n=400, nonsymmetric):\n"
-		s += experiments.RenderExtBiCGPeclet(experiments.ExtBiCGPeclet(nil))
-		return s
-	})
-	run("ext-gmres", "extension: GMRES-IR vs plain IR corrections (§V-D2)", func() string {
-		return experiments.RenderExtGMRES(experiments.ExtGMRES(opt), *irmax)
-	})
+	cfg := runner.Config{
+		Jobs:       *jobs,
+		Timeout:    *timeout,
+		Options:    opt,
+		KeyData:    opt.Canonical(),
+		Instrument: *instrument,
+	}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		cfg.Cache = cache
+	}
+	cfg.Events = runner.Progress(stderr, scheduledCount(selected))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, rep, runErr := runner.Default.Run(ctx, selected, cfg)
+	if runErr != nil && rep == nil {
+		// Run-level failure before any job started (unknown dep,
+		// cycle): nothing to print.
+		fmt.Fprintf(stderr, "experiments: %v\n", runErr)
+		return 1
+	}
+
+	failed := runErr != nil
+	reports := map[string]runner.JobReport{}
+	for _, jr := range rep.Jobs {
+		reports[jr.ID] = jr
+	}
+
+	writeFile := func(dir, name, content string) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			failed = true
+			return
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			failed = true
+			return
+		}
+		fmt.Fprintf(stdout, "  (wrote %s)\n", path)
+	}
+
+	for _, id := range selected {
+		jr := reports[id]
+		if jr.Err != "" {
+			fmt.Fprintf(stderr, "experiments: %s: %s\n", id, jr.Err)
+			failed = true
+			continue
+		}
+		res := results[id]
+		if res == nil {
+			fmt.Fprintf(stderr, "experiments: %s: no result\n", id)
+			failed = true
+			continue
+		}
+		for _, a := range res.Artifacts {
+			switch {
+			case a.Kind == runner.CSV && *csvDir != "":
+				writeFile(*csvDir, a.Name, a.Content)
+			case a.Kind == runner.SVG && *svgDir != "":
+				writeFile(*svgDir, a.Name, a.Content)
+			}
+		}
+		elapsed := "cached"
+		if !jr.Cached {
+			elapsed = fmt.Sprint(time.Duration(jr.WallMS * float64(time.Millisecond)).Round(time.Millisecond))
+		}
+		fmt.Fprintf(stdout, "== %s: %s ==\n%s(%s)\n\n", id, jr.Title, res.Body, elapsed)
+	}
+
+	if *runsPath != "" {
+		if err := rep.WriteFile(*runsPath); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			failed = true
+		}
+	}
+	fmt.Fprintln(stderr, rep.Summary())
+	if runErr != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", runErr)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// scheduledCount sizes the progress display: the selected experiments
+// plus any dependencies the scheduler will pull in.
+func scheduledCount(selected []string) int {
+	seen := map[string]bool{}
+	var add func(id string)
+	add = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if s, ok := runner.Default.Lookup(id); ok {
+			for _, d := range s.Deps {
+				add(d)
+			}
+		}
+	}
+	for _, id := range selected {
+		add(id)
+	}
+	return len(seen)
 }

@@ -1,5 +1,7 @@
 package arith
 
+import "sync/atomic"
+
 // OpCounts tallies the arithmetic performed through an instrumented
 // Format. The paper's mixed-precision motivation rests on an operation
 // count split — "perform the O(n³) work (i.e. LU factorization) in a
@@ -57,5 +59,67 @@ func (i instrumented) Div(a, b Num) Num {
 
 func (i instrumented) Sqrt(a Num) Num {
 	i.counts.Sqrt++
+	return i.Format.Sqrt(a)
+}
+
+// AtomicOpCounts is an OpCounts safe for concurrent use: the
+// experiment runner hands one to each parallel job so per-job
+// operation counts stay exact even when jobs share worker threads.
+type AtomicOpCounts struct {
+	add, sub, mul, div, sqrt, conv atomic.Uint64
+}
+
+// Snapshot returns a point-in-time copy of the counters.
+func (a *AtomicOpCounts) Snapshot() OpCounts {
+	return OpCounts{
+		Add:  a.add.Load(),
+		Sub:  a.sub.Load(),
+		Mul:  a.mul.Load(),
+		Div:  a.div.Load(),
+		Sqrt: a.sqrt.Load(),
+		Conv: a.conv.Load(),
+	}
+}
+
+type instrumentedAtomic struct {
+	Format
+	counts *AtomicOpCounts
+}
+
+// InstrumentAtomic wraps a Format so every operation increments the
+// shared atomic counters. Like Instrument the wrapper is transparent —
+// results are bit-identical to the underlying format — but it is safe
+// for concurrent use across goroutines.
+func InstrumentAtomic(f Format, c *AtomicOpCounts) Format {
+	return instrumentedAtomic{Format: f, counts: c}
+}
+
+func (i instrumentedAtomic) FromFloat64(x float64) Num {
+	i.counts.conv.Add(1)
+	return i.Format.FromFloat64(x)
+}
+
+func (i instrumentedAtomic) Add(a, b Num) Num {
+	i.counts.add.Add(1)
+	return i.Format.Add(a, b)
+}
+
+func (i instrumentedAtomic) Sub(a, b Num) Num {
+	i.counts.sub.Add(1)
+	return i.Format.Sub(a, b)
+}
+
+func (i instrumentedAtomic) Mul(a, b Num) Num {
+	i.counts.mul.Add(1)
+	return i.Format.Mul(a, b)
+}
+
+func (i instrumentedAtomic) Div(a, b Num) Num {
+	i.counts.div.Add(1)
+	return i.Format.Div(a, b)
+}
+
+func (i instrumentedAtomic) Sqrt(a Num) Num {
+	i.counts.sqrt.Add(1)
 	return i.Format.Sqrt(a)
 }

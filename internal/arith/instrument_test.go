@@ -1,6 +1,7 @@
 package arith_test
 
 import (
+	"sync"
 	"testing"
 
 	"positlab/internal/arith"
@@ -28,5 +29,43 @@ func TestInstrumentCountsAndTransparency(t *testing.T) {
 	}
 	if f.Name() != raw.Name() || f.Eps() != raw.Eps() {
 		t.Fatal("passthrough metadata differs")
+	}
+}
+
+func TestInstrumentAtomicConcurrent(t *testing.T) {
+	var c arith.AtomicOpCounts
+	f := arith.InstrumentAtomic(arith.Posit16e2, &c)
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := f.FromFloat64(2)
+			b := f.FromFloat64(3)
+			for i := 0; i < perG; i++ {
+				_ = f.Add(a, b)
+				_ = f.Mul(a, b)
+			}
+			_ = f.Sub(a, b)
+			_ = f.Div(a, b)
+			_ = f.Sqrt(a)
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	want := arith.OpCounts{
+		Add: goroutines * perG, Mul: goroutines * perG,
+		Sub: goroutines, Div: goroutines, Sqrt: goroutines,
+		Conv: 2 * goroutines,
+	}
+	if got != want {
+		t.Fatalf("counts = %+v, want %+v", got, want)
+	}
+	// Transparency: results identical to the raw format.
+	raw := arith.Posit16e2
+	if f.ToFloat64(f.Add(f.FromFloat64(2), f.FromFloat64(3))) !=
+		raw.ToFloat64(raw.Add(raw.FromFloat64(2), raw.FromFloat64(3))) {
+		t.Fatal("instrumented result differs")
 	}
 }

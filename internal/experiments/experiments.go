@@ -21,23 +21,43 @@ package experiments
 import (
 	"sync"
 
+	"positlab/internal/arith"
 	"positlab/internal/matgen"
 )
 
 // Options tunes experiment scope and caps.
 type Options struct {
 	// Matrices filters the suite by name; nil means all 19.
-	Matrices []string
+	Matrices []string `json:"matrices,omitempty"`
 	// CGTol is the CG relative-residual convergence threshold
 	// (paper: 1e-5).
-	CGTol float64
+	CGTol float64 `json:"cg_tol,omitempty"`
 	// CGCapFactor caps CG at CGCapFactor*N iterations (default 10).
-	CGCapFactor int
+	CGCapFactor int `json:"cg_cap_factor,omitempty"`
 	// IRTol is the refinement backward-error threshold (default 1e-15,
 	// "accurate to Float64 precision").
-	IRTol float64
+	IRTol float64 `json:"ir_tol,omitempty"`
 	// IRMaxIter caps refinement (paper: 1000).
-	IRMaxIter int
+	IRMaxIter int `json:"ir_max_iter,omitempty"`
+	// Ops, when non-nil, receives a count of every format operation
+	// the experiment performs (see arith.InstrumentAtomic). Excluded
+	// from JSON — and therefore from runner cache keys — because
+	// instrumentation never changes results.
+	Ops *arith.AtomicOpCounts `json:"-"`
+}
+
+// Canonical returns the options with all defaults filled in, so two
+// spellings of the same configuration hash to the same cache key.
+func (o Options) Canonical() Options { return o.fill() }
+
+// format returns f wrapped to count operations into o.Ops, or f
+// itself when instrumentation is off. The wrapper is transparent:
+// results are bit-identical either way.
+func (o Options) format(f arith.Format) arith.Format {
+	if o.Ops == nil {
+		return f
+	}
+	return arith.InstrumentAtomic(f, o.Ops)
 }
 
 func (o Options) fill() Options {
@@ -56,34 +76,58 @@ func (o Options) fill() Options {
 	return o
 }
 
+// suiteEntry is one per-name singleflight slot: the mutex-protected
+// map only hands out entries, and generation happens under the
+// entry's own once, so distinct matrices generate concurrently while
+// concurrent requests for the same matrix do the work exactly once.
+type suiteEntry struct {
+	once sync.Once
+	m    *matgen.Matrix
+}
+
 var (
 	suiteMu    sync.Mutex
-	suiteCache = map[string]*matgen.Matrix{}
+	suiteCache = map[string]*suiteEntry{}
 )
 
 // suite returns the requested matrices (all of Table I when names is
 // nil), generating each at most once per process. Generation includes
-// the condition-number calibration passes, so caching matters.
+// the condition-number calibration passes, so caching matters — and
+// the per-name singleflight keeps parallel experiment jobs from
+// serializing on one global lock while unrelated matrices generate.
 func suite(names []string) []*matgen.Matrix {
 	if names == nil {
 		for _, t := range matgen.TableI {
 			names = append(names, t.Name)
 		}
 	}
+	entries := make([]*suiteEntry, len(names))
 	suiteMu.Lock()
-	defer suiteMu.Unlock()
-	out := make([]*matgen.Matrix, 0, len(names))
-	for _, name := range names {
-		m, ok := suiteCache[name]
+	for i, name := range names {
+		e, ok := suiteCache[name]
 		if !ok {
+			e = &suiteEntry{}
+			suiteCache[name] = e
+		}
+		entries[i] = e
+	}
+	suiteMu.Unlock()
+	out := make([]*matgen.Matrix, len(names))
+	for i, e := range entries {
+		name := names[i]
+		e.once.Do(func() {
 			t, err := matgen.TargetByName(name)
 			if err != nil {
 				panic(err)
 			}
-			m = matgen.Generate(t)
-			suiteCache[name] = m
+			e.m = matgen.Generate(t)
+		})
+		if e.m == nil {
+			// A concurrent caller's generation panicked; re-surface
+			// the failure here instead of returning a nil matrix.
+			panic("experiments: generation of " + name + " failed in a concurrent caller")
 		}
-		out = append(out, m)
+		out[i] = e.m
 	}
 	return out
 }

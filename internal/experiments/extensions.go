@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,10 +10,47 @@ import (
 	"positlab/internal/linalg"
 	"positlab/internal/matgen"
 	"positlab/internal/report"
+	"positlab/internal/runner"
 	"positlab/internal/scaling"
 	"positlab/internal/shocktube"
 	"positlab/internal/solvers"
 )
+
+func init() {
+	runner.Register(runner.Spec{
+		ID:    "ext-fft",
+		Title: "future work: FFT accuracy per format (§VII)",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			return &runner.Result{Body: RenderExtFFT(ExtFFT())}, nil
+		},
+	})
+	runner.Register(runner.Spec{
+		ID:    "ext-shock",
+		Title: "future work: Sod shock tube per format (§VII)",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			return &runner.Result{Body: RenderExtShock(ExtShock())}, nil
+		},
+	})
+	runner.Register(runner.Spec{
+		ID:    "ext-bicg",
+		Title: "future work: BiCG iterate growth vs CG (§VI)",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			s := RenderExtBiCG(ExtBiCG(optFrom(env)))
+			s += "\nconvection-diffusion Peclet sweep (n=400, nonsymmetric):\n"
+			s += RenderExtBiCGPeclet(ExtBiCGPeclet(nil))
+			return &runner.Result{Body: s}, nil
+		},
+	})
+	runner.Register(runner.Spec{
+		ID:    "ext-gmres",
+		Title: "extension: GMRES-IR vs plain IR corrections (§V-D2)",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			opt := optFrom(env)
+			rows := ExtGMRES(opt)
+			return &runner.Result{Body: RenderExtGMRES(rows, opt.fill().IRMaxIter)}, nil
+		},
+	})
+}
 
 // The paper's §VII names three future-work applications: FFT (expected
 // to favor posits — narrow working range), Bi-CG (expected to resist
@@ -152,9 +190,10 @@ func ExtGMRES(opt Options) []ExtGMRESRow {
 			GMRES:  make([]solvers.IRResult, len(IRFormats)),
 		}
 		for i, f := range IRFormats {
+			fi := opt.format(f)
 			iopt := solvers.IROptions{Tol: opt.IRTol, MaxIter: opt.IRMaxIter}
-			row.Plain[i] = solvers.MixedIR(m.A, m.B, f, solvers.IRScaling{}, iopt)
-			row.GMRES[i] = solvers.MixedIRGMRES(m.A, m.B, f, solvers.IRScaling{}, iopt, solvers.GMRESOptions{})
+			row.Plain[i] = solvers.MixedIR(m.A, m.B, fi, solvers.IRScaling{}, iopt)
+			row.GMRES[i] = solvers.MixedIRGMRES(m.A, m.B, fi, solvers.IRScaling{}, iopt, solvers.GMRESOptions{})
 		}
 		rows = append(rows, row)
 	}
@@ -192,7 +231,7 @@ type ExtBiCGRow struct {
 // ExtBiCG runs both solvers in posit(32,2) on rescaled suite systems.
 func ExtBiCG(opt Options) []ExtBiCGRow {
 	opt = opt.fill()
-	f := arith.Posit32e2
+	f := opt.format(arith.Posit32e2)
 	var rows []ExtBiCGRow
 	for _, m := range suite(opt.Matrices) {
 		a := m.A.Clone()

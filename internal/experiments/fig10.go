@@ -1,10 +1,34 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"positlab/internal/report"
+	"positlab/internal/runner"
 )
+
+func init() {
+	runner.Register(runner.Spec{
+		ID:    "fig10",
+		Title: "refinement-step reduction and factor-error digits",
+		// fig10 derives from the Table III runs; scheduling it after
+		// table3 lets it reuse the memoized rows instead of repeating
+		// every refinement solve.
+		Deps: []string{"table3"},
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			rows := Fig10(optFrom(env))
+			pctSVG, digitsSVG := Fig10SVG(rows)
+			return &runner.Result{
+				Body: RenderFig10(rows),
+				Artifacts: []runner.Artifact{
+					svgArt("fig10a.svg", pctSVG),
+					svgArt("fig10b.svg", digitsSVG),
+				},
+			}, nil
+		},
+	})
+}
 
 // Fig10Row is one matrix of Fig. 10: the percent reduction of
 // refinement steps (panel a) and the factorization backward-error

@@ -1,13 +1,33 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"positlab/internal/minifloat"
 	"positlab/internal/posit"
 	"positlab/internal/report"
+	"positlab/internal/runner"
 )
+
+func init() {
+	runner.Register(runner.Spec{
+		ID:    "fig3",
+		Title: "decimal digits of accuracy vs magnitude",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			pts := Fig3(nil, 4)
+			return &runner.Result{
+				Body: RenderFig3(nil, Fig3(nil, 1)),
+				Artifacts: []runner.Artifact{
+					svgArt("fig3.svg", Fig3SVG(nil, pts)),
+					csvArt("fig3.csv", Fig3CSV(nil, pts)),
+				},
+				Metrics: map[string]float64{"samples": float64(len(pts))},
+			}, nil
+		},
+	})
+}
 
 // Fig3Point is one magnitude sample of the precision-vs-magnitude
 // curves in Fig. 3: decimal digits of accuracy per format.

@@ -1,12 +1,28 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"positlab/internal/posit"
 	"positlab/internal/report"
+	"positlab/internal/runner"
 )
+
+func init() {
+	runner.Register(runner.Spec{
+		ID:    "fig5",
+		Title: "posit32 extra fraction bits over Float32",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			hists := Fig5(optFrom(env))
+			return &runner.Result{
+				Body:      RenderFig5(hists),
+				Artifacts: []runner.Artifact{svgArt("fig5.svg", Fig5SVG(hists))},
+			}, nil
+		},
+	})
+}
 
 // Fig5Histogram is the Fig. 5 result for one posit configuration: the
 // distribution of extra fraction bits offered by the posit encoding of

@@ -1,15 +1,52 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"positlab/internal/arith"
 	"positlab/internal/linalg"
 	"positlab/internal/report"
+	"positlab/internal/runner"
 	"positlab/internal/scaling"
 	"positlab/internal/solvers"
 )
+
+func init() {
+	cgSpec := func(id, title string, fn func(Options) []CGRow, svgA, svgB, titleA, titleB string) runner.Spec {
+		return runner.Spec{
+			ID:    id,
+			Title: title,
+			Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+				rows := fn(optFrom(env))
+				iters := 0.0
+				for _, r := range rows {
+					for _, it := range r.Iters {
+						iters += float64(it)
+					}
+				}
+				return &runner.Result{
+					Body: RenderCG(rows),
+					Artifacts: []runner.Artifact{
+						csvArt(id+".csv", CGCSV(rows)),
+						svgArt(svgA, CGSVG(rows, titleA)),
+						svgArt(svgB, CGImprovementSVG(rows, titleB)),
+					},
+					Metrics: map[string]float64{"cg_iterations": iters},
+				}, nil
+			},
+		}
+	}
+	runner.Register(cgSpec("fig6", "CG iterations, unscaled", Fig6,
+		"fig6a.svg", "fig6b.svg",
+		"Fig. 6(a): CG iterations, unscaled",
+		"Fig. 6(b): % improvement over Float32, unscaled"))
+	runner.Register(cgSpec("fig7", "CG iterations, rescaled to ||A||inf ~ 2^10", Fig7,
+		"fig7a.svg", "fig7b.svg",
+		"Fig. 7(a): CG iterations, rescaled",
+		"Fig. 7(b): % improvement over Float32, rescaled"))
+}
 
 // CGFormats are the formats compared in Figs. 6 and 7, with Float64 as
 // the reference the paper plots alongside.
@@ -61,8 +98,9 @@ func cgExperiment(opt Options, rescale bool) []CGRow {
 		}
 		cap := opt.CGCapFactor * a.N
 		for i, f := range CGFormats {
-			an := a.ToFormat(f, false)
-			bn := linalg.VecFromFloat64(f, b)
+			fi := opt.format(f)
+			an := a.ToFormat(fi, false)
+			bn := linalg.VecFromFloat64(fi, b)
 			res := solvers.CG(an, bn, opt.CGTol, cap)
 			row.Iters[i] = res.Iterations
 			row.Converged[i] = res.Converged

@@ -1,15 +1,49 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"positlab/internal/arith"
 	"positlab/internal/linalg"
 	"positlab/internal/report"
+	"positlab/internal/runner"
 	"positlab/internal/scaling"
 	"positlab/internal/solvers"
 )
+
+func init() {
+	runner.Register(runner.Spec{
+		ID:    "fig8",
+		Title: "Cholesky relative backward error, unscaled",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			rows := Fig8(optFrom(env))
+			return &runner.Result{
+				Body: RenderChol(rows),
+				Artifacts: []runner.Artifact{
+					csvArt("fig8.csv", CholCSV(rows)),
+					svgArt("fig8a.svg", CholSVG(rows, "Fig. 8(a): digits advantage over Float32, unscaled")),
+					svgArt("fig8b.svg", CholNormScatterSVG(rows)),
+				},
+			}, nil
+		},
+	})
+	runner.Register(runner.Spec{
+		ID:    "fig9",
+		Title: "Cholesky backward error, Algorithm 3 rescaling",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			rows := Fig9(optFrom(env))
+			return &runner.Result{
+				Body: RenderChol(rows),
+				Artifacts: []runner.Artifact{
+					csvArt("fig9.csv", CholCSV(rows)),
+					svgArt("fig9.svg", CholSVG(rows, "Fig. 9: digits advantage over Float32, Algorithm 3 rescaling")),
+				},
+			}, nil
+		},
+	})
+}
 
 // CholFormats are the formats compared in Figs. 8 and 9.
 var CholFormats = []arith.Format{
@@ -56,8 +90,9 @@ func cholExperiment(opt Options, rescale bool) []CholRow {
 			DigitsAdvantage: map[string]float64{},
 		}
 		for i, f := range CholFormats {
-			an := dense.ToFormat(f, false)
-			bn := linalg.VecFromFloat64(f, b)
+			fi := opt.format(f)
+			an := dense.ToFormat(fi, false)
+			bn := linalg.VecFromFloat64(fi, b)
 			x, err := solvers.CholeskySolve(an, bn)
 			if err != nil {
 				row.BackErr[i] = math.NaN()

@@ -1,0 +1,28 @@
+// Registration of every experiment into the runner's Default
+// registry. Each experiment file contributes its own init() with the
+// spec(s) it owns; this file holds the shared glue.
+package experiments
+
+import (
+	"positlab/internal/runner"
+)
+
+// optFrom extracts the experiments.Options a driver placed in the
+// job environment (zero Options when absent) and attaches the job's
+// operation counter.
+func optFrom(env *runner.Env) Options {
+	opt, _ := env.Options.(Options)
+	opt.Ops = env.Ops
+	return opt
+}
+
+// csvArt and svgArt build the artifact entries the CLI writes to its
+// -csv and -svg sinks, with the same file names the serial driver
+// used.
+func csvArt(name, content string) runner.Artifact {
+	return runner.Artifact{Name: name, Kind: runner.CSV, Content: content}
+}
+
+func svgArt(name, content string) runner.Artifact {
+	return runner.Artifact{Name: name, Kind: runner.SVG, Content: content}
+}

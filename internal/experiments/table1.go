@@ -1,11 +1,28 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"positlab/internal/linalg"
 	"positlab/internal/report"
+	"positlab/internal/runner"
 )
+
+func init() {
+	runner.Register(runner.Spec{
+		ID:    "table1",
+		Title: "matrix suite inventory",
+		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			rows := Table1(optFrom(env))
+			return &runner.Result{
+				Body:      RenderTable1(rows),
+				Artifacts: []runner.Artifact{csvArt("table1.csv", Table1CSV(rows))},
+				Metrics:   map[string]float64{"matrices": float64(len(rows))},
+			}, nil
+		},
+	})
+}
 
 // Table1Row is one matrix of the paper's Table I, with both the paper's
 // reported values (targets) and the measured values of the synthetic

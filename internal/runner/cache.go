@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheSchema versions the on-disk entry layout. Bump it whenever
+// Result or the key material changes shape; stale-schema entries are
+// treated as misses and overwritten.
+const cacheSchema = "positlab-cache/v1"
+
+// Cache is a content-addressed on-disk result cache. The key is a
+// SHA-256 over the experiment ID plus the canonical JSON of the
+// driver's option value (which includes the matrix subset), so a
+// re-run with identical inputs skips all solver work and replays the
+// stored body and artifacts.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry is the stored JSON envelope.
+type cacheEntry struct {
+	Schema string  `json:"schema"`
+	ID     string  `json:"id"`
+	Key    string  `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Key derives the content address for one experiment under the given
+// option value. keyData must be JSON-marshalable; drivers pass a
+// canonicalized options value so equivalent spellings share entries.
+func (c *Cache) Key(id string, keyData any) (string, error) {
+	material, err := json.Marshal(struct {
+		Schema string `json:"schema"`
+		ID     string `json:"id"`
+		Opts   any    `json:"opts"`
+	}{cacheSchema, id, keyData})
+	if err != nil {
+		return "", fmt.Errorf("runner: cache key for %s: %w", id, err)
+	}
+	sum := sha256.Sum256(material)
+	// Prefix the hash with the ID so cache directories are browsable.
+	return id + "-" + hex.EncodeToString(sum[:16]), nil
+}
+
+// path places an entry under a two-character fan-out of its hash tail
+// to keep directories small on big sweeps.
+func (c *Cache) path(key string) string {
+	shard := key[len(key)-2:]
+	return filepath.Join(c.dir, shard, key+".json")
+}
+
+// Get returns the cached result for key, reporting ok=false on a miss.
+// Undecodable or stale-schema entries are misses, not errors.
+func (c *Cache) Get(key string) (*Result, bool, error) {
+	data, err := os.ReadFile(c.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Result == nil {
+		return nil, false, nil
+	}
+	return e.Result, true, nil
+}
+
+// Put stores res under key, atomically (temp file + rename) so a
+// crashed or canceled run never leaves a torn entry.
+func (c *Cache) Put(key string, res *Result) error {
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(cacheEntry{Schema: cacheSchema, ID: keyID(key), Key: key, Result: res}, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+keyID(key)+"-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// keyID recovers the experiment ID prefix of a cache key.
+func keyID(key string) string {
+	if i := len(key) - 33; i > 0 && key[i] == '-' {
+		return key[:i]
+	}
+	return key
+}

@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"positlab/internal/arith"
+)
+
+// RunsSchema identifies the runs.json layout.
+const RunsSchema = "positlab-runs/v1"
+
+// EventKind classifies a progress event.
+type EventKind int
+
+const (
+	// JobStart fires when a worker picks the job up (after the cache
+	// miss check has not yet happened — cached jobs also start).
+	JobStart EventKind = iota
+	// JobDone fires when a job computed successfully.
+	JobDone
+	// JobCached fires when a job was satisfied from the cache.
+	JobCached
+	// JobFailed fires when a job errored, panicked, was canceled, or
+	// was skipped because a dependency failed.
+	JobFailed
+)
+
+// Event is one scheduler progress notification.
+type Event struct {
+	Kind    EventKind
+	ID      string
+	Title   string
+	Elapsed time.Duration
+	Err     string
+}
+
+// JobReport is the per-job entry of the final run report.
+type JobReport struct {
+	ID     string    `json:"id"`
+	Title  string    `json:"title"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	WallMS float64   `json:"wall_ms"`
+	// Cached marks a job satisfied from the on-disk cache (no solver
+	// work performed).
+	Cached bool `json:"cached,omitempty"`
+	// Err is empty for successful jobs; "skipped: ..." for jobs whose
+	// dependency failed, "canceled: ..." for jobs hit by cancellation.
+	Err string `json:"err,omitempty"`
+	// Metrics are experiment-reported scalars (e.g. total solver
+	// iterations).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Ops counts the arithmetic performed by this job when the run
+	// was instrumented (see arith.AtomicOpCounts).
+	Ops *arith.OpCounts `json:"ops,omitempty"`
+}
+
+// RunReport is the machine-readable summary written as runs.json.
+type RunReport struct {
+	Schema      string      `json:"schema"`
+	Started     time.Time   `json:"started"`
+	Finished    time.Time   `json:"finished"`
+	Workers     int         `json:"workers"`
+	TotalWallMS float64     `json:"total_wall_ms"`
+	Jobs        []JobReport `json:"jobs"`
+}
+
+// Counts tallies job outcomes.
+func (r *RunReport) Counts() (ok, cached, failed int) {
+	for _, j := range r.Jobs {
+		switch {
+		case j.Err != "":
+			failed++
+		case j.Cached:
+			cached++
+		default:
+			ok++
+		}
+	}
+	return
+}
+
+// Summary renders the final one-line human summary.
+func (r *RunReport) Summary() string {
+	ok, cached, failed := r.Counts()
+	s := fmt.Sprintf("%d jobs: %d computed, %d cached, %d failed in %v on %d workers",
+		len(r.Jobs), ok, cached, failed,
+		time.Duration(r.TotalWallMS*float64(time.Millisecond)).Round(time.Millisecond),
+		r.Workers)
+	return s
+}
+
+// JSON encodes the report for runs.json.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", " ")
+}
+
+// WriteFile writes runs.json atomically next to its final path.
+func (r *RunReport) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Progress returns an Events callback that renders a live per-job
+// summary line to w ("[done/total] state id (elapsed)"). It is safe
+// for concurrent use by scheduler workers.
+func Progress(w io.Writer, total int) func(Event) {
+	var mu sync.Mutex
+	done := 0
+	return func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e.Kind {
+		case JobStart:
+			fmt.Fprintf(w, "[%2d/%d] start  %-10s %s\n", done, total, e.ID, e.Title)
+			return
+		case JobDone:
+			done++
+			fmt.Fprintf(w, "[%2d/%d] done   %-10s (%v)\n", done, total, e.ID, e.Elapsed.Round(time.Millisecond))
+		case JobCached:
+			done++
+			fmt.Fprintf(w, "[%2d/%d] cached %-10s\n", done, total, e.ID)
+		case JobFailed:
+			done++
+			fmt.Fprintf(w, "[%2d/%d] FAILED %-10s %s\n", done, total, e.ID, e.Err)
+		}
+	}
+}
