@@ -1,13 +1,12 @@
 # Developer entry points. `make verify` is the repo's gate: vet,
-# build, the full test suite, and a race-detector pass over the
-# concurrent paths (the runner scheduler and the experiment suite's
-# singleflight generation).
+# build, the positlint static-analysis suite, the full test suite, and
+# a race-detector pass over every package.
 
 GO ?= go
 
-.PHONY: verify vet build test race bench-runner
+.PHONY: verify vet build lint test race bench-runner bench-lint
 
-verify: vet build test race
+verify: vet build lint test race
 
 vet:
 	$(GO) vet ./...
@@ -15,11 +14,17 @@ vet:
 build:
 	$(GO) build ./...
 
+# positlint: the repo-specific analyzers (precision laundering,
+# deterministic output, lock hygiene, error discipline, panic
+# discipline, registry consistency). See internal/lint.
+lint:
+	$(GO) run ./cmd/positlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/experiments/... ./internal/arith/...
+	$(GO) test -race ./...
 
 # Reproduce BENCH_runner.json's timing comparison on a small subset
 # (the checked-in file records the full 19-matrix suite).
@@ -27,3 +32,8 @@ bench-runner:
 	$(GO) build -o /tmp/positlab-experiments ./cmd/experiments
 	time /tmp/positlab-experiments -jobs 1 all >/dev/null
 	time /tmp/positlab-experiments -jobs 4 all >/dev/null
+
+# Reproduce BENCH_lint.json: the linter's full-repo load and the
+# per-run analysis cost.
+bench-lint:
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkRunRules' -benchtime 3x ./internal/lint/

@@ -34,7 +34,10 @@ func BenchmarkTable1Suite(b *testing.B) {
 
 func BenchmarkFig3PrecisionMap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Fig3(nil, 8)
+		pts, err := experiments.Fig3(nil, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pts) == 0 {
 			b.Fatal("no points")
 		}
@@ -338,7 +341,10 @@ func BenchmarkAblationLDLTShift(b *testing.B) {
 // BenchmarkExtFFT regenerates the §VII FFT future-work experiment.
 func BenchmarkExtFFT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.ExtFFT()
+		rows, err := experiments.ExtFFT()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -348,7 +354,10 @@ func BenchmarkExtFFT(b *testing.B) {
 // BenchmarkExtShock regenerates the §VII Sod shock-tube experiment.
 func BenchmarkExtShock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.ExtShock()
+		rows, err := experiments.ExtShock()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}

@@ -1,0 +1,132 @@
+// Command positlint runs the repo's static-analysis suite
+// (internal/lint): numerical-correctness and concurrency invariants
+// that code review alone cannot guarantee at scale.
+//
+// Usage:
+//
+//	positlint [-C dir] [-json] [-rules list] [-list] [packages...]
+//
+// With no package arguments (or "./...") the whole module is analyzed.
+// Package arguments are directories relative to the module root
+// ("internal/solvers"). -rules selects a comma-separated subset
+// ("precision,maporder"), with "-name" dropping a rule from the set
+// ("-rules all,-maporder" or just "-rules -maporder"). -json emits
+// machine-readable diagnostics. -list prints the rules and exits.
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic was
+// reported, and 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"positlab/internal/lint"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("positlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chdir := fs.String("C", "", "module root (default: walk up from the working directory to go.mod)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	ruleSpec := fs.String("rules", "all", "comma-separated rules to run; prefix with - to drop (e.g. all,-maporder)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	rules, err := lint.SelectRules(*ruleSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "positlint: %v\n", err)
+		return 2
+	}
+	if *list {
+		for _, r := range rules {
+			fmt.Fprintf(stdout, "%-10s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	root := *chdir
+	if root == "" {
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "positlint: %v\n", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	args := fs.Args()
+	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, arg := range args {
+			rel := filepath.ToSlash(filepath.Clean(arg))
+			importPath := loader.ModulePath
+			if rel != "." {
+				importPath = loader.ModulePath + "/" + rel
+			}
+			pkg, err := loader.LoadDir(importPath, filepath.Join(root, filepath.FromSlash(rel)))
+			if err != nil {
+				fmt.Fprintf(stderr, "positlint: %v\n", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	diags := lint.Run(root, pkgs, rules)
+	if *jsonOut {
+		data, err := lint.JSON(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "positlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

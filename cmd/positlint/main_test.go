@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"positlab/internal/lint"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range lint.RuleNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing rule %q", name)
+		}
+	}
+}
+
+// TestFindingsExitOne lints a fixture package that deliberately
+// violates the locks and panics rules.
+func TestFindingsExitOne(t *testing.T) {
+	root := repoRoot(t)
+	var out, errb strings.Builder
+	code := run([]string{"-C", root, "internal/lint/testdata/src/lib"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1), stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "locks:") || !strings.Contains(out.String(), "panics:") {
+		t.Errorf("diagnostics missing expected rules:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := repoRoot(t)
+	var out, errb strings.Builder
+	code := run([]string{"-C", root, "-json", "internal/lint/testdata/src/lib"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Error("no diagnostics decoded")
+	}
+	for _, d := range diags {
+		if d.Rule == "" || d.File == "" || d.Line == 0 {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestRuleSelection drops the violated rules; the fixture then lints
+// clean.
+func TestRuleSelection(t *testing.T) {
+	root := repoRoot(t)
+	var out, errb strings.Builder
+	code := run([]string{"-C", root, "-rules", "all,-locks,-panics", "internal/lint/testdata/src/lib"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, out: %s stderr: %s", code, out.String(), errb.String())
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-rules", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown rule: exit %d (want 2)", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", t.TempDir()}, &out, &errb); code != 2 {
+		t.Errorf("no go.mod: exit %d (want 2)", code)
+	}
+}

@@ -1,0 +1,77 @@
+package arith_test
+
+import (
+	"sync"
+	"testing"
+
+	"positlab/internal/arith"
+)
+
+// TestAtomicOpCountsConcurrent drives one shared AtomicOpCounts from
+// many goroutines — the exact shape of parallel scheduler jobs sharing
+// a counter — and checks the tallies stay exact. Run under `make race`
+// this doubles as the data-race proof for InstrumentAtomic.
+func TestAtomicOpCountsConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perOp   = 500
+	)
+	var counts arith.AtomicOpCounts
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := arith.InstrumentAtomic(arith.Float64, &counts)
+			a, b := f.FromFloat64(3), f.FromFloat64(2)
+			for i := 0; i < perOp; i++ {
+				_ = f.Add(a, b)
+				_ = f.Sub(a, b)
+				_ = f.Mul(a, b)
+				_ = f.Div(a, b)
+				_ = f.Sqrt(a)
+			}
+		}()
+	}
+	wg.Wait()
+
+	got := counts.Snapshot()
+	want := arith.OpCounts{
+		Add:  workers * perOp,
+		Sub:  workers * perOp,
+		Mul:  workers * perOp,
+		Div:  workers * perOp,
+		Sqrt: workers * perOp,
+		Conv: workers * 2,
+	}
+	if got != want {
+		t.Errorf("concurrent counts = %+v, want %+v", got, want)
+	}
+	if total := got.Total(); total != 5*workers*perOp {
+		t.Errorf("Total() = %d, want %d", total, 5*workers*perOp)
+	}
+}
+
+// TestInstrumentAtomicTransparent checks the wrapper never perturbs
+// results even while racing: every goroutine's arithmetic must be
+// bit-identical to the bare format's.
+func TestInstrumentAtomicTransparent(t *testing.T) {
+	var counts arith.AtomicOpCounts
+	bare := arith.Float64
+	wrapped := arith.InstrumentAtomic(bare, &counts)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			x := wrapped.FromFloat64(seed)
+			y := wrapped.FromFloat64(seed / 3)
+			if wrapped.Add(x, y) != bare.Add(x, y) ||
+				wrapped.Mul(x, y) != bare.Mul(x, y) ||
+				wrapped.Sqrt(x) != bare.Sqrt(x) {
+				t.Error("instrumented results diverge from the bare format")
+			}
+		}(float64(w + 1))
+	}
+	wg.Wait()
+}

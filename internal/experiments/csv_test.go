@@ -14,7 +14,11 @@ func TestCSVExports(t *testing.T) {
 		t.Errorf("table1 csv:\n%s", t1)
 	}
 
-	f3 := experiments.Fig3CSV(nil, experiments.Fig3(nil, 1))
+	f3pts, err := experiments.Fig3(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := experiments.Fig3CSV(nil, f3pts)
 	if !strings.Contains(f3, "log10_x,") || !strings.Contains(f3, "posit(32,2)") {
 		t.Error("fig3 csv header wrong")
 	}

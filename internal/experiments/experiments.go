@@ -118,14 +118,16 @@ func suite(names []string) []*matgen.Matrix {
 		e.once.Do(func() {
 			t, err := matgen.TargetByName(name)
 			if err != nil {
-				panic(err)
+				// The runner's safeRun recovers suite panics into job
+				// failures; runner_test exercises that path.
+				panic(err) //lint:allow panics recovered by runner.safeRun, tested in runner_test
 			}
 			e.m = matgen.Generate(t)
 		})
 		if e.m == nil {
 			// A concurrent caller's generation panicked; re-surface
 			// the failure here instead of returning a nil matrix.
-			panic("experiments: generation of " + name + " failed in a concurrent caller")
+			panic("experiments: generation of " + name + " failed in a concurrent caller") //lint:allow panics recovered by runner.safeRun, tested in runner_test
 		}
 		out[i] = e.m
 	}

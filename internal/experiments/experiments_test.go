@@ -39,7 +39,10 @@ func TestTable1Fidelity(t *testing.T) {
 }
 
 func TestFig3GoldenZone(t *testing.T) {
-	pts := experiments.Fig3(nil, 2)
+	pts, err := experiments.Fig3(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) == 0 {
 		t.Fatal("no points")
 	}

@@ -21,23 +21,35 @@ func init() {
 		ID:    "ext-fft",
 		Title: "future work: FFT accuracy per format (§VII)",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			return &runner.Result{Body: RenderExtFFT(ExtFFT())}, nil
+			rows, err := ExtFFT()
+			if err != nil {
+				return nil, err
+			}
+			return &runner.Result{Body: RenderExtFFT(rows)}, nil
 		},
 	})
 	runner.Register(runner.Spec{
 		ID:    "ext-shock",
 		Title: "future work: Sod shock tube per format (§VII)",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			return &runner.Result{Body: RenderExtShock(ExtShock())}, nil
+			rows, err := ExtShock()
+			if err != nil {
+				return nil, err
+			}
+			return &runner.Result{Body: RenderExtShock(rows)}, nil
 		},
 	})
 	runner.Register(runner.Spec{
 		ID:    "ext-bicg",
 		Title: "future work: BiCG iterate growth vs CG (§VI)",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
+			pec, err := ExtBiCGPeclet(nil)
+			if err != nil {
+				return nil, err
+			}
 			s := RenderExtBiCG(ExtBiCG(optFrom(env)))
 			s += "\nconvection-diffusion Peclet sweep (n=400, nonsymmetric):\n"
-			s += RenderExtBiCGPeclet(ExtBiCGPeclet(nil))
+			s += RenderExtBiCGPeclet(pec)
 			return &runner.Result{Body: s}, nil
 		},
 	})
@@ -67,15 +79,36 @@ type ExtFFTRow struct {
 	RoundTripErr float64
 }
 
-// ExtFFT runs a 1024-point FFT of a three-tone unit-amplitude signal
-// in each format.
-func ExtFFT() []ExtFFTRow {
-	const n = 1024
+// fftTestSignal synthesizes the three-tone unit-amplitude input in
+// float64. A separate float64-only helper keeps the trig out of the
+// format-generic ExtFFT (the signal is an exact input, rounded once
+// into each format by the plan).
+func fftTestSignal(n int) []float64 {
 	sig := make([]float64, n)
 	for i := range sig {
 		x := float64(i) / float64(n)
 		sig[i] = math.Sin(2*math.Pi*5*x) + 0.5*math.Cos(2*math.Pi*31*x) + 0.25*math.Sin(2*math.Pi*101*x)
 	}
+	return sig
+}
+
+// roundTripErrL2 is the relative L2 error of a complex round-trip
+// against the real input, evaluated in float64 (reporting metric).
+func roundTripErrL2(back []complex128, sig []float64) float64 {
+	var num, den float64
+	for i := range sig {
+		d := real(back[i]) - sig[i]
+		num += d*d + imag(back[i])*imag(back[i])
+		den += sig[i] * sig[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+// ExtFFT runs a 1024-point FFT of a three-tone unit-amplitude signal
+// in each format.
+func ExtFFT() ([]ExtFFTRow, error) {
+	const n = 1024
+	sig := fftTestSignal(n)
 	ref := fft.ReferenceForward(sig)
 
 	formats := []arith.Format{
@@ -88,26 +121,19 @@ func ExtFFT() []ExtFFTRow {
 	for _, f := range formats {
 		p, err := fft.NewPlan(f, n)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("ext-fft: %s: %w", f.Name(), err)
 		}
 		x := fft.FromReal(f, sig)
 		p.Forward(x)
 		fwd := fft.RelErrorL2(fft.ToFloat64(f, x), ref)
 		p.Inverse(x)
-		back := fft.ToFloat64(f, x)
-		var num, den float64
-		for i := range sig {
-			d := real(back[i]) - sig[i]
-			num += d*d + imag(back[i])*imag(back[i])
-			den += sig[i] * sig[i]
-		}
 		rows = append(rows, ExtFFTRow{
 			Format:       f.Name(),
 			ForwardErr:   fwd,
-			RoundTripErr: math.Sqrt(num / den),
+			RoundTripErr: roundTripErrL2(fft.ToFloat64(f, x), sig),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderExtFFT prints the FFT accuracy table.
@@ -130,11 +156,11 @@ type ExtShockRow struct {
 }
 
 // ExtShock runs Sod's problem at 200 cells to t=0.2 in each format.
-func ExtShock() []ExtShockRow {
+func ExtShock() ([]ExtShockRow, error) {
 	cfg := shocktube.Config{Cells: 200}
 	ref, _, failed := shocktube.Run(arith.Float64, cfg)
 	if failed {
-		panic("float64 shock tube reference failed")
+		return nil, fmt.Errorf("ext-shock: float64 shock tube reference failed")
 	}
 	refRho := ref.Density()
 	formats := []arith.Format{
@@ -152,7 +178,7 @@ func ExtShock() []ExtShockRow {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderExtShock prints the shock-tube table.
@@ -288,8 +314,19 @@ type ExtBiCGPecletRow struct {
 	Float64Converged, Float32Converged, PositConverged, PositRescaledConverged bool
 }
 
+// uniformUnitVec is the unit-norm constant vector x̂ used as the known
+// solution, built in float64 (exact input construction, kept out of
+// the format-generic sweep).
+func uniformUnitVec(n int) []float64 {
+	xhat := make([]float64, n)
+	for i := range xhat {
+		xhat[i] = 1 / math.Sqrt(float64(n))
+	}
+	return xhat
+}
+
 // ExtBiCGPeclet runs the convection-diffusion sweep (n = 400).
-func ExtBiCGPeclet(peclets []float64) []ExtBiCGPecletRow {
+func ExtBiCGPeclet(peclets []float64) ([]ExtBiCGPecletRow, error) {
 	if peclets == nil {
 		peclets = []float64{0, 1, 10, 100, 1000}
 	}
@@ -298,12 +335,9 @@ func ExtBiCGPeclet(peclets []float64) []ExtBiCGPecletRow {
 	for _, p := range peclets {
 		a, err := matgen.ConvectionDiffusion1D(n, p)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("ext-bicg: %w", err)
 		}
-		xhat := make([]float64, n)
-		for i := range xhat {
-			xhat[i] = 1 / math.Sqrt(float64(n))
-		}
+		xhat := uniformUnitVec(n)
 		b := make([]float64, n)
 		a.MatVecF64(xhat, b)
 
@@ -325,7 +359,7 @@ func ExtBiCGPeclet(peclets []float64) []ExtBiCGPecletRow {
 		row.PositRescaledIters, row.PositRescaledMaxIterate, row.PositRescaledConverged = rs.Iterations, rs.MaxIterate, rs.Converged
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderExtBiCGPeclet prints the Peclet sweep.

@@ -8,7 +8,10 @@ import (
 )
 
 func TestExtFFT(t *testing.T) {
-	rows := experiments.ExtFFT()
+	rows, err := experiments.ExtFFT()
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]experiments.ExtFFTRow{}
 	for _, r := range rows {
 		byName[r.Format] = r
@@ -37,7 +40,10 @@ func TestExtFFT(t *testing.T) {
 }
 
 func TestExtShock(t *testing.T) {
-	rows := experiments.ExtShock()
+	rows, err := experiments.ExtShock()
+	if err != nil {
+		t.Fatal(err)
+	}
 	byName := map[string]experiments.ExtShockRow{}
 	for _, r := range rows {
 		byName[r.Format] = r
@@ -84,7 +90,10 @@ func TestExtGMRES(t *testing.T) {
 // iterates grow with nonsymmetry, and 32-bit formats lose convergence
 // once the transient iterates dwarf the working precision.
 func TestExtBiCGPeclet(t *testing.T) {
-	rows := experiments.ExtBiCGPeclet([]float64{0, 10})
+	rows, err := experiments.ExtBiCGPeclet([]float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatal("row count")
 	}

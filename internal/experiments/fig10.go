@@ -64,11 +64,18 @@ func Fig10(opt Options) []Fig10Row {
 				fr.DigitsImprovement[f.Name()] = math.NaN()
 				continue
 			}
-			fr.DigitsImprovement[f.Name()] = math.Log10(f16 / pe)
+			fr.DigitsImprovement[f.Name()] = log10Ratio(f16, pe)
 		}
 		out = append(out, fr)
 	}
 	return out
+}
+
+// log10Ratio is the digits-of-accuracy comparison metric shared by the
+// Fig. 10(b) and Fig. 8/9 panels. It operates on already-measured
+// float64 error magnitudes, never on format-carried values.
+func log10Ratio(num, den float64) float64 {
+	return math.Log10(num / den)
 }
 
 // RenderFig10 prints both panels as bar charts.

@@ -16,9 +16,16 @@ func init() {
 		ID:    "fig3",
 		Title: "decimal digits of accuracy vs magnitude",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			pts := Fig3(nil, 4)
+			pts, err := Fig3(nil, 4)
+			if err != nil {
+				return nil, err
+			}
+			coarse, err := Fig3(nil, 1)
+			if err != nil {
+				return nil, err
+			}
 			return &runner.Result{
-				Body: RenderFig3(nil, Fig3(nil, 1)),
+				Body: RenderFig3(nil, coarse),
 				Artifacts: []runner.Artifact{
 					svgArt("fig3.svg", Fig3SVG(nil, pts)),
 					csvArt("fig3.csv", Fig3CSV(nil, pts)),
@@ -44,7 +51,8 @@ var Fig3Formats = []string{
 
 // Fig3 samples worst-case decimal digits of accuracy over
 // [10^-12, 10^12] (the paper's Fig. 3 range) for the requested formats.
-func Fig3(formats []string, pointsPerDecade int) []Fig3Point {
+// An unknown format name is reported as an error.
+func Fig3(formats []string, pointsPerDecade int) ([]Fig3Point, error) {
 	if formats == nil {
 		formats = Fig3Formats
 	}
@@ -53,7 +61,11 @@ func Fig3(formats []string, pointsPerDecade int) []Fig3Point {
 	}
 	digitFns := make([]func(float64) float64, len(formats))
 	for i, name := range formats {
-		digitFns[i] = digitsFn(name)
+		fn, err := digitsFn(name)
+		if err != nil {
+			return nil, err
+		}
+		digitFns[i] = fn
 	}
 	var pts []Fig3Point
 	for k := -12 * pointsPerDecade; k <= 12*pointsPerDecade; k++ {
@@ -65,31 +77,31 @@ func Fig3(formats []string, pointsPerDecade int) []Fig3Point {
 		}
 		pts = append(pts, p)
 	}
-	return pts
+	return pts, nil
 }
 
-func digitsFn(name string) func(float64) float64 {
+func digitsFn(name string) (func(float64) float64, error) {
 	switch name {
 	case "float16":
-		return minifloat.Float16.DecimalDigitsAt
+		return minifloat.Float16.DecimalDigitsAt, nil
 	case "bfloat16":
-		return minifloat.BFloat16.DecimalDigitsAt
+		return minifloat.BFloat16.DecimalDigitsAt, nil
 	case "float32":
-		return minifloat.Float32.DecimalDigitsAt
+		return minifloat.Float32.DecimalDigitsAt, nil
 	case "float64":
 		return func(x float64) float64 {
 			if x == 0 {
 				return 0
 			}
 			return -math.Log10(0x1p-53)
-		}
+		}, nil
 	}
 	var n, es int
 	if _, err := fmt.Sscanf(name, "posit(%d,%d)", &n, &es); err == nil {
 		c := posit.MustNew(n, es)
-		return c.DecimalDigitsAt
+		return c.DecimalDigitsAt, nil
 	}
-	panic(fmt.Sprintf("experiments: unknown Fig3 format %q", name))
+	return nil, fmt.Errorf("experiments: unknown Fig3 format %q", name)
 }
 
 // RenderFig3 prints the sampled curves as a table (one row per

@@ -105,7 +105,7 @@ func cholExperiment(opt Options, rescale bool) []CholRow {
 			if i == f32 {
 				continue
 			}
-			row.DigitsAdvantage[f.Name()] = math.Log10(row.BackErr[f32] / row.BackErr[i])
+			row.DigitsAdvantage[f.Name()] = log10Ratio(row.BackErr[f32], row.BackErr[i])
 		}
 		rows = append(rows, row)
 	}

@@ -26,7 +26,10 @@ func checkSVG(t *testing.T, name, s string) {
 }
 
 func TestFigureSVGs(t *testing.T) {
-	pts := experiments.Fig3(nil, 2)
+	pts, err := experiments.Fig3(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkSVG(t, "fig3", experiments.Fig3SVG(nil, pts))
 
 	hists := experiments.Fig5(smallOpt)

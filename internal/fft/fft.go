@@ -32,10 +32,14 @@ func NewPlan(f arith.Format, n int) (*Plan, error) {
 		return nil, fmt.Errorf("fft: size %d is not a power of two", n)
 	}
 	p := &Plan{F: f, N: n, twRe: make([]arith.Num, n/2), twIm: make([]arith.Num, n/2)}
+	// Twiddle factors are constants of the transform, computed once at
+	// plan time in float64 and correctly rounded into the format — the
+	// standard practice the paper's FFT experiment assumes. Per-element
+	// transform arithmetic below stays in the format.
 	for k := 0; k < n/2; k++ {
 		ang := -2 * math.Pi * float64(k) / float64(n)
-		p.twRe[k] = f.FromFloat64(math.Cos(ang))
-		p.twIm[k] = f.FromFloat64(math.Sin(ang))
+		p.twRe[k] = f.FromFloat64(math.Cos(ang)) //lint:allow precision twiddle constants rounded once at plan time
+		p.twIm[k] = f.FromFloat64(math.Sin(ang)) //lint:allow precision twiddle constants rounded once at plan time
 	}
 	return p, nil
 }
@@ -60,7 +64,9 @@ func (p *Plan) Inverse(x []Complex) {
 
 func (p *Plan) transform(x []Complex, inverse bool) {
 	if len(x) != p.N {
-		panic(fmt.Sprintf("fft: input length %d != plan size %d", len(x), p.N))
+		// Length mismatch is caller programmer error (a plan is built
+		// for one size), not a runtime condition to handle.
+		panic(fmt.Sprintf("fft: input length %d != plan size %d", len(x), p.N)) //lint:allow panics dimension invariant, caller bug by contract
 	}
 	f := p.F
 	n := p.N

@@ -114,7 +114,9 @@ func HasBad(f arith.Format, x []arith.Num) bool {
 
 func checkLen(a, b int) {
 	if a != b {
-		panic(fmt.Sprintf("linalg: dimension mismatch %d vs %d", a, b))
+		// Mismatched vector lengths are caller programmer error, the
+		// same contract as the stdlib's copy/append invariants.
+		panic(fmt.Sprintf("linalg: dimension mismatch %d vs %d", a, b)) //lint:allow panics dimension invariant, caller bug by contract
 	}
 }
 

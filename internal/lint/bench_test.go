@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"testing"
+
+	"positlab/internal/lint"
+)
+
+// BenchmarkLoadRepo measures the full driver cost: parse and type-check
+// the entire module from source (what `make lint` pays end to end).
+func BenchmarkLoadRepo(b *testing.B) {
+	root := moduleRoot(b)
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("no packages")
+		}
+	}
+}
+
+// BenchmarkRunRules measures the analysis passes alone over the loaded,
+// type-checked repository.
+func BenchmarkRunRules(b *testing.B) {
+	root := moduleRoot(b)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules := lint.AllRules()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := lint.Run(root, pkgs, rules); len(diags) != 0 {
+			b.Fatalf("repo not clean: %d findings", len(diags))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckScope: the packages that own durable outputs — rendered
+// reports, SVG figures, the runner's cache/runs.json — where a
+// silently dropped write error means a truncated artifact that looks
+// like a result.
+var errcheckScope = []string{"report", "svgplot", "runner", "positio"}
+
+// errcheckRule flags statements that discard the error result of an
+// output operation: fmt.Fprint* to a real writer, io/os calls, and
+// Write/Close/Flush/Sync-shaped methods. Writes into strings.Builder
+// and bytes.Buffer are exempt (their errors are always nil by
+// contract), and an explicit `_ =` assignment is an acknowledged
+// discard that the rule accepts.
+type errcheckRule struct{}
+
+func (errcheckRule) Name() string { return "errcheck" }
+func (errcheckRule) Doc() string {
+	return "forbid silently discarded errors from io.Writer/os calls in output-owning packages"
+}
+
+// errcheckMethods are the method names treated as output operations.
+var errcheckMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "WriteAll": true, "Close": true, "Flush": true,
+	"Sync": true, "Encode": true,
+}
+
+func (errcheckRule) Check(p *Pass) {
+	if !scoped(p.Pkg, errcheckScope...) {
+		return
+	}
+	info := p.Pkg.Info
+	check := func(call *ast.CallExpr, how string) {
+		if !returnsErrorLast(info, call) {
+			return
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !isOutputCall(info, call, fn) {
+			return
+		}
+		p.Reportf(call.Pos(), "%s discards the error of %s; handle it or acknowledge with `_ =`", how, fn.FullName())
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "statement")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "defer")
+			case *ast.GoStmt:
+				check(s.Call, "go statement")
+			}
+			return true
+		})
+	}
+}
+
+func returnsErrorLast(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// isOutputCall classifies the callee as an output operation whose
+// error matters.
+func isOutputCall(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if !errcheckMethods[fn.Name()] {
+			return false
+		}
+		return !isInfallibleBuilder(sig.Recv().Type())
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			// Exempt when the destination cannot fail.
+			if len(call.Args) > 0 && isInfallibleBuilder(info.TypeOf(call.Args[0])) {
+				return false
+			}
+			return true
+		}
+		return false
+	case "os", "io", "bufio":
+		return true
+	}
+	return false
+}
+
+// isInfallibleBuilder reports *strings.Builder / *bytes.Buffer (whose
+// Write-family methods never return a non-nil error).
+func isInfallibleBuilder(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return key == "strings.Builder" || key == "bytes.Buffer"
+}

@@ -1,0 +1,274 @@
+// Package lint implements positlint, the repo-specific static-analysis
+// suite. The paper's Posit-vs-IEEE comparison is only meaningful when
+// every experiment computation flows through the format-dispatched
+// arithmetic of internal/arith and when parallel runs stay
+// byte-identical to serial ones; positlint machine-checks those
+// invariants (plus lock hygiene, error discipline on output paths,
+// panic discipline, and experiment-registry consistency) on every
+// `make verify`.
+//
+// The driver is built only on the standard library: go/parser and
+// go/types with a source importer, honoring the module's
+// zero-dependency constraint. Rules operate per package with full type
+// information and report position-accurate diagnostics.
+//
+// A finding at an audited site is silenced with an escape-hatch
+// comment on the flagged line or the line above it:
+//
+//	//lint:allow <rule>[,<rule>...] [reason]
+//	//lint:allow all [reason]
+//
+// The reason is free text; writing one is strongly encouraged so the
+// audit trail lives next to the code.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at a source location.
+type Diagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // slash-separated, relative to the module root
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Rule is one analysis pass. Check is called once per loaded package
+// and reports findings through the Pass.
+type Rule interface {
+	Name() string
+	// Doc is a one-line description shown by `positlint -list` and the
+	// docs.
+	Doc() string
+	Check(p *Pass)
+}
+
+// Pass hands one package to one rule.
+type Pass struct {
+	Pkg  *Package
+	rule string
+	out  *[]rawDiag
+}
+
+type rawDiag struct {
+	rule string
+	pos  token.Position // absolute filename
+	msg  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, rawDiag{
+		rule: p.rule,
+		pos:  p.Pkg.Fset.Position(pos),
+		msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllRules returns the full suite in a fixed order.
+func AllRules() []Rule {
+	return []Rule{
+		precisionRule{},
+		maporderRule{},
+		locksRule{},
+		errcheckRule{},
+		panicsRule{},
+		registryRule{},
+	}
+}
+
+// RuleNames returns the names of the full suite in order.
+func RuleNames() []string {
+	var names []string
+	for _, r := range AllRules() {
+		names = append(names, r.Name())
+	}
+	return names
+}
+
+// SelectRules resolves a comma-separated rule list ("all" or names,
+// optionally prefixed with '-' to drop a rule from the set).
+func SelectRules(spec string) ([]Rule, error) {
+	all := AllRules()
+	byName := map[string]Rule{}
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	enabled := map[string]bool{}
+	sawPositive := false
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		neg := strings.HasPrefix(tok, "-")
+		name := strings.TrimPrefix(tok, "-")
+		if name == "all" {
+			for n := range byName {
+				enabled[n] = !neg
+			}
+			if !neg {
+				sawPositive = true
+			}
+			continue
+		}
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		enabled[name] = !neg
+		if !neg {
+			sawPositive = true
+		}
+	}
+	if !sawPositive {
+		// Pure-negative spec ("-maporder") means "all but these".
+		for n := range byName {
+			if _, set := enabled[n]; !set {
+				enabled[n] = true
+			}
+		}
+	}
+	var out []Rule
+	for _, r := range all {
+		if enabled[r.Name()] {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: no rules selected from %q", spec)
+	}
+	return out, nil
+}
+
+// Run checks every package with every rule, filters findings through
+// //lint:allow comments, and returns them sorted by position. File
+// paths are reported relative to root.
+func Run(root string, pkgs []*Package, rules []Rule) []Diagnostic {
+	var raw []rawDiag
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		start := len(raw)
+		for _, r := range rules {
+			r.Check(&Pass{Pkg: pkg, rule: r.Name(), out: &raw})
+		}
+		raw = filterAllowed(raw, start, allows)
+	}
+	diags := make([]Diagnostic, 0, len(raw))
+	for _, d := range raw {
+		file := d.pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		diags = append(diags, Diagnostic{
+			Rule:    d.rule,
+			File:    filepath.ToSlash(file),
+			Line:    d.pos.Line,
+			Col:     d.pos.Column,
+			Message: d.msg,
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// JSON renders diagnostics as a JSON array (never null, for stable
+// tooling).
+func JSON(diags []Diagnostic) ([]byte, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return json.MarshalIndent(diags, "", "  ")
+}
+
+// allowKey identifies one line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_,-]+)(?:\s|$)`)
+
+// collectAllows maps file:line to the set of rule names allowed there.
+func collectAllows(pkg *Package) map[allowKey]map[string]bool {
+	allows := map[allowKey]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := allowKey{pos.Filename, pos.Line}
+				set := allows[key]
+				if set == nil {
+					set = map[string]bool{}
+					allows[key] = set
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					set[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// filterAllowed drops diagnostics (from index start on) that carry an
+// allow comment on their own line or the line directly above.
+func filterAllowed(raw []rawDiag, start int, allows map[allowKey]map[string]bool) []rawDiag {
+	if len(allows) == 0 {
+		return raw
+	}
+	kept := raw[:start]
+	for _, d := range raw[start:] {
+		if allowedAt(allows, d.pos.Filename, d.pos.Line, d.rule) ||
+			allowedAt(allows, d.pos.Filename, d.pos.Line-1, d.rule) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func allowedAt(allows map[allowKey]map[string]bool, file string, line int, rule string) bool {
+	set := allows[allowKey{file, line}]
+	return set != nil && (set[rule] || set["all"])
+}
+
+// forEachFunc visits every function declaration with a body in the
+// package, handing rules a uniform entry point.
+func forEachFunc(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"positlab/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the current fixture diagnostics")
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t testing.TB) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// fixturePackages loads every fixture package under testdata/src with
+// the repo loader, so fixtures can import real positlab packages.
+func fixturePackages(t testing.TB, root string) []*lint.Package {
+	t.Helper()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(root, "internal", "lint", "testdata", "src")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var pkgs []*lint.Package
+	for _, name := range names {
+		importPath := "positlab/internal/lint/testdata/src/" + name
+		pkg, err := loader.LoadDir(importPath, filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// TestGoldenDiagnostics runs the full rule suite over the fixture
+// corpus and compares the rendered diagnostics line-for-line against
+// testdata/golden.txt (regenerate with `go test -run Golden -update`).
+func TestGoldenDiagnostics(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs := fixturePackages(t, root)
+	diags := lint.Run(root, pkgs, lint.AllRules())
+
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join(root, "internal", "lint", "testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("diagnostics diverge from golden.txt\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEveryRuleFires guards against a rule silently going dead: each of
+// the six rules must produce at least one fixture diagnostic.
+func TestEveryRuleFires(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs := fixturePackages(t, root)
+	diags := lint.Run(root, pkgs, lint.AllRules())
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Rule] = true
+	}
+	for _, name := range lint.RuleNames() {
+		if !fired[name] {
+			t.Errorf("rule %q produced no fixture diagnostics", name)
+		}
+	}
+}
+
+// TestAllowSuppresses verifies the escape hatch: fixture lines carrying
+// //lint:allow (same line or the line above) must not be reported, and
+// removing the filter is observable because each allowed site pairs
+// with a flagged twin elsewhere in the same fixture.
+func TestAllowSuppresses(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs := fixturePackages(t, root)
+	diags := lint.Run(root, pkgs, lint.AllRules())
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[filepath.Base(filepath.Dir(d.File))+"/"+filepath.Base(d.File)+":"+d.Rule]++
+	}
+	// Exact per-file, per-rule counts: one extra means an allow leaked.
+	wantCounts := map[string]int{
+		"solvers/solvers.go:precision":        2,
+		"report/report.go:errcheck":           4,
+		"lib/lib.go:locks":                    3,
+		"lib/lib.go:panics":                   1,
+		"experiments/experiments.go:maporder": 1,
+		"experiments/experiments.go:registry": 3,
+	}
+	for key, want := range wantCounts {
+		if counts[key] != want {
+			t.Errorf("%s: got %d diagnostics, want %d", key, counts[key], want)
+		}
+	}
+	for key, n := range counts {
+		if _, ok := wantCounts[key]; !ok {
+			t.Errorf("unexpected diagnostics %s (%d)", key, n)
+		}
+	}
+}
+
+// TestSelectRules covers the -rules grammar: all, names, and negation.
+func TestSelectRules(t *testing.T) {
+	names := func(rules []lint.Rule) []string {
+		var out []string
+		for _, r := range rules {
+			out = append(out, r.Name())
+		}
+		return out
+	}
+	all, err := lint.SelectRules("all")
+	if err != nil || len(all) != len(lint.RuleNames()) {
+		t.Fatalf("all: %v %v", names(all), err)
+	}
+	one, err := lint.SelectRules("precision")
+	if err != nil || len(one) != 1 || one[0].Name() != "precision" {
+		t.Fatalf("single: %v %v", names(one), err)
+	}
+	two, err := lint.SelectRules("maporder, locks")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("pair: %v %v", names(two), err)
+	}
+	neg, err := lint.SelectRules("-maporder")
+	if err != nil || len(neg) != len(all)-1 {
+		t.Fatalf("negation: %v %v", names(neg), err)
+	}
+	for _, r := range neg {
+		if r.Name() == "maporder" {
+			t.Error("negated rule still selected")
+		}
+	}
+	combo, err := lint.SelectRules("all,-errcheck")
+	if err != nil || len(combo) != len(all)-1 {
+		t.Fatalf("all,-errcheck: %v %v", names(combo), err)
+	}
+	if _, err := lint.SelectRules("bogus"); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	if _, err := lint.SelectRules("-precision,-maporder,-locks,-errcheck,-panics,-registry"); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+// TestJSONOutput checks the machine-readable form round-trips and
+// renders [] (not null) for a clean tree.
+func TestJSONOutput(t *testing.T) {
+	empty, err := lint.JSON(nil)
+	if err != nil || strings.TrimSpace(string(empty)) != "[]" {
+		t.Fatalf("empty JSON = %q, %v", empty, err)
+	}
+	in := []lint.Diagnostic{{Rule: "panics", File: "a/b.go", Line: 3, Col: 7, Message: "m"}}
+	data, err := lint.JSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []lint.Diagnostic
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round-trip: %+v", out)
+	}
+}
+
+// TestRepoIsClean lints the real repository tree with every rule; the
+// tree must stay free of findings (audited sites carry //lint:allow).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type check")
+	}
+	root := moduleRoot(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(root, pkgs, lint.AllRules())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

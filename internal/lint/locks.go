@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// locksRule enforces sync hygiene beyond go vet's copylocks: the
+// runner's scheduler and registry share mutex-guarded state across
+// worker goroutines, where a copied lock or a deferred acquire turns
+// into silent loss of mutual exclusion.
+//
+// It flags (1) methods declared on a value receiver whose type
+// contains a sync primitive — every call copies the lock, so two
+// callers no longer exclude each other; (2) function parameters that
+// pass a lock-containing type by value; and (3) `defer mu.Lock()`,
+// which acquires at function exit (almost always a typo for Unlock or
+// for an immediate Lock).
+type locksRule struct{}
+
+func (locksRule) Name() string { return "locks" }
+func (locksRule) Doc() string {
+	return "forbid by-value copies of lock-containing types (receivers, params) and deferred Lock calls"
+}
+
+func (locksRule) Check(p *Pass) {
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		name := funcDisplayName(fd)
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			rt := info.TypeOf(fd.Recv.List[0].Type)
+			if _, isPtr := rt.(*types.Pointer); !isPtr && rt != nil {
+				if lock, ok := containsLock(rt); ok {
+					p.Reportf(fd.Recv.List[0].Pos(), "method %s has a value receiver containing %s: every call copies the lock; use a pointer receiver", name, lock)
+				}
+			}
+		}
+		for _, field := range fd.Type.Params.List {
+			ft := info.TypeOf(field.Type)
+			if ft == nil {
+				continue
+			}
+			if _, isPtr := ft.(*types.Pointer); isPtr {
+				continue
+			}
+			if lock, ok := containsLock(ft); ok {
+				p.Reportf(field.Pos(), "parameter of %s passes %s by value, copying the lock; pass a pointer", name, lock)
+			}
+		}
+	})
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			def, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(def.Call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			p.Reportf(def.Pos(), "defer %s.%s acquires the lock at function exit; did you mean an immediate %s or a deferred Unlock?", types.ExprString(sel.X), sel.Sel.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maporderRule flags `range` over a map whose body does more than
+// collect keys/values: Go randomizes map iteration order, so any call
+// made inside such a loop (writing CSV/SVG/report output, registering,
+// appending through a function, ...) makes output order differ between
+// runs — and the experiment harness guarantees parallel runs stay
+// byte-identical to serial ones. The sanctioned idiom is to collect
+// the keys, sort them, and iterate the sorted slice; pure collection
+// bodies (append, assignment, arithmetic) are therefore allowed.
+type maporderRule struct{}
+
+func (maporderRule) Name() string { return "maporder" }
+func (maporderRule) Doc() string {
+	return "forbid map iteration that feeds calls (writers, registries); collect keys and sort first"
+}
+
+func (maporderRule) Check(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if call := firstEffectCall(info, rs.Body); call != nil {
+				callee := "a function"
+				if fn := calleeFunc(info, call); fn != nil {
+					callee = fn.FullName()
+				}
+				p.Reportf(rs.For, "map iteration order is randomized but this loop calls %s; collect the keys, sort, then iterate the sorted slice", callee)
+			}
+			return true
+		})
+	}
+}
+
+// firstEffectCall returns the first call in the body that is neither a
+// builtin nor a type conversion — the point where randomized iteration
+// order escapes into observable behavior.
+func firstEffectCall(info *types.Info, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltinOrConversion(info, call) {
+			return true
+		}
+		found = call
+		return false
+	})
+	return found
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicsRule forbids panic in library code. Experiments run inside
+// scheduler worker goroutines; a library panic there is an abrupt
+// process-wide failure mode where a returned error would have been
+// reported per job. Exempt by design: main packages (CLI argument
+// handling), internal/posit (bit-level invariant checks are that
+// package's documented contract), and Must*-named wrappers (the
+// panicking variant is their documented purpose). Audited invariant
+// checks elsewhere carry //lint:allow panics.
+type panicsRule struct{}
+
+func (panicsRule) Name() string { return "panics" }
+func (panicsRule) Doc() string {
+	return "forbid panic outside main packages, internal/posit, and Must*-named wrappers"
+}
+
+func (panicsRule) Check(p *Pass) {
+	if p.Pkg.IsMain() || scoped(p.Pkg, "posit") {
+		return
+	}
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		if strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must") {
+			return
+		}
+		name := funcDisplayName(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic in library function %s; return an error (or //lint:allow panics for an audited invariant check)", name)
+			return true
+		})
+	})
+}

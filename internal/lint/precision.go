@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// precisionScope is the set of format-generic packages (by import-path
+// base): packages whose compute paths must dispatch every rounding
+// operation through arith.Format. The format implementations themselves
+// (arith, posit, minifloat, fpcore, bigfp) legitimately use float64
+// internals and are deliberately out of scope.
+var precisionScope = []string{"solvers", "linalg", "scaling", "experiments", "shocktube", "fft"}
+
+// precisionDeny lists the math functions that perform a rounded
+// computation. Calling one of these in a function that also handles
+// arith.Format values computes in IEEE binary64 regardless of the
+// format under test — "precision laundering", the exact bug class that
+// invalidates a Posit-vs-IEEE comparison. Exact or classifying
+// helpers (Abs, IsNaN, IsInf, Signbit, Copysign, Ldexp, Float64bits,
+// Min/Max, NaN, Inf, ...) stay allowed.
+var precisionDeny = map[string]bool{
+	"Sqrt": true, "Cbrt": true, "Hypot": true, "Pow": true, "Pow10": true,
+	"Exp": true, "Exp2": true, "Expm1": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Sin": true, "Cos": true, "Tan": true, "Sincos": true,
+	"Asin": true, "Acos": true, "Atan": true, "Atan2": true,
+	"Sinh": true, "Cosh": true, "Tanh": true,
+	"Asinh": true, "Acosh": true, "Atanh": true,
+	"FMA": true, "Mod": true, "Remainder": true,
+	"Gamma": true, "Lgamma": true, "Erf": true, "Erfc": true,
+	"Erfinv": true, "Erfcinv": true,
+	"J0": true, "J1": true, "Jn": true, "Y0": true, "Y1": true, "Yn": true,
+}
+
+// precisionRule flags float64 computation inside format-generic
+// functions: math.* calls from the deny list, and raw float arithmetic
+// applied directly to Format.ToFloat64 results. Both silently compute
+// in binary64 on a path that is supposed to round in the format under
+// test. Audited reporting sites (final residuals, digit counts) carry
+// a //lint:allow precision comment instead.
+type precisionRule struct{}
+
+func (precisionRule) Name() string { return "precision" }
+func (precisionRule) Doc() string {
+	return "forbid raw float64 math (math.Sqrt, math.Pow, ...) and arithmetic on ToFloat64 results inside format-generic functions"
+}
+
+func (precisionRule) Check(p *Pass) {
+	if !scoped(p.Pkg, precisionScope...) {
+		return
+	}
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		if !usesArithFormat(info, fd) {
+			return
+		}
+		name := funcDisplayName(fd)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, e); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "math" && precisionDeny[fn.Name()] {
+					p.Reportf(e.Pos(), "math.%s computes in float64 inside format-generic %s; dispatch through the arith.Format (f.Sqrt, ...) or move the float64 reporting into a float64-only helper", fn.Name(), name)
+				}
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+				default:
+					return true
+				}
+				if !isFloatExpr(info, e) {
+					return true
+				}
+				if isToFloat64Call(info, e.X) || isToFloat64Call(info, e.Y) {
+					p.Reportf(e.OpPos, "raw %s arithmetic on a Format.ToFloat64 result launders precision inside format-generic %s; compute in the format and convert once at the end", e.Op, name)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// usesArithFormat reports whether the function's signature or body
+// mentions any arith.Format-typed value — the marker of a
+// format-generic compute path.
+func usesArithFormat(info *types.Info, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		switch obj.(type) {
+		case *types.Var, *types.Func:
+			if isArithFormat(obj.Type()) {
+				found = true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Results() != nil {
+				for i := 0; i < sig.Results().Len(); i++ {
+					if isArithFormat(sig.Results().At(i).Type()) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isToFloat64Call matches f.ToFloat64(x) where f is an arith.Format
+// (unwrapping parentheses and unary minus).
+func isToFloat64Call(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ToFloat64" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isArithFormat(sig.Recv().Type())
+}

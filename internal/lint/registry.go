@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// registryRule checks experiment-registry consistency: every
+// runner.Register(runner.Spec{...}) call in a package declares Deps
+// that are themselves registered by that package, IDs are unique, and
+// no spec depends on itself. A missing dep only surfaces at run time
+// as a scheduler error ("unknown dependency"), long after the
+// registration bug was written; this rule moves it to `make verify`.
+//
+// Spec construction through a local helper is resolved one level deep
+// (the table2/table3 idiom: Register(irSpec("table2", ...)) where
+// irSpec returns a runner.Spec literal with ID bound to its
+// parameter). If any Register call's ID cannot be resolved
+// statically, missing-dep checking is skipped for the package —
+// duplicate and self-dependency checks still run on what is known.
+type registryRule struct{}
+
+func (registryRule) Name() string { return "registry" }
+func (registryRule) Doc() string {
+	return "every runner.Register dep must exist in the package's registrations; IDs unique, no self-deps"
+}
+
+// regDep is one declared dependency with the position to blame.
+type regDep struct {
+	name string
+	pos  token.Pos
+}
+
+// regSpec is one statically resolved registration.
+type regSpec struct {
+	id   string
+	pos  token.Pos
+	deps []regDep
+}
+
+func (registryRule) Check(p *Pass) {
+	info := p.Pkg.Info
+	helpers := collectFuncBodies(p.Pkg)
+
+	var specs []regSpec
+	unresolved := 0
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil ||
+				path.Base(fn.Pkg().Path()) != "runner" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			spec, ok := resolveSpec(info, helpers, call.Args[0])
+			if !ok {
+				unresolved++
+				return true
+			}
+			spec.pos = call.Pos()
+			specs = append(specs, spec)
+			return true
+		})
+	}
+	if len(specs) == 0 {
+		return
+	}
+
+	ids := map[string]bool{}
+	for _, s := range specs {
+		if ids[s.id] {
+			p.Reportf(s.pos, "duplicate experiment registration %q", s.id)
+			continue
+		}
+		ids[s.id] = true
+	}
+	for _, s := range specs {
+		for _, d := range s.deps {
+			pos := d.pos
+			if pos == token.NoPos {
+				pos = s.pos
+			}
+			if d.name == s.id {
+				p.Reportf(pos, "experiment %q depends on itself", s.id)
+				continue
+			}
+			if unresolved == 0 && !ids[d.name] {
+				p.Reportf(pos, "experiment %q depends on %q, which this package never registers", s.id, d.name)
+			}
+		}
+	}
+}
+
+// isRunnerSpec matches the runner package's Spec type.
+func isRunnerSpec(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Spec" && path.Base(named.Obj().Pkg().Path()) == "runner"
+}
+
+// collectFuncBodies indexes package functions (declarations and
+// function-literal assignments) by their object, for one-level helper
+// resolution.
+func collectFuncBodies(pkg *Package) map[types.Object]*funcBody {
+	out := map[types.Object]*funcBody{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if obj := pkg.Info.Defs[d.Name]; obj != nil && d.Body != nil {
+					out[obj] = &funcBody{params: d.Type.Params, body: d.Body}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range d.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(d.Lhs) {
+						continue
+					}
+					if id, ok := d.Lhs[i].(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							out[obj] = &funcBody{params: lit.Type.Params, body: lit.Body}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range d.Values {
+					lit, ok := v.(*ast.FuncLit)
+					if !ok || i >= len(d.Names) {
+						continue
+					}
+					if obj := pkg.Info.Defs[d.Names[i]]; obj != nil {
+						out[obj] = &funcBody{params: lit.Type.Params, body: lit.Body}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type funcBody struct {
+	params *ast.FieldList
+	body   *ast.BlockStmt
+}
+
+// resolveSpec statically evaluates the ID and Deps of a Register
+// argument: a runner.Spec composite literal, or a call to a local
+// helper returning one.
+func resolveSpec(info *types.Info, helpers map[types.Object]*funcBody, arg ast.Expr) (regSpec, bool) {
+	arg = ast.Unparen(arg)
+	if lit, ok := arg.(*ast.CompositeLit); ok && isRunnerSpec(info.TypeOf(lit)) {
+		return specFromLit(info, lit, nil)
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return regSpec{}, false
+	}
+	var calleeID *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		calleeID = fun
+	case *ast.SelectorExpr:
+		calleeID = fun.Sel
+	default:
+		return regSpec{}, false
+	}
+	obj := info.ObjectOf(calleeID)
+	fb := helpers[obj]
+	if fb == nil {
+		return regSpec{}, false
+	}
+	// Bind parameter names to the literal arguments of this call.
+	binding := map[string]ast.Expr{}
+	i := 0
+	for _, field := range fb.params.List {
+		for _, name := range field.Names {
+			if i < len(call.Args) {
+				binding[name.Name] = call.Args[i]
+			}
+			i++
+		}
+	}
+	var spec regSpec
+	found := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		lit, ok := ast.Unparen(ret.Results[0]).(*ast.CompositeLit)
+		if !ok || !isRunnerSpec(info.TypeOf(lit)) {
+			return true
+		}
+		if s, ok := specFromLit(info, lit, binding); ok {
+			spec = s
+			found = true
+		}
+		return !found
+	})
+	return spec, found
+}
+
+// specFromLit extracts ID and Deps from a Spec composite literal,
+// substituting identifiers through binding (helper params to call
+// args).
+func specFromLit(info *types.Info, lit *ast.CompositeLit, binding map[string]ast.Expr) (regSpec, bool) {
+	var spec regSpec
+	idOK := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return regSpec{}, false // positional Spec literal: not used in this repo
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "ID":
+			if s, ok := stringConst(info, kv.Value, binding); ok {
+				spec.id, idOK = s, true
+			}
+		case "Deps":
+			depsLit, ok := ast.Unparen(kv.Value).(*ast.CompositeLit)
+			if !ok {
+				return regSpec{}, false
+			}
+			for _, d := range depsLit.Elts {
+				s, ok := stringConst(info, d, binding)
+				if !ok {
+					return regSpec{}, false
+				}
+				pos := d.Pos()
+				if _, isLit := ast.Unparen(d).(*ast.BasicLit); !isLit {
+					pos = token.NoPos // substituted: blame the Register call
+				}
+				spec.deps = append(spec.deps, regDep{name: s, pos: pos})
+			}
+		}
+	}
+	return spec, idOK
+}
+
+// stringConst evaluates a string literal, a constant, or a
+// binding-substituted identifier.
+func stringConst(info *types.Info, e ast.Expr, binding map[string]ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	if id, ok := e.(*ast.Ident); ok && binding != nil {
+		if sub, ok := binding[id.Name]; ok {
+			return stringConst(info, sub, nil)
+		}
+	}
+	return "", false
+}

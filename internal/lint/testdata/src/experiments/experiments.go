@@ -1,0 +1,49 @@
+// Package experiments is a lint fixture for the registry and maporder
+// rules.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"positlab/internal/lint/testdata/src/runner"
+)
+
+func init() {
+	runner.Register(runner.Spec{ID: "alpha", Deps: []string{"beta"}})
+	runner.Register(runner.Spec{ID: "beta"})
+	runner.Register(runner.Spec{ID: "beta"})                           // want: registry duplicate
+	runner.Register(runner.Spec{ID: "gamma", Deps: []string{"gamma"}}) // want: registry self-dep
+	runner.Register(runner.Spec{ID: "delta", Deps: []string{"ghost"}}) // want: registry missing dep
+	runner.Register(helperSpec("epsilon", "alpha"))
+}
+
+// helperSpec is the one-level helper idiom the rule resolves: ID and
+// Deps bound to the literal call arguments.
+func helperSpec(id, dep string) runner.Spec {
+	return runner.Spec{ID: id, Deps: []string{dep}}
+}
+
+// Dump leaks randomized map order into writer output.
+func Dump(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want: maporder
+		_, _ = fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+}
+
+// CollectKeys only collects; pure collection bodies are allowed.
+func CollectKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// DumpAllowed carries the escape hatch on the line above the loop.
+func DumpAllowed(w io.Writer, m map[string]float64) {
+	//lint:allow maporder fixture: order checked by the caller
+	for k, v := range m {
+		_, _ = fmt.Fprintf(w, "%s=%g\n", k, v)
+	}
+}

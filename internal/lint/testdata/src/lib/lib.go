@@ -1,0 +1,60 @@
+// Package lib is a lint fixture for the locks and panics rules
+// (unscoped rules that apply to any library package).
+package lib
+
+import "sync"
+
+// Counter embeds a mutex; copying it breaks mutual exclusion.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump has a value receiver: every call copies the lock.
+func (c Counter) Bump() { // want: locks value receiver
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// BumpPtr is the correct pointer-receiver form.
+func (c *Counter) BumpPtr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Snapshot copies the lock through a by-value parameter.
+func Snapshot(c Counter) int { // want: locks by-value param
+	return c.n
+}
+
+// Guarded defers an acquire instead of a release.
+func Guarded(mu *sync.Mutex) {
+	defer mu.Lock() // want: locks defer Lock
+}
+
+// Explode panics in library code where an error return belongs.
+func Explode(x int) int {
+	if x < 0 {
+		panic("negative input") // want: panics
+	}
+	return x
+}
+
+// MustPositive is a Must*-named wrapper: panicking is its documented
+// purpose, so the rule exempts it.
+func MustPositive(x int) int {
+	if x < 0 {
+		panic("negative input")
+	}
+	return x
+}
+
+// CheckedInvariant carries an audited escape hatch.
+func CheckedInvariant(x int) int {
+	if x < 0 {
+		panic("negative input") //lint:allow panics fixture audited invariant
+	}
+	return x
+}

@@ -1,0 +1,11 @@
+// Command mainpkg is a lint fixture: main packages are exempt from the
+// panics rule (CLI argument handling panics/exits by design).
+package main
+
+func main() {
+	run()
+}
+
+func run() {
+	panic("usage: mainpkg <arg>")
+}

@@ -1,0 +1,12 @@
+// Package posit is a lint fixture: the panics rule exempts the posit
+// bit-twiddling package, whose invariant panics are its documented
+// contract.
+package posit
+
+// Decode panics freely; the package is out of the panics rule's scope.
+func Decode(bits uint64) uint64 {
+	if bits == 0 {
+		panic("posit: zero has no regime")
+	}
+	return bits - 1
+}

@@ -1,0 +1,37 @@
+// Package report is a lint fixture for the errcheck rule (scoped to
+// output-owning packages by import-path base).
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Render discards output errors in every way the rule catches.
+func Render(w io.Writer, bw *bufio.Writer, file *os.File) {
+	fmt.Fprintf(w, "header\n") // want: errcheck statement Fprintf
+	bw.Flush()                 // want: errcheck statement Flush
+	defer file.Close()         // want: errcheck defer Close
+	go file.Sync()             // want: errcheck go Sync
+	fmt.Fprintln(w, "footer")  //lint:allow errcheck fixture escape hatch
+}
+
+// RenderChecked handles or acknowledges every error.
+func RenderChecked(w io.Writer, bw *bufio.Writer) error {
+	if _, err := fmt.Fprintf(w, "header\n"); err != nil {
+		return err
+	}
+	_ = bw.Flush()
+	return nil
+}
+
+// BuildString writes into infallible destinations; exempt by contract.
+func BuildString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "body")
+	sb.WriteString("!")
+	return sb.String()
+}

@@ -1,0 +1,17 @@
+// Package runner is a lint fixture standing in for the real experiment
+// registry: the registry rule matches any package-level Register
+// function in a package whose import-path base is "runner".
+package runner
+
+// Spec mirrors the real runner.Spec shape the registry rule reads.
+type Spec struct {
+	ID   string
+	Deps []string
+}
+
+var registry = map[string]Spec{}
+
+// Register records a spec, like the real registry does at init time.
+func Register(s Spec) {
+	registry[s.ID] = s
+}

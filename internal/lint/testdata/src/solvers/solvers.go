@@ -1,0 +1,54 @@
+// Package solvers is a lint fixture that mimics the real format-generic
+// solver package (the rule scopes by import-path base). Lines marked
+// `want:` in golden.txt must be flagged; everything else must stay
+// clean.
+package solvers
+
+import (
+	"math"
+
+	"positlab/internal/arith"
+)
+
+// NormBad launders precision: the accumulation runs in the format, but
+// the final square root is computed by math.Sqrt in float64.
+func NormBad(f arith.Format, xs []arith.Num) float64 {
+	s := f.Zero()
+	for _, x := range xs {
+		s = f.Add(s, f.Mul(x, x))
+	}
+	return math.Sqrt(f.ToFloat64(s)) // want: precision math.Sqrt
+}
+
+// RatioBad applies raw float64 division directly to ToFloat64 results.
+func RatioBad(f arith.Format, a, b arith.Num) float64 {
+	return f.ToFloat64(a) / f.ToFloat64(b) // want: precision raw / on ToFloat64
+}
+
+// NormGood dispatches the square root through the format.
+func NormGood(f arith.Format, xs []arith.Num) float64 {
+	s := f.Zero()
+	for _, x := range xs {
+		s = f.Add(s, f.Mul(x, x))
+	}
+	return f.ToFloat64(f.Sqrt(s))
+}
+
+// ClassifyGood uses an allowed classification helper; IsNaN is exact.
+func ClassifyGood(f arith.Format, a arith.Num) bool {
+	return math.IsNaN(f.ToFloat64(a))
+}
+
+// ReportAllowed carries an audited escape hatch.
+func ReportAllowed(f arith.Format, a arith.Num) float64 {
+	return math.Log10(f.ToFloat64(a)) //lint:allow precision audited reporting metric
+}
+
+// Float64Helper never touches a Format, so float64 math is its job.
+func Float64Helper(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// arithFormatPath is the import path of the format-dispatch interface
+// every compute kernel must go through.
+const arithFormatPath = "positlab/internal/arith"
+
+// isArithFormat reports whether t is (or directly contains, through
+// pointers, slices, arrays or maps) the arith.Format interface.
+func isArithFormat(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		return obj != nil && obj.Name() == "Format" && obj.Pkg() != nil && obj.Pkg().Path() == arithFormatPath
+	case *types.Pointer:
+		return isArithFormat(u.Elem())
+	case *types.Slice:
+		return isArithFormat(u.Elem())
+	case *types.Array:
+		return isArithFormat(u.Elem())
+	case *types.Map:
+		return isArithFormat(u.Elem())
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method of a call, or nil
+// for calls of function values, conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports a call to package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name &&
+		(fn.Type() == nil || fn.Type().(*types.Signature).Recv() == nil)
+}
+
+// isBuiltinOrConversion reports calls with no runtime side effects of
+// their own: builtins (append, len, delete, ...) and type conversions.
+func isBuiltinOrConversion(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.Builtin); ok {
+			return true
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// lockTypes are the sync primitives that must never be copied or
+// acquired in surprising ways.
+var lockTypes = map[string]bool{
+	"sync.Mutex":          true,
+	"sync.RWMutex":        true,
+	"sync.WaitGroup":      true,
+	"sync.Once":           true,
+	"sync.Cond":           true,
+	"sync.Map":            true,
+	"sync.Pool":           true,
+	"sync/atomic.Bool":    true,
+	"sync/atomic.Int32":   true,
+	"sync/atomic.Int64":   true,
+	"sync/atomic.Uint32":  true,
+	"sync/atomic.Uint64":  true,
+	"sync/atomic.Uintptr": true,
+	"sync/atomic.Pointer": true,
+	"sync/atomic.Value":   true,
+}
+
+// containsLock reports whether a value of type t embeds a sync
+// primitive by value, returning the offending type's name.
+func containsLock(t types.Type) (string, bool) {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+			key := obj.Pkg().Path() + "." + obj.Name()
+			if lockTypes[key] {
+				return obj.Pkg().Name() + "." + obj.Name(), true
+			}
+		}
+		return containsLockSeen(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := containsLockSeen(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return "", false
+}
+
+// scoped reports whether the package's import-path base is one of the
+// rule's target packages.
+func scoped(p *Package, bases ...string) bool {
+	base := p.Base()
+	for _, b := range bases {
+		if base == b {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDisplayName renders a function name for diagnostics, including
+// the receiver type for methods.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	ast.Inspect(fd.Recv.List[0].Type, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if b.Len() > 0 {
+				b.WriteByte('.')
+			}
+			b.WriteString(id.Name)
+		}
+		return true
+	})
+	return b.String() + "." + fd.Name.Name
+}

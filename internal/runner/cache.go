@@ -104,7 +104,7 @@ func (c *Cache) Put(key string, res *Result) error {
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
 		if werr != nil {
 			return werr
 		}

@@ -123,18 +123,20 @@ func Progress(w io.Writer, total int) func(Event) {
 		mu.Lock()
 		defer mu.Unlock()
 		switch e.Kind {
+		// Progress output is advisory: a broken pipe must not fail
+		// the run, so write errors are deliberately dropped.
 		case JobStart:
-			fmt.Fprintf(w, "[%2d/%d] start  %-10s %s\n", done, total, e.ID, e.Title)
+			_, _ = fmt.Fprintf(w, "[%2d/%d] start  %-10s %s\n", done, total, e.ID, e.Title)
 			return
 		case JobDone:
 			done++
-			fmt.Fprintf(w, "[%2d/%d] done   %-10s (%v)\n", done, total, e.ID, e.Elapsed.Round(time.Millisecond))
+			_, _ = fmt.Fprintf(w, "[%2d/%d] done   %-10s (%v)\n", done, total, e.ID, e.Elapsed.Round(time.Millisecond))
 		case JobCached:
 			done++
-			fmt.Fprintf(w, "[%2d/%d] cached %-10s\n", done, total, e.ID)
+			_, _ = fmt.Fprintf(w, "[%2d/%d] cached %-10s\n", done, total, e.ID)
 		case JobFailed:
 			done++
-			fmt.Fprintf(w, "[%2d/%d] FAILED %-10s %s\n", done, total, e.ID, e.Err)
+			_, _ = fmt.Fprintf(w, "[%2d/%d] FAILED %-10s %s\n", done, total, e.ID, e.Err)
 		}
 	}
 }

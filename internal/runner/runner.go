@@ -126,7 +126,7 @@ func (r *Registry) Register(s Spec) error {
 // a panic is the useful failure mode.
 func Register(s Spec) {
 	if err := Default.Register(s); err != nil {
-		panic(err)
+		panic(err) //lint:allow panics init-time registration; a panic is the documented failure mode
 	}
 }
 

@@ -166,8 +166,8 @@ func (c *BarChart) SVG() string {
 		h = 440
 	}
 	var all []float64
-	for _, vs := range c.Groups {
-		for _, v := range vs {
+	for _, name := range c.GroupOrder {
+		for _, v := range c.Groups[name] {
 			if valid(v) {
 				all = append(all, v)
 			}
