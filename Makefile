@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build lint test race bench-runner bench-lint
+.PHONY: verify vet build lint test race bench-runner bench-lint bench-kernels
 
 verify: vet build lint test race
 
@@ -32,6 +32,11 @@ bench-runner:
 	$(GO) build -o /tmp/positlab-experiments ./cmd/experiments
 	time /tmp/positlab-experiments -jobs 1 all >/dev/null
 	time /tmp/positlab-experiments -jobs 4 all >/dev/null
+
+# Reproduce BENCH_kernels.json: the slice-kernel hot loops (dot, CSR
+# matvec, Cholesky) across formats.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'Dot1024|MatVec1000|Cholesky200' -benchtime 2s ./internal/linalg/
 
 # Reproduce BENCH_lint.json: the linter's full-repo load and the
 # per-run analysis cost.

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	experiments [-matrices a,b,c] [-cgcap N] [-irmax N]
-//	            [-jobs N] [-timeout D] [-cache dir] [-runs file]
+//	            [-jobs N] [-par N] [-timeout D] [-cache dir] [-runs file]
 //	            [-instrument] [-svg dir] [-csv dir] [ids...]
 //
 // where ids are any of: table1 fig3 fig5 fig6 fig7 fig8 fig9 table2
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"positlab/internal/experiments"
+	"positlab/internal/linalg"
 	"positlab/internal/matgen"
 	"positlab/internal/runner"
 )
@@ -52,6 +53,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	svgDir := fs.String("svg", "", "also write each figure as SVG into this directory")
 	csvDir := fs.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	jobs := fs.Int("jobs", 0, "concurrent experiment jobs (0 = GOMAXPROCS)")
+	par := fs.Int("par", 1, "in-solver workers for order-independent kernel loops (results are bit-identical for any value)")
 	timeout := fs.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	cacheDir := fs.String("cache", "", "on-disk result cache directory (empty = no cache)")
 	runsPath := fs.String("runs", "", "write a machine-readable runs.json report to this file")
@@ -67,6 +69,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *jobs < 0 {
 		return usage("-jobs must be >= 0, got %d", *jobs)
 	}
+	if *par < 1 {
+		return usage("-par must be >= 1, got %d", *par)
+	}
+	// Deterministic by construction: the sharded loops are
+	// order-independent, so -par changes scheduling, never bits.
+	linalg.SetWorkers(*par)
 	if *cgcap < 1 {
 		return usage("-cgcap must be >= 1, got %d", *cgcap)
 	}

@@ -35,6 +35,14 @@ type Format interface {
 	Sqrt(a Num) Num
 	Neg(a Num) Num
 
+	// MulAdd returns fl(fl(a·b) + c): the product rounded in the
+	// format, then the sum rounded in the format — exactly
+	// Add(Mul(a, b), c) in one call. It is the solvers' ubiquitous
+	// inner-loop pair (dot products, axpy updates, factorization
+	// updates); fusing it into one dispatch halves the per-element
+	// interface cost without changing a single rounding.
+	MulAdd(a, b, c Num) Num
+
 	Zero() Num
 	One() Num
 
@@ -73,6 +81,12 @@ func (float64Format) Add(a, b Num) Num  { return n64(f64(a) + f64(b)) }
 func (float64Format) Sub(a, b Num) Num  { return n64(f64(a) - f64(b)) }
 func (float64Format) Mul(a, b Num) Num  { return n64(f64(a) * f64(b)) }
 func (float64Format) Div(a, b Num) Num  { return n64(f64(a) / f64(b)) }
+func (float64Format) MulAdd(a, b, c Num) Num {
+	// The explicit conversion forces the product to round before the
+	// add (the Go spec permits fusing x*y+z into an FMA otherwise).
+	p := float64(f64(a) * f64(b))
+	return n64(p + f64(c))
+}
 func (float64Format) Sqrt(a Num) Num    { return n64(math.Sqrt(f64(a))) }
 func (float64Format) Neg(a Num) Num     { return n64(-f64(a)) }
 func (float64Format) Zero() Num         { return n64(0) }
@@ -104,6 +118,10 @@ func (float32Format) Add(a, b Num) Num          { return n32(f32(a) + f32(b)) }
 func (float32Format) Sub(a, b Num) Num          { return n32(f32(a) - f32(b)) }
 func (float32Format) Mul(a, b Num) Num          { return n32(f32(a) * f32(b)) }
 func (float32Format) Div(a, b Num) Num          { return n32(f32(a) / f32(b)) }
+func (float32Format) MulAdd(a, b, c Num) Num {
+	p := float32(f32(a) * f32(b)) // explicit conversion: no FMA fusing
+	return n32(p + f32(c))
+}
 func (float32Format) Sqrt(a Num) Num {
 	// math.Sqrt is correctly rounded to 53 bits; rounding that to 24
 	// bits is innocuous (53 >= 2*24+2).
@@ -163,7 +181,8 @@ func (m miniFormat) Mul(a, b Num) Num {
 func (m miniFormat) Div(a, b Num) Num {
 	return Num(m.f.Div(minifloat.Bits(a), minifloat.Bits(b)))
 }
-func (m miniFormat) Sqrt(a Num) Num    { return Num(m.f.Sqrt(minifloat.Bits(a))) }
+func (m miniFormat) MulAdd(a, b, c Num) Num { return m.Add(m.Mul(a, b), c) }
+func (m miniFormat) Sqrt(a Num) Num         { return Num(m.f.Sqrt(minifloat.Bits(a))) }
 func (m miniFormat) Neg(a Num) Num     { return Num(m.f.Neg(minifloat.Bits(a))) }
 func (m miniFormat) Zero() Num         { return Num(m.f.Zero()) }
 func (m miniFormat) One() Num          { return Num(m.f.One()) }
@@ -208,6 +227,7 @@ func (p positFormat) Add(a, b Num) Num          { return Num(p.c.Add(posit.Bits(
 func (p positFormat) Sub(a, b Num) Num          { return Num(p.c.Sub(posit.Bits(a), posit.Bits(b))) }
 func (p positFormat) Mul(a, b Num) Num          { return Num(p.c.Mul(posit.Bits(a), posit.Bits(b))) }
 func (p positFormat) Div(a, b Num) Num          { return Num(p.c.Div(posit.Bits(a), posit.Bits(b))) }
+func (p positFormat) MulAdd(a, b, c Num) Num    { return p.Add(p.Mul(a, b), c) }
 func (p positFormat) Sqrt(a Num) Num            { return Num(p.c.Sqrt(posit.Bits(a))) }
 func (p positFormat) Neg(a Num) Num             { return Num(p.c.Neg(posit.Bits(a))) }
 func (p positFormat) Zero() Num                 { return Num(p.c.Zero()) }
@@ -277,6 +297,17 @@ func ByName(name string) (Format, error) {
 	}
 	sort.Strings(names)
 	return nil, fmt.Errorf("arith: unknown format %q (known: %s)", name, strings.Join(names, ", "))
+}
+
+// Names returns every registered format name, sorted — the universe
+// the differential kernel tests quantify over.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // MustByName is ByName that panics, for tests and tables of formats.

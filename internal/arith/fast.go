@@ -44,9 +44,53 @@ type roundTables struct {
 	downOdd       []bool
 	minPosV       float64 // smallest positive value
 	maxFinV       float64 // largest finite value
+	// maxFinBits is math.Float64bits(maxFinV), for the bit-domain
+	// overflow check on the kernel hot path.
+	maxFinBits uint64
 	// posit: overflow clamps to maxFinV and underflow to minPosV;
 	// IEEE: overflow rounds to +Inf and underflow to zero.
 	ieee bool
+}
+
+// roundHot rounds x on the common path — finite, nonzero, in a scale
+// region with explicit fraction bits, away from any double-rounding
+// ambiguity, and not overflowing — entirely in integer registers.
+// ok=false sends the caller to the full round/fallback path; whenever
+// both succeed the result is bit-identical to round(x, false). This is
+// the slice-kernel inner loop: one call-free rounding step instead of
+// an interface dispatch plus the general rounder.
+func (t *roundTables) roundHot(x float64) (float64, bool) {
+	bits := math.Float64bits(x)
+	abits := bits &^ (1 << 63)
+	e := int(abits >> 52)
+	// e == 0 covers zeros and float64 subnormals; e == 2047 covers
+	// NaN/Inf; out-of-table scales cover under/overflow and the region
+	// path. All bail to the general rounder.
+	idx := e - 1023 - t.minScale
+	if e == 0 || uint(idx) >= uint(len(t.fb)) {
+		return 0, false
+	}
+	fbits := int(t.fb[idx])
+	if fbits < 1 {
+		return 0, false
+	}
+	drop := uint(52 - fbits)
+	discarded := abits & (1<<drop - 1)
+	half := uint64(1) << (drop - 1)
+	// Ambiguous double-rounding band: discarded ∈ {half-1, half, half+1}.
+	if discarded-(half-1) <= 2 {
+		return 0, false
+	}
+	rbits := abits - discarded
+	if discarded > half {
+		// Round up; a mantissa carry flows into the exponent field and
+		// lands exactly on the next power of two.
+		rbits += 1 << drop
+	}
+	if rbits > t.maxFinBits {
+		return 0, false // overflow: the general rounder clamps or infs
+	}
+	return math.Float64frombits(rbits | bits&(1<<63)), true
 }
 
 // round rounds a float64 to the format's value set with round-to-
@@ -203,8 +247,9 @@ func closeTo(a, b float64) bool {
 // --- fast posit ---
 
 type fastPosit struct {
-	c posit.Config
-	t *roundTables
+	c    posit.Config
+	t    *roundTables
+	kern *valueKernels
 }
 
 // FastPosit builds the value-domain implementation of a posit format.
@@ -217,6 +262,7 @@ func FastPosit(c posit.Config) Format {
 		minPosV:  c.ToFloat64(c.MinPos()),
 		maxFinV:  c.ToFloat64(c.MaxPos()),
 	}
+	t.maxFinBits = math.Float64bits(t.maxFinV)
 	n := t.maxScale - t.minScale + 1
 	t.fb = make([]int8, n)
 	t.down = make([]float64, n)
@@ -245,7 +291,11 @@ func FastPosit(c posit.Config) Format {
 		t.mid[i], _ = mv.Float64()
 		t.downOdd[i] = uint64(p)&1 == 1
 	}
-	return fastPosit{c: c, t: t}
+	fp := fastPosit{c: c, t: t}
+	// The kernel engine's rare-path closures capture fp by value; they
+	// only use c and t, so the nil kern inside the copy is harmless.
+	fp.kern = &valueKernels{t: t, add: fp.addVal, mul: fp.mulVal}
+	return fp
 }
 
 // rawFracBits is FracBitsAtScale without the clamp at zero: negative
@@ -281,18 +331,34 @@ func (p fastPosit) exact2(op func(posit.Config, posit.Bits, posit.Bits) posit.Bi
 	return n64(p.c.ToFloat64(r))
 }
 
-func (p fastPosit) Add(a, b Num) Num {
-	x, y := f64(a), f64(b)
+// addVal and mulVal are Add and Mul in the value domain (float64 in,
+// float64 out); the Format methods and the slice kernels share them so
+// both paths round identically by construction.
+func (p fastPosit) addVal(x, y float64) float64 {
 	r := x + y
 	if v, ok := p.t.round(r, false); ok {
-		return n64(v)
+		return v
 	}
 	if sumExact(x, y, r) {
 		v, _ := p.t.round(r, true)
-		return n64(v)
+		return v
 	}
-	return p.exact2(posit.Config.Add, x, y)
+	return f64(p.exact2(posit.Config.Add, x, y))
 }
+
+func (p fastPosit) mulVal(x, y float64) float64 {
+	r := x * y
+	if v, ok := p.t.round(r, false); ok {
+		return v
+	}
+	if mulExact(x, y, r) {
+		v, _ := p.t.round(r, true)
+		return v
+	}
+	return f64(p.exact2(posit.Config.Mul, x, y))
+}
+
+func (p fastPosit) Add(a, b Num) Num { return n64(p.addVal(f64(a), f64(b))) }
 
 func (p fastPosit) Sub(a, b Num) Num {
 	x, y := f64(a), f64(b)
@@ -307,17 +373,12 @@ func (p fastPosit) Sub(a, b Num) Num {
 	return p.exact2(posit.Config.Sub, x, y)
 }
 
-func (p fastPosit) Mul(a, b Num) Num {
-	x, y := f64(a), f64(b)
-	r := x * y
-	if v, ok := p.t.round(r, false); ok {
-		return n64(v)
-	}
-	if mulExact(x, y, r) {
-		v, _ := p.t.round(r, true)
-		return n64(v)
-	}
-	return p.exact2(posit.Config.Mul, x, y)
+func (p fastPosit) Mul(a, b Num) Num { return n64(p.mulVal(f64(a), f64(b))) }
+
+// MulAdd fuses the pair in the value domain: product rounded, then sum
+// rounded — bit-identical to Add(Mul(a, b), c) with one dispatch.
+func (p fastPosit) MulAdd(a, b, c Num) Num {
+	return n64(p.addVal(p.mulVal(f64(a), f64(b)), f64(c)))
 }
 
 func (p fastPosit) Div(a, b Num) Num {
@@ -381,6 +442,7 @@ type fastMini struct {
 	f    minifloat.Format
 	name string
 	t    *roundTables
+	kern *valueKernels
 }
 
 // FastMini builds the value-domain implementation of an IEEE small
@@ -395,6 +457,7 @@ func FastMini(f minifloat.Format, name string) Format {
 		minPosV:  f.ToFloat64(f.MinSubnormal()),
 		maxFinV:  f.MaxValue(),
 	}
+	t.maxFinBits = math.Float64bits(t.maxFinV)
 	n := t.maxScale - t.minScale + 1
 	t.fb = make([]int8, n)
 	t.down = make([]float64, n)
@@ -432,7 +495,9 @@ func FastMini(f minifloat.Format, name string) Format {
 		t.mid[i] = (down + up) / 2
 		t.downOdd[i] = downPat&1 == 1
 	}
-	return fastMini{f: f, name: name, t: t}
+	fm := fastMini{f: f, name: name, t: t}
+	fm.kern = &valueKernels{t: t, add: fm.addVal, mul: fm.mulVal}
+	return fm
 }
 
 func (m fastMini) Name() string { return m.name }
@@ -450,18 +515,33 @@ func (m fastMini) exact2(op func(minifloat.Format, minifloat.Bits, minifloat.Bit
 	return n64(m.f.ToFloat64(r))
 }
 
-func (m fastMini) Add(a, b Num) Num {
-	x, y := f64(a), f64(b)
+// addVal and mulVal are Add and Mul in the value domain, shared by the
+// Format methods and the slice kernels (see fastPosit).
+func (m fastMini) addVal(x, y float64) float64 {
 	r := x + y
 	if v, ok := m.t.round(r, false); ok {
-		return n64(v)
+		return v
 	}
 	if sumExact(x, y, r) {
 		v, _ := m.t.round(r, true)
-		return n64(v)
+		return v
 	}
-	return m.exact2(minifloat.Format.Add, x, y)
+	return f64(m.exact2(minifloat.Format.Add, x, y))
 }
+
+func (m fastMini) mulVal(x, y float64) float64 {
+	r := x * y
+	if v, ok := m.t.round(r, false); ok {
+		return v
+	}
+	if mulExact(x, y, r) {
+		v, _ := m.t.round(r, true)
+		return v
+	}
+	return f64(m.exact2(minifloat.Format.Mul, x, y))
+}
+
+func (m fastMini) Add(a, b Num) Num { return n64(m.addVal(f64(a), f64(b))) }
 
 func (m fastMini) Sub(a, b Num) Num {
 	x, y := f64(a), f64(b)
@@ -476,17 +556,11 @@ func (m fastMini) Sub(a, b Num) Num {
 	return m.exact2(minifloat.Format.Sub, x, y)
 }
 
-func (m fastMini) Mul(a, b Num) Num {
-	x, y := f64(a), f64(b)
-	r := x * y
-	if v, ok := m.t.round(r, false); ok {
-		return n64(v)
-	}
-	if mulExact(x, y, r) {
-		v, _ := m.t.round(r, true)
-		return n64(v)
-	}
-	return m.exact2(minifloat.Format.Mul, x, y)
+func (m fastMini) Mul(a, b Num) Num { return n64(m.mulVal(f64(a), f64(b))) }
+
+// MulAdd fuses the pair in the value domain (see fastPosit.MulAdd).
+func (m fastMini) MulAdd(a, b, c Num) Num {
+	return n64(m.addVal(m.mulVal(f64(a), f64(b)), f64(c)))
 }
 
 func (m fastMini) Div(a, b Num) Num {

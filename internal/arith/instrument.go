@@ -62,6 +62,61 @@ func (i instrumented) Sqrt(a Num) Num {
 	return i.Format.Sqrt(a)
 }
 
+func (i instrumented) MulAdd(a, b, c Num) Num {
+	i.counts.Mul++
+	i.counts.Add++
+	return i.Format.MulAdd(a, b, c)
+}
+
+// Kernel methods: the wrapper batches one counter update per call (the
+// exact per-element tally the scalar loop would have produced) and
+// hands the slice to the underlying format's kernels, so instrumented
+// runs keep the kernel speed. Like the scalar methods these are not
+// safe for concurrent use; parallel in-solver sharding requires
+// InstrumentAtomic.
+
+func (i instrumented) DotKernel(x, y []Num) Num {
+	n := uint64(len(x))
+	i.counts.Mul += n
+	i.counts.Add += n
+	return BulkOf(i.Format).DotKernel(x, y)
+}
+
+func (i instrumented) AxpyKernel(alpha Num, x, y []Num) {
+	n := uint64(len(x))
+	i.counts.Mul += n
+	i.counts.Add += n
+	BulkOf(i.Format).AxpyKernel(alpha, x, y)
+}
+
+func (i instrumented) ScaleKernel(alpha Num, x []Num) {
+	i.counts.Mul += uint64(len(x))
+	BulkOf(i.Format).ScaleKernel(alpha, x)
+}
+
+func (i instrumented) MulAddKernel(alpha Num, x, y, dst []Num) {
+	n := uint64(len(x))
+	i.counts.Mul += n
+	i.counts.Add += n
+	BulkOf(i.Format).MulAddKernel(alpha, x, y, dst)
+}
+
+func (i instrumented) MatVecKernel(rowPtr, col []int, val []Num, x, y []Num) {
+	if len(rowPtr) > 0 {
+		nnz := uint64(rowPtr[len(rowPtr)-1] - rowPtr[0])
+		i.counts.Mul += nnz
+		i.counts.Add += nnz
+	}
+	BulkOf(i.Format).MatVecKernel(rowPtr, col, val, x, y)
+}
+
+func (i instrumented) TrailingUpdateKernel(nalpha Num, x, w []Num) {
+	n := uint64(len(x))
+	i.counts.Mul += n
+	i.counts.Add += n
+	BulkOf(i.Format).TrailingUpdateKernel(nalpha, x, w)
+}
+
 // AtomicOpCounts is an OpCounts safe for concurrent use: the
 // experiment runner hands one to each parallel job so per-job
 // operation counts stay exact even when jobs share worker threads.
@@ -122,4 +177,57 @@ func (i instrumentedAtomic) Div(a, b Num) Num {
 func (i instrumentedAtomic) Sqrt(a Num) Num {
 	i.counts.sqrt.Add(1)
 	return i.Format.Sqrt(a)
+}
+
+func (i instrumentedAtomic) MulAdd(a, b, c Num) Num {
+	i.counts.mul.Add(1)
+	i.counts.add.Add(1)
+	return i.Format.MulAdd(a, b, c)
+}
+
+// Kernel methods: one atomic batch per kernel call instead of one
+// atomic per scalar op — the counters stay exact (the batch is the
+// same per-element tally the scalar loop produces) and contention
+// drops by the slice length. Safe under in-solver parallel sharding.
+
+func (i instrumentedAtomic) DotKernel(x, y []Num) Num {
+	n := uint64(len(x))
+	i.counts.mul.Add(n)
+	i.counts.add.Add(n)
+	return BulkOf(i.Format).DotKernel(x, y)
+}
+
+func (i instrumentedAtomic) AxpyKernel(alpha Num, x, y []Num) {
+	n := uint64(len(x))
+	i.counts.mul.Add(n)
+	i.counts.add.Add(n)
+	BulkOf(i.Format).AxpyKernel(alpha, x, y)
+}
+
+func (i instrumentedAtomic) ScaleKernel(alpha Num, x []Num) {
+	i.counts.mul.Add(uint64(len(x)))
+	BulkOf(i.Format).ScaleKernel(alpha, x)
+}
+
+func (i instrumentedAtomic) MulAddKernel(alpha Num, x, y, dst []Num) {
+	n := uint64(len(x))
+	i.counts.mul.Add(n)
+	i.counts.add.Add(n)
+	BulkOf(i.Format).MulAddKernel(alpha, x, y, dst)
+}
+
+func (i instrumentedAtomic) MatVecKernel(rowPtr, col []int, val []Num, x, y []Num) {
+	if len(rowPtr) > 0 {
+		nnz := uint64(rowPtr[len(rowPtr)-1] - rowPtr[0])
+		i.counts.mul.Add(nnz)
+		i.counts.add.Add(nnz)
+	}
+	BulkOf(i.Format).MatVecKernel(rowPtr, col, val, x, y)
+}
+
+func (i instrumentedAtomic) TrailingUpdateKernel(nalpha Num, x, w []Num) {
+	n := uint64(len(x))
+	i.counts.mul.Add(n)
+	i.counts.add.Add(n)
+	BulkOf(i.Format).TrailingUpdateKernel(nalpha, x, w)
 }

@@ -1,0 +1,295 @@
+package arith_test
+
+import (
+	"math"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+// kernelFormats is the differential universe: every registered format
+// (all fast value-domain implementations plus the native IEEE ones)
+// and the slow integer-pipeline references, which exercise the generic
+// scalar fallback of the kernel layer.
+func kernelFormats(t *testing.T) map[string]arith.Format {
+	fs := map[string]arith.Format{}
+	for _, name := range arith.Names() {
+		fs[name] = arith.MustByName(name)
+	}
+	fs["posit16e2-slow"] = arith.Posit(posit.Posit16e2)
+	fs["posit32e2-slow"] = arith.Posit(posit.Posit32e2)
+	fs["float16-slow"] = arith.Mini(minifloat.Float16, "Float16")
+	fs["bfloat16-slow"] = arith.Mini(minifloat.BFloat16, "BFloat16")
+	if len(fs) < 20 {
+		t.Fatalf("expected the full registry, got %d formats", len(fs))
+	}
+	return fs
+}
+
+// kernelOperands builds a randomized operand slice in f that
+// deliberately includes the exceptional patterns — zeros, NaR/NaN,
+// ±Inf (via overflow in IEEE formats), max/min magnitudes — amid a
+// log-uniform spread.
+func kernelOperands(f arith.Format, n int, seed uint64) []arith.Num {
+	x := seed
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	out := make([]arith.Num, n)
+	for i := range out {
+		r := next()
+		switch r % 16 {
+		case 0:
+			out[i] = f.Zero()
+		case 1:
+			out[i] = f.FromFloat64(math.NaN()) // NaR / NaN
+		case 2:
+			out[i] = f.FromFloat64(math.Inf(1)) // +Inf or posit clamp
+		case 3:
+			out[i] = f.FromFloat64(-f.MaxValue())
+		case 4:
+			out[i] = f.FromFloat64(f.MaxValue() / 2)
+		case 5:
+			out[i] = f.One()
+		default:
+			e := int(r%200) - 100
+			m := 1 + float64(r>>40)/float64(1<<24)
+			v := math.Ldexp(m, e)
+			if r&(1<<20) != 0 {
+				v = -v
+			}
+			out[i] = f.FromFloat64(v)
+		}
+	}
+	return out
+}
+
+// eqNum compares two results of the same format: exceptional values
+// (NaR, NaN, ±Inf with matching sign) are compared by class — NaN
+// payloads may legitimately differ between operand orders — everything
+// else must match bit for bit.
+func eqNum(f arith.Format, a, b arith.Num) bool {
+	va, vb := f.ToFloat64(a), f.ToFloat64(b)
+	if math.IsNaN(va) || math.IsNaN(vb) {
+		return math.IsNaN(va) && math.IsNaN(vb)
+	}
+	return math.Float64bits(va) == math.Float64bits(vb)
+}
+
+func cloneNums(x []arith.Num) []arith.Num { return append([]arith.Num(nil), x...) }
+
+// TestKernelsMatchScalarLoops asserts every kernel is bit-identical to
+// the defining sequence of scalar Format operations — the pre-kernel
+// inner loops of linalg and the solvers — on randomized slices laced
+// with NaR/Inf/zero patterns, for every registered format and the slow
+// reference implementations.
+func TestKernelsMatchScalarLoops(t *testing.T) {
+	n := 257 // odd, not a chunk multiple
+	if testing.Short() {
+		n = 65
+	}
+	for name, f := range kernelFormats(t) {
+		t.Run(name, func(t *testing.T) {
+			bk := arith.BulkOf(f)
+			x := kernelOperands(f, n, 0x9E3779B97F4A7C15)
+			y := kernelOperands(f, n, 0xD1B54A32D192ED03)
+			alpha := f.FromFloat64(1.0 / 3.0)
+
+			// Dot: s = Add(s, Mul(x[i], y[i])), left to right.
+			want := f.Zero()
+			for i := range x {
+				want = f.Add(want, f.Mul(x[i], y[i]))
+			}
+			if got := bk.DotKernel(x, y); !eqNum(f, got, want) {
+				t.Errorf("DotKernel = %g, scalar loop = %g", f.ToFloat64(got), f.ToFloat64(want))
+			}
+
+			// Axpy: y[i] = Add(y[i], Mul(alpha, x[i])).
+			wy := cloneNums(y)
+			for i := range x {
+				wy[i] = f.Add(wy[i], f.Mul(alpha, x[i]))
+			}
+			gy := cloneNums(y)
+			bk.AxpyKernel(alpha, x, gy)
+			for i := range wy {
+				if !eqNum(f, gy[i], wy[i]) {
+					t.Fatalf("AxpyKernel[%d] = %g, scalar = %g", i, f.ToFloat64(gy[i]), f.ToFloat64(wy[i]))
+				}
+			}
+
+			// Scale: x[i] = Mul(alpha, x[i]).
+			wx := cloneNums(x)
+			for i := range wx {
+				wx[i] = f.Mul(alpha, wx[i])
+			}
+			gx := cloneNums(x)
+			bk.ScaleKernel(alpha, gx)
+			for i := range wx {
+				if !eqNum(f, gx[i], wx[i]) {
+					t.Fatalf("ScaleKernel[%d] = %g, scalar = %g", i, f.ToFloat64(gx[i]), f.ToFloat64(wx[i]))
+				}
+			}
+
+			// MulAdd: dst[i] = Add(Mul(alpha, x[i]), y[i]), and the CG
+			// form Add(y[i], Mul(alpha, x[i])) must agree with it (the
+			// rewired p-update relies on that commutativity).
+			wd := make([]arith.Num, n)
+			for i := range x {
+				wd[i] = f.Add(f.Mul(alpha, x[i]), y[i])
+				cg := f.Add(y[i], f.Mul(alpha, x[i]))
+				if !eqNum(f, wd[i], cg) {
+					t.Fatalf("Add not commutative at %d: %g vs %g", i, f.ToFloat64(wd[i]), f.ToFloat64(cg))
+				}
+			}
+			gd := make([]arith.Num, n)
+			bk.MulAddKernel(alpha, x, y, gd)
+			for i := range wd {
+				if !eqNum(f, gd[i], wd[i]) {
+					t.Fatalf("MulAddKernel[%d] = %g, scalar = %g", i, f.ToFloat64(gd[i]), f.ToFloat64(wd[i]))
+				}
+			}
+			// Aliased dst (dst = x), as the CG direction update calls it.
+			ga := cloneNums(x)
+			bk.MulAddKernel(alpha, ga, y, ga)
+			for i := range wd {
+				if !eqNum(f, ga[i], wd[i]) {
+					t.Fatalf("aliased MulAddKernel[%d] = %g, scalar = %g", i, f.ToFloat64(ga[i]), f.ToFloat64(wd[i]))
+				}
+			}
+
+			// TrailingUpdate with the negated scale must reproduce the
+			// Cholesky form Sub(w[i], Mul(alpha, x[i])) bit for bit.
+			ww := cloneNums(y)
+			for i := range x {
+				ww[i] = f.Sub(ww[i], f.Mul(alpha, x[i]))
+			}
+			gw := cloneNums(y)
+			bk.TrailingUpdateKernel(f.Neg(alpha), x, gw)
+			for i := range ww {
+				if !eqNum(f, gw[i], ww[i]) {
+					t.Fatalf("TrailingUpdateKernel[%d] = %g, scalar Sub = %g", i, f.ToFloat64(gw[i]), f.ToFloat64(ww[i]))
+				}
+			}
+
+			// MatVec on a synthetic CSR band: y[i] via the scalar
+			// accumulation, including empty rows.
+			rowPtr, col, val := bandCSR(f, n)
+			wv := make([]arith.Num, n)
+			for i := 0; i < n; i++ {
+				sum := f.Zero()
+				for idx := rowPtr[i]; idx < rowPtr[i+1]; idx++ {
+					sum = f.Add(sum, f.Mul(val[idx], x[col[idx]]))
+				}
+				wv[i] = sum
+			}
+			gv := make([]arith.Num, n)
+			bk.MatVecKernel(rowPtr, col, val, x, gv)
+			for i := range wv {
+				if !eqNum(f, gv[i], wv[i]) {
+					t.Fatalf("MatVecKernel[%d] = %g, scalar = %g", i, f.ToFloat64(gv[i]), f.ToFloat64(wv[i]))
+				}
+			}
+			// Sharded window: rows [lo, hi) through the same kernel
+			// must equal the full pass (the parallel matvec contract).
+			lo, hi := n/3, 2*n/3
+			shard := make([]arith.Num, hi-lo)
+			bk.MatVecKernel(rowPtr[lo:hi+1], col, val, x, shard)
+			for i := range shard {
+				if !eqNum(f, shard[i], wv[lo+i]) {
+					t.Fatalf("windowed MatVecKernel[%d] = %g, scalar = %g", lo+i, f.ToFloat64(shard[i]), f.ToFloat64(wv[lo+i]))
+				}
+			}
+		})
+	}
+}
+
+// bandCSR builds a small tridiagonal-ish CSR with format-rounded
+// values and a few deliberately empty rows.
+func bandCSR(f arith.Format, n int) (rowPtr, col []int, val []arith.Num) {
+	rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i] = len(col)
+		if i%11 == 7 {
+			continue // empty row
+		}
+		for _, j := range []int{i - 1, i, i + 1} {
+			if j < 0 || j >= n {
+				continue
+			}
+			col = append(col, j)
+			val = append(val, f.FromFloat64(float64((i*7+j*3)%13)-6))
+		}
+	}
+	rowPtr[n] = len(col)
+	return rowPtr, col, val
+}
+
+// TestMulAddMatchesComposition asserts Format.MulAdd is exactly
+// Add(Mul(a, b), c) for every format, across boundary-heavy operands.
+func TestMulAddMatchesComposition(t *testing.T) {
+	for name, f := range kernelFormats(t) {
+		t.Run(name, func(t *testing.T) {
+			ops := kernelOperands(f, 48, 0xA5A5A5A5DEADBEEF)
+			for _, a := range ops[:16] {
+				for _, b := range ops[16:32] {
+					for _, c := range ops[32:] {
+						want := f.Add(f.Mul(a, b), c)
+						got := f.MulAdd(a, b, c)
+						if !eqNum(f, got, want) {
+							t.Fatalf("MulAdd(%g,%g,%g) = %g, Add(Mul) = %g",
+								f.ToFloat64(a), f.ToFloat64(b), f.ToFloat64(c),
+								f.ToFloat64(got), f.ToFloat64(want))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentedKernelCounts asserts the batched per-kernel counter
+// updates equal the per-op tallies of the equivalent scalar loops, for
+// both wrapper flavors.
+func TestInstrumentedKernelCounts(t *testing.T) {
+	n := 100
+	base := arith.Posit16e2
+	x := kernelOperands(base, n, 1)
+	y := kernelOperands(base, n, 2)
+	rowPtr, col, val := bandCSR(base, n)
+	nnz := uint64(len(val))
+
+	f, c := arith.Instrument(base)
+	bk := arith.BulkOf(f)
+	alpha := f.One()
+	bk.DotKernel(x, y)
+	bk.AxpyKernel(alpha, x, cloneNums(y))
+	bk.ScaleKernel(alpha, cloneNums(x))
+	bk.MulAddKernel(alpha, x, y, make([]arith.Num, n))
+	bk.TrailingUpdateKernel(alpha, x, cloneNums(y))
+	bk.MatVecKernel(rowPtr, col, val, x, make([]arith.Num, n))
+
+	got := *c
+	want := arith.OpCounts{
+		Mul: uint64(5*n) + nnz,
+		Add: uint64(4*n) + nnz,
+	}
+	if got != want {
+		t.Errorf("instrumented kernel counts = %+v, want %+v", got, want)
+	}
+
+	var ac arith.AtomicOpCounts
+	fa := arith.InstrumentAtomic(base, &ac)
+	bka := arith.BulkOf(fa)
+	bka.DotKernel(x, y)
+	bka.MatVecKernel(rowPtr, col, val, x, make([]arith.Num, n))
+	snap := ac.Snapshot()
+	wantA := arith.OpCounts{Mul: uint64(n) + nnz, Add: uint64(n) + nnz}
+	if snap != wantA {
+		t.Errorf("atomic kernel counts = %+v, want %+v", snap, wantA)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"positlab/internal/arith"
 	"positlab/internal/linalg"
+	"positlab/internal/solvers"
 )
 
 func benchMatVec(b *testing.B, f arith.Format) {
@@ -24,7 +25,9 @@ func benchMatVec(b *testing.B, f arith.Format) {
 
 func BenchmarkMatVec1000Float64(b *testing.B)   { benchMatVec(b, arith.Float64) }
 func BenchmarkMatVec1000Float32(b *testing.B)   { benchMatVec(b, arith.Float32) }
+func BenchmarkMatVec1000Float16(b *testing.B)   { benchMatVec(b, arith.Float16) }
 func BenchmarkMatVec1000Posit32e2(b *testing.B) { benchMatVec(b, arith.Posit32e2) }
+func BenchmarkMatVec1000Posit16e1(b *testing.B) { benchMatVec(b, arith.Posit16e1) }
 
 func BenchmarkMatVecF64Native(b *testing.B) {
 	a := laplacian1D(1000)
@@ -58,7 +61,30 @@ func benchDot(b *testing.B, f arith.Format) {
 var sinkNum arith.Num
 
 func BenchmarkDot1024Float64(b *testing.B)   { benchDot(b, arith.Float64) }
+func BenchmarkDot1024Float16(b *testing.B)   { benchDot(b, arith.Float16) }
 func BenchmarkDot1024Posit32e2(b *testing.B) { benchDot(b, arith.Posit32e2) }
+func BenchmarkDot1024Posit16e1(b *testing.B) { benchDot(b, arith.Posit16e1) }
+
+// benchCholesky200 times the full kernel-backed factorization at the
+// n=200 size used by the kernel-speedup records (the solvers package
+// keeps its own n=100 series; this one stresses longer trailing rows).
+func benchCholesky200(b *testing.B, f arith.Format) {
+	a := laplacian1D(200).ToDense().ToFormat(f, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solvers.Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky200Float64(b *testing.B)   { benchCholesky200(b, arith.Float64) }
+func BenchmarkCholesky200Float32(b *testing.B)   { benchCholesky200(b, arith.Float32) }
+func BenchmarkCholesky200Float16(b *testing.B)   { benchCholesky200(b, arith.Float16) }
+func BenchmarkCholesky200BFloat16(b *testing.B)  { benchCholesky200(b, arith.BFloat16) }
+func BenchmarkCholesky200Posit32e2(b *testing.B) { benchCholesky200(b, arith.Posit32e2) }
+func BenchmarkCholesky200Posit16e2(b *testing.B) { benchCholesky200(b, arith.Posit16e2) }
+func BenchmarkCholesky200Posit16e1(b *testing.B) { benchCholesky200(b, arith.Posit16e1) }
 
 func BenchmarkLanczos(b *testing.B) {
 	a := laplacian1D(500)

@@ -77,6 +77,11 @@ func (m *DenseNum) At(i, j int) arith.Num { return m.A[i*m.N+j] }
 // Set assigns A[i,j].
 func (m *DenseNum) Set(i, j int, v arith.Num) { m.A[i*m.N+j] = v }
 
+// Row returns row i as a slice sharing the matrix's storage — the
+// contiguous operand the slice kernels want (the row-oriented Cholesky
+// feeds kernel calls whole row segments instead of At/Set scalars).
+func (m *DenseNum) Row(i int) []arith.Num { return m.A[i*m.N : (i+1)*m.N] }
+
 // Clone returns a deep copy.
 func (m *DenseNum) Clone() *DenseNum {
 	return &DenseNum{F: m.F, N: m.N, A: append([]arith.Num(nil), m.A...)}

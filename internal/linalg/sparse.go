@@ -249,19 +249,21 @@ func (s *Sparse) ToFormat(f arith.Format, clamp bool) *SparseNum {
 }
 
 // MatVec computes y = A·x in the matrix's format, rounding after every
-// multiply and add.
+// multiply and add. Rows are independent sequential accumulations, so
+// they shard across the worker pool (see SetWorkers) with bit-identical
+// results for any worker count; within a row the accumulation stays
+// strictly left-to-right.
 func (m *SparseNum) MatVec(x, y []arith.Num) {
 	checkLen(len(x), m.N)
 	checkLen(len(y), m.N)
-	f := m.F
-	for i := 0; i < m.N; i++ {
-		sum := f.Zero()
-		for idx := m.RowPtr[i]; idx < m.RowPtr[i+1]; idx++ {
-			sum = f.Add(sum, f.Mul(m.Val[idx], x[m.Col[idx]]))
-		}
-		y[i] = sum
-	}
+	bk := arith.BulkOf(m.F)
+	parRange(m.N, m.NNZ(), func(lo, hi int) {
+		bk.MatVecKernel(m.RowPtr[lo:hi+1], m.Col, m.Val, x, y[lo:hi])
+	})
 }
+
+// NNZ returns the stored nonzero count.
+func (m *SparseNum) NNZ() int { return len(m.Val) }
 
 // MatVecT computes y = Aᵀ·x in the matrix's format by scattering along
 // rows. Note the accumulation order differs from MatVec even for

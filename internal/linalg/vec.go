@@ -48,29 +48,32 @@ func CopyVec(dst, src []arith.Num) {
 }
 
 // Dot returns <x, y> accumulated in format f, rounding after every
-// multiply and add (no deferred rounding).
+// multiply and add (no deferred rounding). The accumulation is a
+// reduction, so it always runs strictly left-to-right serial — only
+// the per-element dispatch is batched through the kernel layer.
 func Dot(f arith.Format, x, y []arith.Num) arith.Num {
 	checkLen(len(x), len(y))
-	s := f.Zero()
-	for i := range x {
-		s = f.Add(s, f.Mul(x[i], y[i]))
-	}
-	return s
+	return arith.BulkOf(f).DotKernel(x, y)
 }
 
 // Axpy computes y ← y + α·x in place.
 func Axpy(f arith.Format, alpha arith.Num, x, y []arith.Num) {
 	checkLen(len(x), len(y))
-	for i := range x {
-		y[i] = f.Add(y[i], f.Mul(alpha, x[i]))
-	}
+	arith.BulkOf(f).AxpyKernel(alpha, x, y)
+}
+
+// MulAddVec computes dst ← fl(fl(α·x)) + y elementwise — dst[i] =
+// MulAdd(α, x[i], y[i]). dst may alias x or y (the CG direction update
+// p ← r + β·p calls it with dst = x = p).
+func MulAddVec(f arith.Format, alpha arith.Num, x, y, dst []arith.Num) {
+	checkLen(len(x), len(y))
+	checkLen(len(dst), len(x))
+	arith.BulkOf(f).MulAddKernel(alpha, x, y, dst)
 }
 
 // Scal computes x ← α·x in place.
 func Scal(f arith.Format, alpha arith.Num, x []arith.Num) {
-	for i := range x {
-		x[i] = f.Mul(alpha, x[i])
-	}
+	arith.BulkOf(f).ScaleKernel(alpha, x)
 }
 
 // SubVec computes dst ← a - b elementwise.

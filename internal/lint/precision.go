@@ -10,7 +10,12 @@ import (
 // base): packages whose compute paths must dispatch every rounding
 // operation through arith.Format. The format implementations themselves
 // (arith, posit, minifloat, fpcore, bigfp) legitimately use float64
-// internals and are deliberately out of scope.
+// internals and are deliberately out of scope — that includes the slice
+// kernels in arith/kernels.go, whose float64 value-domain intermediates
+// re-round after every operation by construction. Scoped packages get
+// kernel speed the sanctioned way: arith.BulkOf(f).DotKernel(...), never
+// by inlining float64 loops over ToFloat64 results (which this rule
+// flags as laundering).
 var precisionScope = []string{"solvers", "linalg", "scaling", "experiments", "shocktube", "fft"}
 
 // precisionDeny lists the math functions that perform a rounded

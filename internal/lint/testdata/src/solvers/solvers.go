@@ -44,6 +44,24 @@ func ReportAllowed(f arith.Format, a arith.Num) float64 {
 	return math.Log10(f.ToFloat64(a)) //lint:allow precision audited reporting metric
 }
 
+// DotBad hand-inlines a "kernel" in raw float64: the loop never
+// re-rounds into the format, so the result is a binary64 dot product no
+// matter which format is under test.
+func DotBad(f arith.Format, x, y []arith.Num) float64 {
+	s := 0.0
+	for i := range x {
+		s += f.ToFloat64(x[i]) * f.ToFloat64(y[i]) // want: precision raw * on ToFloat64
+	}
+	return s
+}
+
+// DotGood gets kernel speed the sanctioned way: the slice kernel layer
+// in arith owns the float64 value-domain intermediates and re-rounds
+// after every operation, so scoped code just dispatches to it.
+func DotGood(f arith.Format, x, y []arith.Num) float64 {
+	return f.ToFloat64(arith.BulkOf(f).DotKernel(x, y))
+}
+
 // Float64Helper never touches a Format, so float64 math is its job.
 func Float64Helper(xs []float64) float64 {
 	s := 0.0

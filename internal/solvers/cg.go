@@ -86,10 +86,9 @@ func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
 			res.Failed = true
 			break
 		}
-		// p = r + β p
-		for i := range p {
-			p[i] = f.Add(r[i], f.Mul(beta, p[i]))
-		}
+		// p = r + β p (one fused kernel pass; fl(fl(β·p)+r) is
+		// bit-identical to the scalar Add(r, Mul(β, p)) form).
+		linalg.MulAddVec(f, beta, p, r, p)
 		rr = rrNew
 	}
 	res.X = linalg.VecToFloat64(f, x)

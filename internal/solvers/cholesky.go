@@ -20,19 +20,36 @@ var ErrNotPositiveDefinite = errors.New("solvers: matrix not positive definite i
 // matrix's format, rounding after every operation. Only the upper
 // triangle of a is read. The returned matrix has R in its upper
 // triangle and zeros below.
+//
+// The factorization is right-looking: after row j of R is formed, the
+// trailing upper triangle is updated row by row through the format's
+// TrailingUpdateKernel, W[i][l] ← fl(W[i][l] − fl(R[j][i]·R[j][l])).
+// Each trailing element accumulates exactly the same rounded
+// subtraction chain, in the same k-order, as the classic left-looking
+// dot-product form, so results are bit-identical to the scalar
+// reference (asserted by the differential tests) — but the inner loops
+// now run over contiguous rows with batched dispatch, and the
+// trailing-update rows are independent, so they shard across the
+// linalg worker pool deterministically.
 func Cholesky(a *linalg.DenseNum) (*linalg.DenseNum, error) {
 	f := a.F
+	bk := arith.BulkOf(f)
 	n := a.N
 	r := linalg.NewDenseNum(f, n)
 	zero := f.Zero()
 
+	// Working copy: the upper triangle of a, updated in place as
+	// factored rows are eliminated. Entry (j,i) holds
+	// a[j][i] − Σ_{k<done} R[k][j]·R[k][i].
+	for i := 0; i < n; i++ {
+		copy(r.Row(i)[i:], a.Row(i)[i:])
+	}
+
 	for j := 0; j < n; j++ {
-		// Pivot: R[j][j] = sqrt(a[j][j] - Σ_{k<j} R[k][j]²).
-		s := a.At(j, j)
-		for k := 0; k < j; k++ {
-			rkj := r.At(k, j)
-			s = f.Sub(s, f.Mul(rkj, rkj))
-		}
+		rj := r.Row(j)
+		// Pivot: R[j][j] = sqrt(a[j][j] − Σ_{k<j} R[k][j]²), with the
+		// sum already folded in by the trailing updates of steps k < j.
+		s := rj[j]
 		if f.Bad(s) || f.IsZero(s) || f.Less(s, zero) {
 			return nil, ErrNotPositiveDefinite
 		}
@@ -40,18 +57,26 @@ func Cholesky(a *linalg.DenseNum) (*linalg.DenseNum, error) {
 		if f.Bad(piv) || f.IsZero(piv) {
 			return nil, ErrNotPositiveDefinite
 		}
-		r.Set(j, j, piv)
-		// Row j of R: R[j][i] = (a[j][i] - Σ_{k<j} R[k][j]·R[k][i]) / pivot.
+		rj[j] = piv
+		// Row j of R: R[j][i] = (a[j][i] − Σ_{k<j} R[k][j]·R[k][i]) / pivot.
 		for i := j + 1; i < n; i++ {
-			t := a.At(j, i)
-			for k := 0; k < j; k++ {
-				t = f.Sub(t, f.Mul(r.At(k, j), r.At(k, i)))
-			}
-			q := f.Div(t, piv)
+			q := f.Div(rj[i], piv)
 			if f.Bad(q) {
 				return nil, ErrNotPositiveDefinite
 			}
-			r.Set(j, i, q)
+			rj[i] = q
+		}
+		// Trailing update: W[i][i:] ← W[i][i:] − R[j][i]·R[j][i:] for
+		// every i > j. Rows are independent chains; shard them.
+		rows := n - (j + 1)
+		if rows > 0 {
+			linalg.ParRows(rows, rows*(rows+1)/2, func(lo, hi int) {
+				for t := lo; t < hi; t++ {
+					i := j + 1 + t
+					nalpha := f.Neg(rj[i])
+					bk.TrailingUpdateKernel(nalpha, rj[i:], r.Row(i)[i:])
+				}
+			})
 		}
 	}
 	return r, nil

@@ -1,0 +1,195 @@
+package solvers_test
+
+import (
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/linalg"
+	"positlab/internal/posit"
+	"positlab/internal/solvers"
+)
+
+// refCholesky is the pre-kernel left-looking factorization, verbatim:
+// every element is a sequential Sub/Mul chain over At/Set scalars. The
+// production right-looking kernel Cholesky must reproduce it bit for
+// bit, including which breakdowns it reports.
+func refCholesky(a *linalg.DenseNum) (*linalg.DenseNum, error) {
+	f := a.F
+	n := a.N
+	r := linalg.NewDenseNum(f, n)
+	zero := f.Zero()
+	for j := 0; j < n; j++ {
+		s := a.At(j, j)
+		for k := 0; k < j; k++ {
+			rkj := r.At(k, j)
+			s = f.Sub(s, f.Mul(rkj, rkj))
+		}
+		if f.Bad(s) || f.IsZero(s) || f.Less(s, zero) {
+			return nil, solvers.ErrNotPositiveDefinite
+		}
+		piv := f.Sqrt(s)
+		if f.Bad(piv) || f.IsZero(piv) {
+			return nil, solvers.ErrNotPositiveDefinite
+		}
+		r.Set(j, j, piv)
+		for i := j + 1; i < n; i++ {
+			t := a.At(j, i)
+			for k := 0; k < j; k++ {
+				t = f.Sub(t, f.Mul(r.At(k, j), r.At(k, i)))
+			}
+			q := f.Div(t, piv)
+			if f.Bad(q) {
+				return nil, solvers.ErrNotPositiveDefinite
+			}
+			r.Set(j, i, q)
+		}
+	}
+	return r, nil
+}
+
+// spdDense builds a deterministic dense SPD matrix: diagonally
+// dominant with awkward (non-dyadic) off-diagonal values so every
+// format actually rounds.
+func spdDense(n int) *linalg.Dense {
+	d := linalg.NewDense(n)
+	x := uint64(0x853C49E6748FEA9B)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x%2000)/1000 - 1 // [-1, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := next() / 3
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.Set(i, i, float64(n)) // dominance => SPD
+	}
+	return d
+}
+
+func choleskyFormats() []arith.Format {
+	return []arith.Format{
+		arith.Float64,
+		arith.Float32,
+		arith.Float16,
+		arith.BFloat16,
+		arith.Posit32e2,
+		arith.Posit16e2,
+		arith.Posit16e1,
+		arith.Posit(posit.Posit16e2), // slow reference impl => scalar-fallback kernels
+	}
+}
+
+// TestCholeskyMatchesReference differentially checks the right-looking
+// kernel Cholesky against the left-looking scalar reference on an SPD
+// matrix, per format, requiring identical bits in the whole factor.
+func TestCholeskyMatchesReference(t *testing.T) {
+	d := spdDense(40)
+	for _, f := range choleskyFormats() {
+		a := d.ToFormat(f, true)
+		want, errW := refCholesky(a)
+		got, errG := solvers.Cholesky(a)
+		if errW != errG {
+			t.Fatalf("%s: error mismatch: ref %v, kernel %v", f.Name(), errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		for i := range want.A {
+			if got.A[i] != want.A[i] {
+				t.Fatalf("%s: factor differs at flat index %d: %#x vs %#x",
+					f.Name(), i, got.A[i], want.A[i])
+			}
+		}
+	}
+}
+
+// TestCholeskyBreakdownMatchesReference checks the failure paths: an
+// indefinite matrix, and a Float16 matrix whose trailing updates
+// overflow to Inf mid-factorization, must fail identically in both
+// implementations.
+func TestCholeskyBreakdownMatchesReference(t *testing.T) {
+	for _, f := range choleskyFormats() {
+		// Indefinite: a negative diagonal entry past the first pivot.
+		d := spdDense(8)
+		d.Set(5, 5, -3)
+		a := d.ToFormat(f, true)
+		if _, err := refCholesky(a); err != solvers.ErrNotPositiveDefinite {
+			t.Fatalf("%s: reference accepted an indefinite matrix", f.Name())
+		}
+		if _, err := solvers.Cholesky(a); err != solvers.ErrNotPositiveDefinite {
+			t.Fatalf("%s: kernel Cholesky accepted an indefinite matrix", f.Name())
+		}
+	}
+	// Mid-factorization overflow in a narrow IEEE format: huge
+	// off-diagonal over a tiny pivot makes the divided row overflow.
+	f := arith.Format(arith.Float16)
+	d := linalg.NewDense(3)
+	d.Set(0, 0, 1.0/1024)
+	d.Set(0, 1, 60000)
+	d.Set(1, 0, 60000)
+	d.Set(1, 1, 2)
+	d.Set(2, 2, 2)
+	a := d.ToFormat(f, false)
+	_, errW := refCholesky(a)
+	_, errG := solvers.Cholesky(a)
+	if errW != errG {
+		t.Fatalf("overflow case: ref %v, kernel %v", errW, errG)
+	}
+	if errW == nil {
+		t.Fatal("overflow case unexpectedly factored")
+	}
+}
+
+// TestCholeskyParallelDeterminism asserts the factor is bit-identical
+// for worker counts 1, 2, and 8 at a size where the trailing-update
+// sharding genuinely engages (first columns carry ~n²/2 elements of
+// trailing work).
+func TestCholeskyParallelDeterminism(t *testing.T) {
+	prev := linalg.Workers()
+	defer linalg.SetWorkers(prev)
+	n := 240
+	if testing.Short() {
+		n = 120
+	}
+	d := spdDense(n)
+	for _, f := range []arith.Format{arith.Posit32e2, arith.Float32} {
+		a := d.ToFormat(f, true)
+		var ref *linalg.DenseNum
+		for _, w := range []int{1, 2, 8} {
+			linalg.SetWorkers(w)
+			r, err := solvers.Cholesky(a)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", f.Name(), w, err)
+			}
+			if ref == nil {
+				ref = r
+				continue
+			}
+			for i := range r.A {
+				if r.A[i] != ref.A[i] {
+					t.Fatalf("%s: factor with %d workers differs at flat index %d", f.Name(), w, i)
+				}
+			}
+		}
+	}
+	// Sanity: the factor is a real Cholesky factor of the rounded input.
+	fe := solvers.FactorizationError(d, mustChol(t, d.ToFormat(arith.Float64, false)))
+	if fe > 1e-13 {
+		t.Fatalf("float64 factorization error = %g", fe)
+	}
+}
+
+func mustChol(t *testing.T, a *linalg.DenseNum) *linalg.DenseNum {
+	t.Helper()
+	r, err := solvers.Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
