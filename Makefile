@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build lint test race bench-runner bench-lint bench-kernels
+.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service
 
 verify: vet build lint test race
 
@@ -42,3 +42,15 @@ bench-kernels:
 # per-run analysis cost.
 bench-lint:
 	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkRunRules' -benchtime 3x ./internal/lint/
+
+# Run the positd HTTP server on :8787 with a local disk cache for
+# experiment results. See README "Serving" for the endpoints.
+serve:
+	$(GO) run ./cmd/positd -cache .cache/positd
+
+# Reproduce BENCH_service.json: closed-loop req/s and latency for the
+# serving layer (convert batches and warm cached experiments), plus
+# the Go micro-benchmarks for the same paths.
+bench-service:
+	POSITLAB_BENCH_SERVICE=1 $(GO) test -run TestWriteServiceBenchReport ./internal/service/
+	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchtime 2s ./internal/service/

@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"positlab/internal/experiments"
@@ -136,7 +137,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Events = runner.Progress(stderr, scheduledCount(selected))
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM joins SIGINT so container/orchestrator shutdowns also
+	// cancel in-flight solver loops promptly instead of killing the
+	// process mid-write; the ctx threads through the runner into each
+	// solver's per-iteration checkpoints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	results, rep, runErr := runner.Default.Run(ctx, selected, cfg)
 	if runErr != nil && rep == nil {

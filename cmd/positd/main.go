@@ -1,0 +1,133 @@
+// Command positd serves the experiment and solver stack over HTTP:
+// batch format conversion, on-demand solver runs on suite or uploaded
+// matrices, and cached experiment results, with admission control,
+// per-request timeouts, structured access logs, and expvar metrics.
+//
+// Usage:
+//
+//	positd [-addr :8787] [-max-inflight N] [-cache-entries N]
+//	       [-request-timeout D] [-drain-timeout D]
+//	       [-cache dir] [-jobs N] [-par N] [-instrument]
+//	       [-matrices a,b,c] [-cgcap N] [-irmax N] [-quiet]
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness
+//	POST /v1/convert              batch format conversion with error stats
+//	POST /v1/solve                one CG / Cholesky / IR run
+//	GET  /v1/experiments/{name}   a registered experiment's rendered rows
+//	GET  /debug/metrics           per-route latency, cache, op counters
+//	GET  /debug/vars              expvar
+//
+// positd drains gracefully on SIGINT/SIGTERM: the listener closes, in-
+// flight requests get -drain-timeout to finish, and a clean drain
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"positlab/internal/experiments"
+	"positlab/internal/linalg"
+	"positlab/internal/matgen"
+	"positlab/internal/runner"
+	"positlab/internal/service"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stderr)) }
+
+func run(argv []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("positd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8787", "listen address")
+	maxInflight := fs.Int("max-inflight", service.DefaultMaxInflight, "concurrent /v1 requests admitted before refusing with 429")
+	cacheEntries := fs.Int("cache-entries", service.DefaultCacheEntries, "in-memory response LRU capacity")
+	requestTimeout := fs.Duration("request-timeout", service.DefaultRequestTimeout, "per-request deadline; expiry cancels in-flight solver loops")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long in-flight requests may finish after SIGTERM")
+	cacheDir := fs.String("cache", "", "on-disk experiment result cache directory (empty = no disk cache)")
+	jobs := fs.Int("jobs", 0, "concurrent runner jobs per experiment request (0 = GOMAXPROCS)")
+	par := fs.Int("par", 1, "in-solver workers for order-independent kernel loops")
+	instrument := fs.Bool("instrument", true, "count experiment arithmetic into job reports")
+	matrices := fs.String("matrices", "", "restrict the experiment suite to these matrices (comma-separated; default all 19)")
+	cgcap := fs.Int("cgcap", 10, "CG iteration cap as a multiple of N for experiments")
+	irmax := fs.Int("irmax", 1000, "iterative-refinement cap for experiments")
+	quiet := fs.Bool("quiet", false, "suppress the JSON access log")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "positd: "+format+"\n", args...)
+		return 2
+	}
+	if *maxInflight < 1 {
+		return usage("-max-inflight must be >= 1, got %d", *maxInflight)
+	}
+	if *cacheEntries < 1 {
+		return usage("-cache-entries must be >= 1, got %d", *cacheEntries)
+	}
+	if *requestTimeout <= 0 {
+		return usage("-request-timeout must be > 0, got %v", *requestTimeout)
+	}
+	if *par < 1 {
+		return usage("-par must be >= 1, got %d", *par)
+	}
+	linalg.SetWorkers(*par)
+
+	opt := experiments.Options{CGCapFactor: *cgcap, IRMaxIter: *irmax}
+	if *matrices != "" {
+		opt.Matrices = strings.Split(*matrices, ",")
+		for _, name := range opt.Matrices {
+			if _, err := matgen.TargetByName(name); err != nil {
+				return usage("-matrices: %v", err)
+			}
+		}
+	}
+
+	cfg := service.Config{
+		RunnerConfig: runner.Config{
+			Jobs:       *jobs,
+			Options:    opt,
+			KeyData:    opt.Canonical(),
+			Instrument: *instrument,
+		},
+		MaxInflight:    *maxInflight,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *requestTimeout,
+	}
+	if !*quiet {
+		cfg.AccessLog = stderr
+	}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "positd: %v\n", err)
+			return 1
+		}
+		cfg.RunnerConfig.Cache = cache
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "positd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "positd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := service.New(cfg).Run(ctx, ln, *drainTimeout); err != nil {
+		fmt.Fprintf(stderr, "positd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "positd: drained cleanly")
+	return 0
+}

@@ -262,6 +262,21 @@ func PositConfig(f Format) (posit.Config, bool) {
 	return posit.Config{}, false
 }
 
+// MiniConfig returns the minifloat.Format behind f and whether f is
+// minifloat-backed (either implementation). Together with PositConfig
+// it lets callers recover a value's canonical encoding from the
+// value-domain fast formats, whose Num is a float64 image rather than
+// the format's own bit pattern.
+func MiniConfig(f Format) (minifloat.Format, bool) {
+	switch mf := f.(type) {
+	case miniFormat:
+		return mf.f, true
+	case fastMini:
+		return mf.f, true
+	}
+	return minifloat.Format{}, false
+}
+
 // --- registry ---
 
 var registry = map[string]Format{

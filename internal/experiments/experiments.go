@@ -19,6 +19,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"positlab/internal/arith"
@@ -44,7 +45,27 @@ type Options struct {
 	// from JSON — and therefore from runner cache keys — because
 	// instrumentation never changes results.
 	Ops *arith.AtomicOpCounts `json:"-"`
+	// Ctx, when non-nil, is the run's cancellation context: experiment
+	// loops check it between solver calls and the solver loops check
+	// it at their per-iteration checkpoints, so a driver timeout stops
+	// in-flight work promptly. Excluded from JSON — and therefore from
+	// runner cache keys — because cancellation never changes rows that
+	// do complete (a canceled experiment returns an error, never a
+	// partial result).
+	Ctx context.Context `json:"-"`
 }
+
+// ctx returns the run context, defaulting to context.Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// canceled reports whether the run context has expired; experiment
+// loops use it to bail out between solver calls.
+func (o Options) canceled() bool { return o.ctx().Err() != nil }
 
 // Canonical returns the options with all defaults filled in, so two
 // spellings of the same configuration hash to the same cache key.

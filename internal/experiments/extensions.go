@@ -47,7 +47,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			s := RenderExtBiCG(ExtBiCG(optFrom(env)))
+			s := RenderExtBiCG(ExtBiCG(optFrom(ctx, env)))
+			if err := ctx.Err(); err != nil {
+				return nil, err // canceled: never cache partial rows
+			}
 			s += "\nconvection-diffusion Peclet sweep (n=400, nonsymmetric):\n"
 			s += RenderExtBiCGPeclet(pec)
 			return &runner.Result{Body: s}, nil
@@ -57,8 +60,11 @@ func init() {
 		ID:    "ext-gmres",
 		Title: "extension: GMRES-IR vs plain IR corrections (§V-D2)",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			opt := optFrom(env)
+			opt := optFrom(ctx, env)
 			rows := ExtGMRES(opt)
+			if err := ctx.Err(); err != nil {
+				return nil, err // canceled: never cache partial rows
+			}
 			return &runner.Result{Body: RenderExtGMRES(rows, opt.fill().IRMaxIter)}, nil
 		},
 	})
@@ -210,6 +216,9 @@ func ExtGMRES(opt Options) []ExtGMRESRow {
 	opt = opt.fill()
 	var rows []ExtGMRESRow
 	for _, m := range suite(opt.Matrices) {
+		if opt.canceled() {
+			return rows
+		}
 		row := ExtGMRESRow{
 			Matrix: m.Target.Name,
 			Plain:  make([]solvers.IRResult, len(IRFormats)),
@@ -260,6 +269,9 @@ func ExtBiCG(opt Options) []ExtBiCGRow {
 	f := opt.format(arith.Posit32e2)
 	var rows []ExtBiCGRow
 	for _, m := range suite(opt.Matrices) {
+		if opt.canceled() {
+			return rows
+		}
 		a := m.A.Clone()
 		b := append([]float64(nil), m.B...)
 		// Same rescaling as Fig. 7.

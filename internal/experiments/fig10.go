@@ -17,7 +17,10 @@ func init() {
 		// every refinement solve.
 		Deps: []string{"table3"},
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			rows := Fig10(optFrom(env))
+			rows := Fig10(optFrom(ctx, env))
+			if err := ctx.Err(); err != nil {
+				return nil, err // canceled: never cache partial rows
+			}
 			pctSVG, digitsSVG := Fig10SVG(rows)
 			return &runner.Result{
 				Body: RenderFig10(rows),

@@ -15,7 +15,7 @@ func init() {
 		ID:    "fig5",
 		Title: "posit32 extra fraction bits over Float32",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			hists := Fig5(optFrom(env))
+			hists := Fig5(optFrom(ctx, env))
 			return &runner.Result{
 				Body:      RenderFig5(hists),
 				Artifacts: []runner.Artifact{svgArt("fig5.svg", Fig5SVG(hists))},

@@ -19,7 +19,10 @@ func init() {
 			ID:    id,
 			Title: title,
 			Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-				rows := fn(optFrom(env))
+				rows := fn(optFrom(ctx, env))
+				if err := ctx.Err(); err != nil {
+					return nil, err // canceled: never cache partial rows
+				}
 				iters := 0.0
 				for _, r := range rows {
 					for _, it := range r.Iters {
@@ -81,6 +84,9 @@ func cgExperiment(opt Options, rescale bool) []CGRow {
 	opt = opt.fill()
 	var rows []CGRow
 	for _, m := range suite(opt.Matrices) {
+		if opt.canceled() {
+			return rows
+		}
 		a := m.A
 		b := m.B
 		if rescale {
@@ -101,7 +107,10 @@ func cgExperiment(opt Options, rescale bool) []CGRow {
 			fi := opt.format(f)
 			an := a.ToFormat(fi, false)
 			bn := linalg.VecFromFloat64(fi, b)
-			res := solvers.CG(an, bn, opt.CGTol, cap)
+			res, err := solvers.CGCtx(opt.ctx(), an, bn, opt.CGTol, cap)
+			if err != nil {
+				return rows // canceled mid-solve; caller reports ctx.Err()
+			}
 			row.Iters[i] = res.Iterations
 			row.Converged[i] = res.Converged
 			row.Failed[i] = res.Failed

@@ -18,7 +18,10 @@ func init() {
 		ID:    "fig8",
 		Title: "Cholesky relative backward error, unscaled",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			rows := Fig8(optFrom(env))
+			rows := Fig8(optFrom(ctx, env))
+			if err := ctx.Err(); err != nil {
+				return nil, err // canceled: never cache partial rows
+			}
 			return &runner.Result{
 				Body: RenderChol(rows),
 				Artifacts: []runner.Artifact{
@@ -33,7 +36,10 @@ func init() {
 		ID:    "fig9",
 		Title: "Cholesky backward error, Algorithm 3 rescaling",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			rows := Fig9(optFrom(env))
+			rows := Fig9(optFrom(ctx, env))
+			if err := ctx.Err(); err != nil {
+				return nil, err // canceled: never cache partial rows
+			}
 			return &runner.Result{
 				Body: RenderChol(rows),
 				Artifacts: []runner.Artifact{
@@ -75,6 +81,9 @@ func cholExperiment(opt Options, rescale bool) []CholRow {
 	opt = opt.fill()
 	var rows []CholRow
 	for _, m := range suite(opt.Matrices) {
+		if opt.canceled() {
+			return rows
+		}
 		a := m.A
 		b := m.B
 		if rescale {
@@ -93,8 +102,11 @@ func cholExperiment(opt Options, rescale bool) []CholRow {
 			fi := opt.format(f)
 			an := dense.ToFormat(fi, false)
 			bn := linalg.VecFromFloat64(fi, b)
-			x, err := solvers.CholeskySolve(an, bn)
+			x, err := solvers.CholeskySolveCtx(opt.ctx(), an, bn)
 			if err != nil {
+				if opt.canceled() {
+					return rows // canceled mid-factorization, not a breakdown
+				}
 				row.BackErr[i] = math.NaN()
 				continue
 			}

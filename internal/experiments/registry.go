@@ -4,15 +4,18 @@
 package experiments
 
 import (
+	"context"
+
 	"positlab/internal/runner"
 )
 
 // optFrom extracts the experiments.Options a driver placed in the
 // job environment (zero Options when absent) and attaches the job's
-// operation counter.
-func optFrom(env *runner.Env) Options {
+// operation counter and cancellation context.
+func optFrom(ctx context.Context, env *runner.Env) Options {
 	opt, _ := env.Options.(Options)
 	opt.Ops = env.Ops
+	opt.Ctx = ctx
 	return opt
 }
 

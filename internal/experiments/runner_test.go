@@ -146,3 +146,49 @@ func TestSuiteSingleflightParallel(t *testing.T) {
 		}
 	}
 }
+
+// TestRunnerTimeoutCancelsSolverLoops exercises the -timeout path: an
+// already-expired context must stop experiment jobs at the solver
+// cancellation checkpoints, surface a per-job cancellation error, and
+// never cache partial rows.
+func TestRunnerTimeoutCancelsSolverLoops(t *testing.T) {
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := smallOpt()
+	cfg := runner.Config{Jobs: 1, Cache: cache, Options: opt, KeyData: opt.Canonical()}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, rep, err := runner.Default.Run(ctx, []string{"table2"}, cfg)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if len(results) != 0 {
+		t.Fatalf("canceled run produced results: %v", results)
+	}
+	for _, jr := range rep.Jobs {
+		if jr.Err == "" || !strings.Contains(jr.Err, "canceled") {
+			t.Errorf("job %s: err = %q, want a cancellation error", jr.ID, jr.Err)
+		}
+		if jr.Cached {
+			t.Errorf("job %s cached a canceled run", jr.ID)
+		}
+	}
+
+	// The cache must stay empty: a fresh run with the same key must
+	// recompute (and now succeed).
+	results, rep, err = runner.Default.Run(context.Background(), []string{"table2"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jr := range rep.Jobs {
+		if jr.Cached {
+			t.Errorf("job %s hit cache populated by a canceled run", jr.ID)
+		}
+	}
+	if results["table2"] == nil || results["table2"].Body == "" {
+		t.Fatal("post-cancellation run returned no table2 body")
+	}
+}

@@ -14,7 +14,7 @@ func init() {
 		ID:    "table1",
 		Title: "matrix suite inventory",
 		Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-			rows := Table1(optFrom(env))
+			rows := Table1(optFrom(ctx, env))
 			return &runner.Result{
 				Body:      RenderTable1(rows),
 				Artifacts: []runner.Artifact{csvArt("table1.csv", Table1CSV(rows))},

@@ -20,8 +20,11 @@ func init() {
 			ID:    id,
 			Title: title,
 			Run: func(ctx context.Context, env *runner.Env) (*runner.Result, error) {
-				opt := optFrom(env)
+				opt := optFrom(ctx, env)
 				rows := fn(opt)
+				if err := ctx.Err(); err != nil {
+					return nil, err // canceled: never cache partial rows
+				}
 				cap := opt.fill().IRMaxIter
 				iters := 0.0
 				for _, r := range rows {
@@ -79,12 +82,26 @@ func Table3(opt Options) []IRRow {
 		table3Memo[key] = e
 	}
 	table3Mu.Unlock()
-	e.once.Do(func() { e.rows = irExperiment(opt, true) })
+	// Per-entry singleflight with cancellation awareness: a run cut
+	// short by its context must not poison the memo for later callers
+	// (sync.Once would latch the partial rows forever), so completion
+	// is only recorded when the run finished under a live context.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return e.rows
+	}
+	rows := irExperiment(opt, true)
+	if opt.canceled() {
+		return rows // partial; the next caller recomputes
+	}
+	e.rows, e.done = rows, true
 	return e.rows
 }
 
 type table3Entry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	rows []IRRow
 }
 
@@ -104,6 +121,9 @@ func irExperiment(opt Options, higham bool) []IRRow {
 	opt = opt.fill()
 	var rows []IRRow
 	for _, m := range suite(opt.Matrices) {
+		if opt.canceled() {
+			return rows
+		}
 		row := IRRow{Matrix: m.Target.Name, Res: make([]solvers.IRResult, len(IRFormats))}
 		var r []float64
 		if higham {
@@ -114,10 +134,14 @@ func irExperiment(opt Options, higham bool) []IRRow {
 			if higham {
 				sc = solvers.IRScaling{R: r, Mu: scaling.MuFor(f)}
 			}
-			row.Res[i] = solvers.MixedIR(m.A, m.B, opt.format(f), sc, solvers.IROptions{
+			res, err := solvers.MixedIRCtx(opt.ctx(), m.A, m.B, opt.format(f), sc, solvers.IROptions{
 				Tol:     opt.IRTol,
 				MaxIter: opt.IRMaxIter,
 			})
+			if err != nil {
+				return rows // canceled mid-refinement; caller reports ctx.Err()
+			}
+			row.Res[i] = res
 		}
 		row.PctDiff = pctDiff(row.Res, opt.IRMaxIter)
 		rows = append(rows, row)

@@ -130,6 +130,7 @@ func TestAllowSuppresses(t *testing.T) {
 	wantCounts := map[string]int{
 		"solvers/solvers.go:precision":        3,
 		"report/report.go:errcheck":           4,
+		"service/service.go:errcheck":         3,
 		"lib/lib.go:locks":                    3,
 		"lib/lib.go:panics":                   1,
 		"experiments/experiments.go:maporder": 1,

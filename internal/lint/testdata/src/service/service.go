@@ -1,0 +1,30 @@
+// Package service is a lint fixture for the errcheck rule's HTTP
+// coverage: response writers fail too (client hangs up mid-body), and
+// a discarded write error turns a truncated response into something
+// that parses as success on retry caches.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Serve discards http.ResponseWriter errors in the ways the rule
+// catches.
+func Serve(w http.ResponseWriter) {
+	w.Write([]byte(`{"status":"ok"}`))          // want: errcheck statement Write
+	fmt.Fprintf(w, "count=%d\n", 3)             // want: errcheck statement Fprintf
+	json.NewEncoder(w).Encode(map[string]int{}) // want: errcheck statement Encode
+	w.Write([]byte("\n"))                       //lint:allow errcheck fixture escape hatch
+}
+
+// ServeChecked handles or acknowledges every write error.
+func ServeChecked(w http.ResponseWriter) error {
+	if _, err := w.Write([]byte("body")); err != nil {
+		return err
+	}
+	// Acknowledged discard: the client disconnected; nothing to do.
+	_, _ = fmt.Fprintf(w, "trailer\n")
+	return nil
+}

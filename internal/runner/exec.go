@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+)
+
+// Executor is the programmatic entry point for cached single-spec
+// execution: where the CLI drives Registry.Run over a whole selection,
+// long-running callers (the positd serving layer) ask for one
+// experiment at a time and want its result, its job report, and a
+// real error instead of a report to post-process.
+//
+// The zero value executes against the Default registry with no cache;
+// set Config to share a disk cache, options, and instrumentation
+// across calls. An Executor is safe for concurrent use: each Execute
+// runs its own scheduler pass, and the on-disk cache tolerates
+// concurrent readers and writers (entries are written atomically).
+type Executor struct {
+	// Registry to execute from; nil means Default.
+	Registry *Registry
+	// Config is passed to every Registry.Run invocation. Its Events
+	// callback, if any, must be safe for concurrent use when Execute
+	// is called from multiple goroutines.
+	Config Config
+}
+
+// Execute runs the spec registered under id (plus its transitive
+// dependencies) through the scheduler, consulting and filling the
+// configured cache, and returns the spec's result and job report.
+// Unknown IDs, dependency cycles, per-job failures, and context
+// cancellation all surface as errors; the report is returned whenever
+// the job ran (or was skipped) so callers can still see wall time and
+// cache state.
+func (e *Executor) Execute(ctx context.Context, id string) (*Result, *JobReport, error) {
+	reg := e.Registry
+	if reg == nil {
+		reg = Default
+	}
+	results, rep, runErr := reg.Run(ctx, []string{id}, e.Config)
+	if rep == nil {
+		// Run-level failure before any job started (unknown ID, cycle).
+		return nil, nil, runErr
+	}
+	var jr *JobReport
+	for i := range rep.Jobs {
+		if rep.Jobs[i].ID == id {
+			jr = &rep.Jobs[i]
+			break
+		}
+	}
+	if jr == nil {
+		if runErr != nil {
+			return nil, nil, runErr
+		}
+		return nil, nil, fmt.Errorf("runner: no job report for %q", id)
+	}
+	if jr.Err != "" {
+		return nil, jr, fmt.Errorf("runner: %s: %s", id, jr.Err)
+	}
+	if runErr != nil {
+		return nil, jr, runErr
+	}
+	res := results[id]
+	if res == nil {
+		return nil, jr, fmt.Errorf("runner: %s: no result", id)
+	}
+	return res, jr, nil
+}

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestExecutorComputesThenHitsCache(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	mustRegister(t, reg, Spec{
+		ID:    "exec-a",
+		Title: "a",
+		Run: func(ctx context.Context, env *Env) (*Result, error) {
+			calls++
+			return &Result{Body: "body-a"}, nil
+		},
+	})
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	ex := &Executor{Registry: reg, Config: Config{Cache: cache}}
+
+	res, jr, err := ex.Execute(context.Background(), "exec-a")
+	if err != nil {
+		t.Fatalf("first Execute: %v", err)
+	}
+	if res.Body != "body-a" {
+		t.Fatalf("Body = %q, want body-a", res.Body)
+	}
+	if jr == nil || jr.Cached {
+		t.Fatalf("first run: report %+v, want uncached", jr)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+
+	res, jr, err = ex.Execute(context.Background(), "exec-a")
+	if err != nil {
+		t.Fatalf("second Execute: %v", err)
+	}
+	if res.Body != "body-a" {
+		t.Fatalf("cached Body = %q, want body-a", res.Body)
+	}
+	if jr == nil || !jr.Cached {
+		t.Fatalf("second run: report %+v, want cached", jr)
+	}
+	if calls != 1 {
+		t.Fatalf("calls after cache hit = %d, want 1", calls)
+	}
+}
+
+func TestExecutorUnknownID(t *testing.T) {
+	ex := &Executor{Registry: NewRegistry()}
+	if _, _, err := ex.Execute(context.Background(), "no-such-spec"); err == nil {
+		t.Fatal("Execute(unknown) = nil error")
+	}
+}
+
+func TestExecutorJobError(t *testing.T) {
+	reg := NewRegistry()
+	boom := errors.New("boom")
+	mustRegister(t, reg, Spec{
+		ID:    "exec-fail",
+		Title: "fails",
+		Run: func(ctx context.Context, env *Env) (*Result, error) {
+			return nil, boom
+		},
+	})
+	ex := &Executor{Registry: reg}
+	res, jr, err := ex.Execute(context.Background(), "exec-fail")
+	if err == nil {
+		t.Fatal("Execute(failing spec) = nil error")
+	}
+	if res != nil {
+		t.Fatalf("result = %+v, want nil", res)
+	}
+	if jr == nil || jr.Err == "" {
+		t.Fatalf("job report %+v, want recorded error", jr)
+	}
+}
+
+func TestExecutorCanceledContext(t *testing.T) {
+	reg := NewRegistry()
+	mustRegister(t, reg, Spec{
+		ID:    "exec-ctx",
+		Title: "ctx",
+		Run: func(ctx context.Context, env *Env) (*Result, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return &Result{Body: "ok"}, nil
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Executor{Registry: reg}
+	if _, _, err := ex.Execute(ctx, "exec-ctx"); err == nil {
+		t.Fatal("Execute(canceled ctx) = nil error")
+	}
+}
+
+func mustRegister(t *testing.T, reg *Registry, s Spec) {
+	t.Helper()
+	if err := reg.Register(s); err != nil {
+		t.Fatalf("Register(%s): %v", s.ID, err)
+	}
+}

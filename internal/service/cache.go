@@ -1,0 +1,162 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Cache is a bounded in-memory LRU over rendered response bytes with
+// per-key singleflight: concurrent requests for the same key perform
+// the computation exactly once, and every waiter receives the same
+// byte slice. It fronts the runner's on-disk cache in the serving
+// layer — a warm experiment response is served without touching disk,
+// and a thundering herd on a cold key runs one solver pass, not N.
+//
+// Errors are never cached: a failed computation is surfaced to every
+// in-flight waiter and then forgotten, so the next request retries.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; elements hold *cacheEntry
+	entries  map[string]*list.Element
+
+	hits, misses, shared, evictions uint64
+}
+
+// cacheEntry is one key's slot. ready is closed by the computing
+// goroutine after val/err are set; waiters hold the entry pointer, so
+// an eviction mid-flight cannot strand them.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	val   []byte
+	err   error
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	// Hits: requests served from a completed entry.
+	Hits uint64 `json:"hits"`
+	// Misses: requests that started a computation.
+	Misses uint64 `json:"misses"`
+	// Shared: requests that joined an in-flight computation
+	// (the singleflight deduplications).
+	Shared uint64 `json:"shared"`
+	// Evictions: completed entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRatio is (Hits+Shared) / (Hits+Shared+Misses), or 0 before any
+// traffic.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Shared + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// NewCache returns a cache bounded to capacity entries; capacity <= 0
+// means 256.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[string]*list.Element{},
+	}
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Shared: c.shared, Evictions: c.evictions}
+}
+
+// Do returns the cached bytes for key, computing them via compute on a
+// miss. The boolean reports whether the result came from the cache —
+// either a completed entry (hit) or another request's in-flight
+// computation (shared); the computing caller itself gets false. A
+// panic inside compute is converted to an error. ctx bounds only the
+// wait of sharing callers: the computation itself runs on the first
+// caller's goroutine under that caller's own context.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.order.MoveToFront(el)
+		select {
+		case <-e.ready:
+			c.hits++
+			c.mu.Unlock()
+			return e.val, true, e.err
+		default:
+		}
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.val, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = c.order.PushFront(e)
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	val, err := safeCompute(compute)
+
+	c.mu.Lock()
+	e.val, e.err = val, err
+	close(e.ready)
+	if err != nil {
+		// Never cache failures: drop the entry so the next request
+		// retries (it may already have been evicted; Remove of a
+		// different element for the same key must not clobber it).
+		if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+	c.mu.Unlock()
+	return val, false, err
+}
+
+// evictLocked drops least-recently-used completed entries beyond
+// capacity. In-flight entries are skipped: their computing goroutine
+// and waiters still reference them, and evicting work in progress
+// would only duplicate it.
+func (c *Cache) evictLocked() {
+	for el := c.order.Back(); el != nil && c.order.Len() > c.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions++
+		default:
+		}
+		el = prev
+	}
+}
+
+// safeCompute runs compute with panic recovery, so one bad request
+// cannot take down the server and in-flight sharers see an error
+// instead of hanging forever on a never-closed ready channel.
+func safeCompute(compute func() ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("compute panicked: %v", p)
+		}
+	}()
+	return compute()
+}

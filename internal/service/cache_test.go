@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte("v"), nil }
+
+	v, cached, err := c.Do(context.Background(), "k", compute)
+	if err != nil || cached || string(v) != "v" {
+		t.Fatalf("first Do = %q cached=%v err=%v", v, cached, err)
+	}
+	v, cached, err = c.Do(context.Background(), "k", compute)
+	if err != nil || !cached || string(v) != "v" {
+		t.Fatalf("second Do = %q cached=%v err=%v", v, cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Shared != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheSingleflight deterministically exercises the dedup path:
+// the first caller blocks inside compute, a second caller for the
+// same key must register as Shared and then receive the first
+// caller's bytes.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(4)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	computes := 0
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, cached, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+			computes++
+			close(enter)
+			<-release
+			return []byte("once"), nil
+		})
+		if err != nil || cached || string(v) != "once" {
+			t.Errorf("leader Do = %q cached=%v err=%v", v, cached, err)
+		}
+	}()
+	<-enter // the leader is inside compute
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, cached, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+			t.Error("follower computed despite in-flight leader")
+			return nil, nil
+		})
+		if err != nil || !cached || string(v) != "once" {
+			t.Errorf("follower Do = %q cached=%v err=%v", v, cached, err)
+		}
+	}()
+
+	// The follower increments Shared before blocking on ready.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Shared == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never registered as shared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	if st := c.Stats(); st.Shared != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want shared=1 misses=1", st)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	boom := errors.New("boom")
+	fail := func() ([]byte, error) { calls++; return nil, boom }
+	if _, _, err := c.Do(context.Background(), "k", fail); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.Do(context.Background(), "k", fail); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestCachePanicBecomesError(t *testing.T) {
+	c := NewCache(4)
+	_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { panic("kaboom") })
+	if err == nil || err.Error() != "compute panicked: kaboom" {
+		t.Fatalf("err = %v", err)
+	}
+	// The key is free again.
+	v, cached, err := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || cached || string(v) != "ok" {
+		t.Fatalf("after panic: %q cached=%v err=%v", v, cached, err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	mk := func(k string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(k), nil }
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.Do(context.Background(), k, mk(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction", st)
+	}
+	// "a" was least recently used: recomputed. "c" still cached.
+	if _, cached, _ := c.Do(context.Background(), "c", mk("c")); !cached {
+		t.Fatal("c evicted prematurely")
+	}
+	if _, cached, _ := c.Do(context.Background(), "a", mk("a")); cached {
+		t.Fatal("a survived eviction")
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := NewCache(4)
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(enter)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-enter
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				want := key + "!"
+				v, _, err := c.Do(context.Background(), key, func() ([]byte, error) {
+					return []byte(want), nil
+				})
+				if err != nil || string(v) != want {
+					t.Errorf("Do(%s) = %q, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"positlab/internal/runner"
+)
+
+// experimentResponse is the GET /v1/experiments/{name} body.
+type experimentResponse struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Body is the rendered table/figure text, exactly as the CLI
+	// prints it.
+	Body string `json:"body"`
+	// Metrics are the experiment-reported scalars; null entries are
+	// non-finite measurements.
+	Metrics map[string]jsonFloat `json:"metrics,omitempty"`
+	// Artifacts (with ?artifacts=1) are the CSV/SVG outputs.
+	Artifacts []runner.Artifact `json:"artifacts,omitempty"`
+}
+
+// handleExperiment implements GET /v1/experiments/{name}: execute the
+// named registered spec through the runner (consulting the on-disk
+// result cache) and serve its rendered rows. The in-memory LRU fronts
+// the whole thing, so a warm experiment is served without touching the
+// runner at all, and a thundering herd on a cold one computes once.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := s.cfg.Registry.Lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf(
+			"unknown experiment %q (known: %s)", name, strings.Join(s.cfg.Registry.SortedIDs(), ", ")))
+		return
+	}
+	withArtifacts := r.URL.Query().Get("artifacts") == "1"
+
+	key := fmt.Sprintf("experiment|%s|artifacts=%v", name, withArtifacts)
+	body, cached, err := s.cache.Do(r.Context(), key, func() ([]byte, error) {
+		res, _, err := s.exec.Execute(r.Context(), name)
+		if err != nil {
+			return nil, err
+		}
+		resp := experimentResponse{ID: name, Title: spec.Title, Body: res.Body}
+		if len(res.Metrics) > 0 {
+			resp.Metrics = make(map[string]jsonFloat, len(res.Metrics))
+			for k, v := range res.Metrics {
+				resp.Metrics[k] = jsonFloat(v)
+			}
+		}
+		if withArtifacts {
+			resp.Artifacts = res.Artifacts
+		}
+		return json.Marshal(resp)
+	})
+	if err != nil {
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			httpError(w, statusFromCtx(ctxErr), "experiment canceled: "+ctxErr.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeCached(w, body, cached)
+}

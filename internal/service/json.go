@@ -1,0 +1,69 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// jsonFloat is a float64 that marshals non-finite values as null.
+// encoding/json rejects NaN and ±Inf outright, but solver metrics
+// legitimately produce them (a diverged backward error, an overflowed
+// conversion), so every float the API returns goes through this type:
+// the response stays valid JSON and a non-finite measurement is
+// distinguishable from zero.
+type jsonFloat float64
+
+func (v jsonFloat) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+// jsonFloats converts a measurement series for marshaling.
+func jsonFloats(xs []float64) []jsonFloat {
+	if xs == nil {
+		return nil
+	}
+	out := make([]jsonFloat, len(xs))
+	for i, x := range xs {
+		out[i] = jsonFloat(x)
+	}
+	return out
+}
+
+// apiError is the uniform error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON marshals v and writes it with the given status. A marshal
+// failure (a programming error: every response type here marshals) is
+// downgraded to a plain 500; a write failure means the client went
+// away and there is nobody left to tell.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeBody(w, append(b, '\n'))
+}
+
+// writeBody writes pre-rendered bytes, dropping the error: at this
+// point the status line is already committed, so the only write
+// failure mode is a disconnected client.
+func writeBody(w http.ResponseWriter, b []byte) {
+	if _, err := w.Write(b); err != nil {
+		_ = err // client disconnected mid-response; nothing to do
+	}
+}
+
+// httpError writes the uniform error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}

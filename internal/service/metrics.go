@@ -1,0 +1,164 @@
+package service
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"positlab/internal/arith"
+)
+
+// latWindow is the per-route latency reservoir size: quantiles are
+// computed over the most recent latWindow observations.
+const latWindow = 512
+
+// Metrics aggregates serving-side observability: an in-flight gauge,
+// per-route request counts, status tallies and latency quantiles over
+// a sliding window, plus the shared kernel operation counters (every
+// solver request routes its arithmetic through arith.InstrumentAtomic
+// against Ops). Snapshot renders it all; the server additionally
+// publishes the snapshot through expvar.
+type Metrics struct {
+	// Ops counts every format operation performed on behalf of
+	// requests (atomic; written from handler goroutines directly).
+	Ops *arith.AtomicOpCounts
+
+	mu       sync.Mutex
+	start    time.Time
+	inFlight int
+	routes   map[string]*routeStats
+}
+
+// routeStats is one route's mutable aggregate, guarded by Metrics.mu.
+type routeStats struct {
+	count    uint64
+	statuses map[string]uint64
+	lat      [latWindow]float64
+	latN     int
+}
+
+// NewMetrics returns an empty metrics aggregate.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Ops:    &arith.AtomicOpCounts{},
+		start:  time.Now(),
+		routes: map[string]*routeStats{},
+	}
+}
+
+// Enter increments the in-flight gauge.
+func (m *Metrics) Enter() {
+	m.mu.Lock()
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+// Leave decrements the in-flight gauge.
+func (m *Metrics) Leave() {
+	m.mu.Lock()
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+// Observe records one finished request against its route pattern.
+func (m *Metrics) Observe(route string, status int, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{statuses: map[string]uint64{}}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.statuses[strconv.Itoa(status)]++
+	rs.lat[rs.latN%latWindow] = ms
+	rs.latN++
+}
+
+// RouteSnapshot is one route's rendered aggregate.
+type RouteSnapshot struct {
+	Count    uint64            `json:"count"`
+	Statuses map[string]uint64 `json:"statuses"`
+	P50MS    jsonFloat         `json:"p50_ms"`
+	P99MS    jsonFloat         `json:"p99_ms"`
+}
+
+// MetricsSnapshot is the /debug/metrics response body.
+type MetricsSnapshot struct {
+	UptimeSec float64                  `json:"uptime_sec"`
+	InFlight  int                      `json:"in_flight"`
+	Routes    map[string]RouteSnapshot `json:"routes"`
+	Cache     CacheSnapshot            `json:"cache"`
+	Ops       arith.OpCounts           `json:"ops"`
+	OpsTotal  uint64                   `json:"ops_total"`
+}
+
+// CacheSnapshot is the cache section of the metrics snapshot.
+type CacheSnapshot struct {
+	CacheStats
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Snapshot renders the aggregate. cache may be nil (no cache section
+// counters beyond zeros).
+func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Routes: map[string]RouteSnapshot{},
+	}
+	if cache != nil {
+		st := cache.Stats()
+		snap.Cache = CacheSnapshot{CacheStats: st, HitRatio: st.HitRatio()}
+	}
+	snap.Ops = m.Ops.Snapshot()
+	snap.OpsTotal = snap.Ops.Total()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap.UptimeSec = time.Since(m.start).Seconds()
+	snap.InFlight = m.inFlight
+	// Iterate routes in sorted key order: quantile computation is a
+	// call, and map iteration order is randomized.
+	keys := make([]string, 0, len(m.routes))
+	for k := range m.routes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rs := m.routes[k]
+		p50, p99 := rs.quantiles()
+		statuses := make(map[string]uint64, len(rs.statuses))
+		for code, n := range rs.statuses {
+			statuses[code] = n
+		}
+		snap.Routes[k] = RouteSnapshot{
+			Count:    rs.count,
+			Statuses: statuses,
+			P50MS:    jsonFloat(p50),
+			P99MS:    jsonFloat(p99),
+		}
+	}
+	return snap
+}
+
+// quantiles computes p50/p99 over the retained window (NaN before any
+// observation — rendered null).
+func (rs *routeStats) quantiles() (p50, p99 float64) {
+	n := rs.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, rs.lat[:n])
+	sort.Float64s(s)
+	idx := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return s[i]
+	}
+	return idx(0.50), idx(0.99)
+}

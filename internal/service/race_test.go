@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"positlab/internal/arith"
+)
+
+// TestConvertConcurrentDeterministic hammers /v1/convert from many
+// goroutines (run under -race in `make verify`): every response for
+// the same payload must be byte-identical, and the LRU must absorb
+// the repeats. A deterministic singleflight share is staged first by
+// occupying the exact cache key the handler will use with a blocking
+// compute, so the HTTP request is forced onto the dedup path and the
+// Shared counter is provably exercised end-to-end.
+func TestConvertConcurrentDeterministic(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	const payloadA = `{"from":"float64","to":"posit16es2","values":[1,2.5,3.141592653589793,1e9]}`
+	const payloadB = `{"from":"float32","to":"posit32es2","values":[0.1,0.2,0.3]}`
+
+	// Stage a guaranteed singleflight share on payloadA's key: the
+	// leader below holds the key open; the HTTP request must join it
+	// as a waiter and come back with X-Cache: hit and the leader's
+	// bytes.
+	from := arith.MustByName("float64")
+	to := arith.MustByName("posit16es2")
+	values := []float64{1, 2.5, 3.141592653589793, 1e9}
+	key := convertKey(from, to, values)
+
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan []byte, 1)
+	go func() {
+		v, _, err := s.Cache().Do(context.Background(), key, func() ([]byte, error) {
+			close(enter)
+			<-release
+			return json.Marshal(s.convert(from, to, values))
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		leaderDone <- v
+	}()
+	<-enter
+
+	httpDone := make(chan string, 1)
+	go func() {
+		resp := post(t, ts.URL+"/v1/convert", payloadA)
+		if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+			t.Errorf("staged share X-Cache = %q, want hit", xc)
+		}
+		httpDone <- readBody(t, resp)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Cache().Stats().Shared == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("HTTP request never joined the in-flight compute")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	leaderBytes := <-leaderDone
+	sharedBody := <-httpDone
+	if sharedBody != string(leaderBytes) {
+		t.Fatalf("shared response differs from leader bytes:\n%s\n%s", sharedBody, leaderBytes)
+	}
+	if st := s.Cache().Stats(); st.Shared == 0 {
+		t.Fatalf("stats = %+v, want Shared > 0", st)
+	}
+
+	// Hammer: 8 goroutines × 20 requests, two interleaved payloads.
+	var mu sync.Mutex
+	bodies := map[string]map[string]int{payloadA: {}, payloadB: {}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				payload := payloadA
+				if (g+i)%2 == 1 {
+					payload = payloadB
+				}
+				resp, err := http.Post(ts.URL+"/v1/convert", "application/json", strings.NewReader(payload))
+				if err != nil {
+					t.Errorf("POST: %v", err)
+					return
+				}
+				body := readBody(t, resp)
+				if resp.StatusCode != 200 {
+					t.Errorf("status %d: %s", resp.StatusCode, body)
+					return
+				}
+				mu.Lock()
+				bodies[payload][body]++
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for payload, got := range bodies {
+		if len(got) != 1 {
+			t.Errorf("payload %s produced %d distinct response bodies, want 1", payload, len(got))
+		}
+	}
+	st := s.Cache().Stats()
+	if st.Hits == 0 {
+		t.Fatalf("stats = %+v, want LRU hits under the hammer", st)
+	}
+	if st.Hits+st.Shared+st.Misses < 161 {
+		t.Fatalf("stats = %+v, want all 161 lookups accounted for", st)
+	}
+}

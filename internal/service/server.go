@@ -1,0 +1,352 @@
+// Package service is positd's HTTP serving layer over the experiment
+// and solver stack: batch format conversion, on-demand solver runs,
+// and cached experiment results behind a stdlib-only net/http server
+// with admission control, per-request timeouts, structured access
+// logs, panic recovery, and expvar metrics.
+//
+// The layering mirrors the offline pipeline: handlers call the same
+// solvers/experiments entry points the CLI does, experiment requests
+// go through runner.Executor (and therefore the on-disk result
+// cache), and an in-memory LRU with per-key singleflight fronts both
+// so identical concurrent requests are computed once and answered
+// byte-identically.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"positlab/internal/runner"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInflight    = 64
+	DefaultCacheEntries   = 256
+	DefaultRequestTimeout = 120 * time.Second
+	DefaultMaxBatch       = 65536
+	DefaultMaxBodyBytes   = 8 << 20
+	// DefaultMaxMatrixN bounds uploaded systems: the Cholesky path
+	// densifies the matrix, so N is the resource knob that matters.
+	DefaultMaxMatrixN = 2048
+)
+
+// Config tunes a Server. The zero value serves the Default runner
+// registry with the documented defaults and no access log.
+type Config struct {
+	// Registry backing /v1/experiments; nil means runner.Default.
+	Registry *runner.Registry
+	// RunnerConfig is passed to the runner for experiment requests
+	// (disk cache, options, instrumentation). Its Timeout field is
+	// ignored: the per-request timeout governs.
+	RunnerConfig runner.Config
+	// MaxInflight bounds concurrently admitted /v1 requests; excess
+	// requests are refused with 429 + Retry-After. <= 0 means 64.
+	MaxInflight int
+	// CacheEntries bounds the in-memory response LRU. <= 0 means 256.
+	CacheEntries int
+	// RequestTimeout bounds each /v1 request; the deadline context is
+	// threaded into solver loops, so expiry cancels in-flight work
+	// promptly. <= 0 means 120s.
+	RequestTimeout time.Duration
+	// MaxBatch bounds /v1/convert values per request. <= 0 means 65536.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies. <= 0 means 8 MiB.
+	MaxBodyBytes int64
+	// MaxMatrixN bounds the dimension of uploaded /v1/solve systems.
+	// <= 0 means 2048.
+	MaxMatrixN int
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog io.Writer
+}
+
+func (c Config) fill() Config {
+	if c.Registry == nil {
+		c.Registry = runner.Default
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxMatrixN <= 0 {
+		c.MaxMatrixN = DefaultMaxMatrixN
+	}
+	c.RunnerConfig.Timeout = 0 // the per-request deadline governs
+	return c
+}
+
+// Server is one positd instance. Create with New; serve via Handler
+// (tests) or Run (production, with graceful drain).
+type Server struct {
+	cfg     Config
+	exec    *runner.Executor
+	cache   *Cache
+	metrics *Metrics
+	sem     chan struct{}
+	handler http.Handler
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+	}
+	s.exec = &runner.Executor{Registry: cfg.Registry, Config: cfg.RunnerConfig}
+	s.handler = s.buildHandler()
+	publishExpvar(s)
+	return s
+}
+
+// Cache exposes the response cache (tests assert on its stats).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Metrics exposes the serving metrics.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the fully-wrapped root handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/convert", s.handleConvert)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	var h http.Handler = mux
+	h = s.timeoutMiddleware(h)
+	h = s.admissionMiddleware(h)
+	h = s.observeMiddleware(h)
+	h = s.recoverMiddleware(h)
+	return h
+}
+
+// Run serves on ln until ctx is canceled (typically by SIGTERM via
+// signal.NotifyContext), then drains: no new connections are accepted
+// and in-flight requests get up to drainTimeout to finish. A clean
+// drain returns nil.
+func (s *Server) Run(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx := context.Background()
+	if drainTimeout > 0 {
+		var cancel context.CancelFunc
+		shutdownCtx, cancel = context.WithTimeout(shutdownCtx, drainTimeout)
+		defer cancel()
+	}
+	err := srv.Shutdown(shutdownCtx)
+	<-errCh // Serve has returned http.ErrServerClosed
+	return err
+}
+
+// --- middleware ---
+
+// statusRecorder captures the response status and size for logs and
+// metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// recoverMiddleware converts a handler panic into a 500 so one bad
+// request cannot take the process down. (Computation panics are
+// already recovered closer to the work — runner.safeRun, Cache.Do —
+// this is the last line of defense.)
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.logLine(map[string]any{
+					"event": "panic",
+					"path":  r.URL.Path,
+					"panic": fmt.Sprint(p),
+					"stack": string(debug.Stack()),
+				})
+				httpError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// observeMiddleware maintains the in-flight gauge, per-route latency
+// metrics, and the structured access log.
+func (s *Server) observeMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.metrics.Enter()
+		defer func() {
+			d := time.Since(start)
+			s.metrics.Leave()
+			route := routeOf(r)
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.metrics.Observe(route, status, d)
+			s.logLine(map[string]any{
+				"time":   start.UTC().Format(time.RFC3339Nano),
+				"method": r.Method,
+				"path":   r.URL.Path,
+				"route":  route,
+				"status": status,
+				"ms":     float64(d) / float64(time.Millisecond),
+				"bytes":  rec.bytes,
+				"remote": r.RemoteAddr,
+			})
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// routeOf maps a request to its metrics key. Wildcard routes collapse
+// to their pattern so /v1/experiments/{name} aggregates across names.
+// (http.Request.Pattern would do this exactly, but it needs Go 1.23
+// and the module pins 1.22.)
+func routeOf(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/experiments/") {
+		path = "/v1/experiments/{name}"
+	}
+	return r.Method + " " + path
+}
+
+// logLine writes one JSON access-log line. Logging is advisory: a
+// full disk or closed pipe must not fail the request, so write errors
+// are deliberately dropped.
+func (s *Server) logLine(fields map[string]any) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	b, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	_, _ = s.cfg.AccessLog.Write(append(b, '\n'))
+}
+
+// admissionMiddleware bounds concurrent /v1 work with a semaphore:
+// when MaxInflight requests are already admitted, the request is
+// refused immediately with 429 and Retry-After rather than queued,
+// keeping latency bounded under overload (health and debug endpoints
+// bypass admission so operators can always see in).
+func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "server saturated; retry later")
+		}
+	})
+}
+
+// timeoutMiddleware installs the per-request deadline on /v1 routes.
+// Handlers thread this context into solver loops, so expiry cancels
+// in-flight numerical work promptly rather than abandoning it.
+func (s *Server) timeoutMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// statusFromCtx maps a request-context failure to its HTTP status:
+// deadline expiry is the server's timeout (504), cancellation means
+// the client went away or the server is draining (503).
+func statusFromCtx(err error) int {
+	if err == context.DeadlineExceeded {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
+}
+
+// --- health and metrics handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"experiments": len(s.cfg.Registry.IDs()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache))
+}
+
+// expvar's registry is process-global and panics on duplicate names,
+// so only the first Server instance publishes there (tests construct
+// many servers per process). /debug/metrics is per-server regardless.
+var publishOnce sync.Once
+
+func publishExpvar(s *Server) {
+	publishOnce.Do(func() {
+		expvar.Publish("positd", expvar.Func(func() any {
+			return s.metrics.Snapshot(s.cache)
+		}))
+	})
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"positlab/internal/arith"
+	"positlab/internal/experiments"
+	"positlab/internal/linalg"
+	"positlab/internal/matgen"
+	"positlab/internal/mmarket"
+	"positlab/internal/scaling"
+	"positlab/internal/solvers"
+)
+
+// solveRequest is the POST /v1/solve body.
+type solveRequest struct {
+	// Matrix names a Table I suite matrix (e.g. "bcsstk01");
+	// MatrixMarket uploads one inline instead. Exactly one must be
+	// set.
+	Matrix       string `json:"matrix,omitempty"`
+	MatrixMarket string `json:"matrix_market,omitempty"`
+	// B is the right-hand side; when omitted it defaults to the
+	// suite's b for named matrices and to A·1 for uploads.
+	B []float64 `json:"b,omitempty"`
+	// Solver is "cg", "cholesky", or "ir".
+	Solver string `json:"solver"`
+	// Format is the working (cg, cholesky) or factorization (ir)
+	// format name.
+	Format string `json:"format"`
+	// Tol is the convergence threshold (cg: relative residual,
+	// default 1e-5; ir: backward error, default 1e-15).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter caps iterations (cg: default 10·N; ir: default 1000).
+	MaxIter int `json:"max_iter,omitempty"`
+	// Rescale applies the paper's power-of-two system rescaling
+	// before cg/cholesky (Fig. 7 / Fig. 9 preparation).
+	Rescale bool `json:"rescale,omitempty"`
+	// Higham applies Algorithm 5 equilibration with the format-aware
+	// μ before ir (Table III preparation).
+	Higham bool `json:"higham,omitempty"`
+}
+
+// solveResponse is the POST /v1/solve body on success.
+type solveResponse struct {
+	Solver string `json:"solver"`
+	Format string `json:"format"`
+	Matrix string `json:"matrix"`
+	N      int    `json:"n"`
+	// Iterations/Converged/Failed: solver progress. Failed covers
+	// arithmetic exceptions (cg) and factorization breakdown
+	// (cholesky, ir).
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	Failed     bool `json:"failed"`
+	// RelResidual is cg's final ‖r‖/‖b‖; BackwardError the
+	// normwise relative backward error (cholesky, ir); FactorError
+	// ir's low-precision factorization error. Null when not
+	// applicable or non-finite.
+	RelResidual   jsonFloat `json:"rel_residual,omitempty"`
+	BackwardError jsonFloat `json:"backward_error,omitempty"`
+	FactorError   jsonFloat `json:"factor_error,omitempty"`
+	// History is the per-iteration residual (cg) or backward-error
+	// (ir) series.
+	History []jsonFloat `json:"history,omitempty"`
+	// Ops counts the format arithmetic this request performed.
+	Ops    arith.OpCounts `json:"ops"`
+	WallMS float64        `json:"wall_ms"`
+}
+
+// handleSolve implements POST /v1/solve: one solver run, in the
+// requested format, on a named suite matrix or an uploaded
+// MatrixMarket system. The request context (per-request timeout,
+// client disconnect, server drain) is threaded into the solver's
+// per-iteration checkpoints.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	f, err := arith.ByName(req.Format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	solver := strings.ToLower(strings.TrimSpace(req.Solver))
+	switch solver {
+	case "cg", "cholesky", "ir":
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown solver %q (known: cg, cholesky, ir)", req.Solver))
+		return
+	}
+
+	a, b, name, err := s.loadSystem(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	reqOps := &arith.AtomicOpCounts{}
+	// Nested instrumentation: the inner wrapper feeds the server-wide
+	// kernel counters, the outer one this request's report. Both see
+	// the same tally; results stay bit-identical.
+	fi := arith.InstrumentAtomic(arith.InstrumentAtomic(f, s.metrics.Ops), reqOps)
+
+	resp := solveResponse{Solver: solver, Format: f.Name(), Matrix: name, N: a.N}
+	start := time.Now()
+	ctx := r.Context()
+	switch solver {
+	case "cg":
+		tol := req.Tol
+		if tol == 0 {
+			tol = 1e-5
+		}
+		maxIter := req.MaxIter
+		if maxIter == 0 {
+			maxIter = 10 * a.N
+		}
+		if req.Rescale {
+			a = a.Clone()
+			b = append([]float64(nil), b...)
+			scaling.RescaleSystemCG(a, b)
+		}
+		an := a.ToFormat(fi, false)
+		bn := linalg.VecFromFloat64(fi, b)
+		res, err := solvers.CGCtx(ctx, an, bn, tol, maxIter)
+		if err != nil {
+			httpError(w, statusFromCtx(err), "solve canceled: "+err.Error())
+			return
+		}
+		resp.Iterations = res.Iterations
+		resp.Converged = res.Converged
+		resp.Failed = res.Failed
+		resp.RelResidual = jsonFloat(res.RelResidual)
+		resp.History = jsonFloats(res.History)
+
+	case "cholesky":
+		if req.Rescale {
+			a = a.Clone()
+			b = append([]float64(nil), b...)
+			scaling.RescaleSystemCholesky(a, b)
+		}
+		an := a.ToDense().ToFormat(fi, false)
+		bn := linalg.VecFromFloat64(fi, b)
+		x, err := solvers.CholeskySolveCtx(ctx, an, bn)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				httpError(w, statusFromCtx(ctxErr), "solve canceled: "+ctxErr.Error())
+				return
+			}
+			// Breakdown in the working format: a result, not a server
+			// error (the '-' entries of the paper's tables).
+			resp.Failed = true
+			break
+		}
+		resp.Converged = true
+		resp.BackwardError = jsonFloat(solvers.BackwardError(a, b, linalg.VecToFloat64(f, x)))
+
+	case "ir":
+		sc := solvers.IRScaling{}
+		if req.Higham {
+			sc = solvers.IRScaling{
+				R:  scaling.HighamEquilibrate(a, 1e-8, 100),
+				Mu: scaling.MuFor(f),
+			}
+		}
+		res, err := solvers.MixedIRCtx(ctx, a, b, fi, sc, solvers.IROptions{
+			Tol:     req.Tol,
+			MaxIter: req.MaxIter,
+		})
+		if err != nil {
+			httpError(w, statusFromCtx(err), "solve canceled: "+err.Error())
+			return
+		}
+		resp.Iterations = res.Iterations
+		resp.Converged = res.Converged
+		resp.Failed = res.FactorFailed
+		resp.BackwardError = jsonFloat(res.BackwardError)
+		resp.FactorError = jsonFloat(res.FactorError)
+		resp.History = jsonFloats(res.History)
+	}
+	resp.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	resp.Ops = reqOps.Snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// loadSystem resolves the request's linear system: a named Table I
+// replica (generated once per process and shared with the experiment
+// paths) or an uploaded MatrixMarket matrix.
+func (s *Server) loadSystem(req *solveRequest) (*linalg.Sparse, []float64, string, error) {
+	switch {
+	case req.Matrix != "" && req.MatrixMarket != "":
+		return nil, nil, "", fmt.Errorf("set either matrix or matrix_market, not both")
+	case req.Matrix != "":
+		// Validate the name first: experiments.Suite panics on unknown
+		// names (it serves the runner, which recovers panics).
+		if _, err := matgen.TargetByName(req.Matrix); err != nil {
+			return nil, nil, "", err
+		}
+		m := experiments.Suite([]string{req.Matrix})[0]
+		b := req.B
+		if b == nil {
+			b = m.B
+		} else if len(b) != m.A.N {
+			return nil, nil, "", fmt.Errorf("b has %d entries, matrix is %d×%d", len(b), m.A.N, m.A.N)
+		}
+		return m.A, b, req.Matrix, nil
+	case req.MatrixMarket != "":
+		a, _, err := mmarket.Read(strings.NewReader(req.MatrixMarket))
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("matrix_market: %v", err)
+		}
+		if a.N > s.cfg.MaxMatrixN {
+			return nil, nil, "", fmt.Errorf("matrix dimension %d exceeds the %d limit", a.N, s.cfg.MaxMatrixN)
+		}
+		if !a.IsSymmetric(1e-12) {
+			return nil, nil, "", fmt.Errorf("matrix_market: matrix is not symmetric; the solvers require SPD systems")
+		}
+		b := req.B
+		if b == nil {
+			// Default rhs: b = A·1, matching the suite's known-solution
+			// convention.
+			ones := make([]float64, a.N)
+			for i := range ones {
+				ones[i] = 1
+			}
+			b = make([]float64, a.N)
+			a.MatVecF64(ones, b)
+		} else if len(b) != a.N {
+			return nil, nil, "", fmt.Errorf("b has %d entries, matrix is %d×%d", len(b), a.N, a.N)
+		}
+		return a, b, "uploaded", nil
+	default:
+		return nil, nil, "", fmt.Errorf("set matrix (a Table I name) or matrix_market (inline upload)")
+	}
+}

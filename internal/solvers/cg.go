@@ -6,6 +6,8 @@
 package solvers
 
 import (
+	"context"
+
 	"positlab/internal/arith"
 	"positlab/internal/linalg"
 )
@@ -23,6 +25,11 @@ type CGResult struct {
 	// RelResidual is the final recurrence-residual ratio ‖r‖/‖b‖ as
 	// computed in the working format.
 	RelResidual float64
+	// History records ‖r‖/‖b‖ after each completed iteration, measured
+	// in float64 like every reporting metric. History[k] is the state
+	// after iteration k+1; a run that fails mid-iteration has no entry
+	// for the failing step.
+	History []float64
 	// X is the computed solution, exact float64 images of the format
 	// iterates.
 	X []float64
@@ -34,6 +41,15 @@ type CGResult struct {
 // recurrence residual (the paper notes and accepts the slight
 // premature-convergence bias this brings, §IV-C).
 func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
+	res, _ := CGCtx(context.Background(), a, b, tol, maxIter)
+	return res
+}
+
+// CGCtx is CG with a cancellation checkpoint at the top of every
+// iteration: when ctx expires the loop stops promptly and the partial
+// result is returned together with the context's error. The iterates
+// are bit-identical to CG's for the iterations that did run.
+func CGCtx(ctx context.Context, a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) (CGResult, error) {
 	f := a.F
 	n := a.N
 
@@ -50,15 +66,19 @@ func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
 	if f.Bad(rr) {
 		res.Failed = true
 		res.X = linalg.VecToFloat64(f, x)
-		return res
+		return res, nil
 	}
 	if f.ToFloat64(rr) <= thresh {
 		res.Converged = true
 		res.X = linalg.VecToFloat64(f, x)
-		return res
+		return res, nil
 	}
 
 	for k := 0; k < maxIter; k++ {
+		if err := ctx.Err(); err != nil {
+			res.X = linalg.VecToFloat64(f, x)
+			return res, err
+		}
 		a.MatVec(p, ap)
 		pap := linalg.Dot(f, p, ap)
 		alpha := f.Div(rr, pap)
@@ -76,6 +96,10 @@ func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
 			break
 		}
 		res.Iterations = k + 1
+		// Reporting metric, not iteration state: the per-iteration
+		// residual history is measured in float64 (normB2 > 0 inside
+		// the loop: rr > thresh ≥ 0 at entry).
+		res.History = append(res.History, sqrtf(f.ToFloat64(rrNew)/normB2)) //lint:allow precision residual history is a float64 reporting metric
 		if f.ToFloat64(rrNew) <= thresh {
 			res.Converged = true
 			rr = rrNew
@@ -97,7 +121,7 @@ func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
 		// residual is measured in float64 like every other metric.
 		res.RelResidual = sqrtf(f.ToFloat64(rr) / normB2) //lint:allow precision final residual is a float64 reporting metric
 	}
-	return res
+	return res, nil
 }
 
 func sqrtf(x float64) float64 {

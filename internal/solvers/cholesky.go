@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -32,6 +33,15 @@ var ErrNotPositiveDefinite = errors.New("solvers: matrix not positive definite i
 // trailing-update rows are independent, so they shard across the
 // linalg worker pool deterministically.
 func Cholesky(a *linalg.DenseNum) (*linalg.DenseNum, error) {
+	return CholeskyCtx(context.Background(), a)
+}
+
+// CholeskyCtx is Cholesky with a cancellation checkpoint before each
+// pivot column: when ctx expires mid-factorization the function stops
+// promptly and returns the context's error (distinguishable from
+// ErrNotPositiveDefinite with errors.Is). The factor is bit-identical
+// to Cholesky's when the context never fires.
+func CholeskyCtx(ctx context.Context, a *linalg.DenseNum) (*linalg.DenseNum, error) {
 	f := a.F
 	bk := arith.BulkOf(f)
 	n := a.N
@@ -46,6 +56,9 @@ func Cholesky(a *linalg.DenseNum) (*linalg.DenseNum, error) {
 	}
 
 	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rj := r.Row(j)
 		// Pivot: R[j][j] = sqrt(a[j][j] − Σ_{k<j} R[k][j]²), with the
 		// sum already folded in by the trailing updates of steps k < j.
@@ -119,7 +132,13 @@ func SolveLowerT(r *linalg.DenseNum, b []arith.Num) []arith.Num {
 // substitution) with no refinement, the configuration of the paper's
 // single-precision direct-solver experiments (§IV-D).
 func CholeskySolve(a *linalg.DenseNum, b []arith.Num) ([]arith.Num, error) {
-	r, err := Cholesky(a)
+	return CholeskySolveCtx(context.Background(), a, b)
+}
+
+// CholeskySolveCtx is CholeskySolve with the factorization's
+// cancellation checkpoints (see CholeskyCtx).
+func CholeskySolveCtx(ctx context.Context, a *linalg.DenseNum, b []arith.Num) ([]arith.Num, error) {
+	r, err := CholeskyCtx(ctx, a)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"math"
 
 	"positlab/internal/arith"
@@ -49,6 +50,10 @@ type IRResult struct {
 	FactorError float64
 	// BackwardError is the final normwise relative backward error.
 	BackwardError float64
+	// History records the backward error measured before each
+	// correction step (History[0] is the error of the un-refined
+	// direct solve), in float64.
+	History []float64
 	// X is the computed solution (in the original, unscaled variables).
 	X []float64
 }
@@ -58,6 +63,16 @@ type IRResult struct {
 // the low format, refinement arithmetic entirely in Float64 (the
 // paper's working precision, §IV-E).
 func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt IROptions) IRResult {
+	res, _ := MixedIRCtx(context.Background(), a, b, low, sc, opt)
+	return res
+}
+
+// MixedIRCtx is MixedIR with cancellation checkpoints in the
+// factorization (per pivot column, see CholeskyCtx) and at the top of
+// every refinement iteration: when ctx expires the partial result is
+// returned together with the context's error. Results are
+// bit-identical to MixedIR's when the context never fires.
+func MixedIRCtx(ctx context.Context, a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt IROptions) (IRResult, error) {
 	n := a.N
 	tol := opt.Tol
 	if tol == 0 {
@@ -89,11 +104,14 @@ func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt 
 
 	// Cast with the paper's clamping rule and factor in low precision.
 	ahLow := ah.ToFormat(low, true)
-	rLow, err := Cholesky(ahLow)
+	rLow, err := CholeskyCtx(ctx, ahLow)
 	res := IRResult{}
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
 		res.FactorFailed = true
-		return res
+		return res, nil
 	}
 	res.FactorError = FactorizationError(ah, rLow)
 
@@ -107,6 +125,9 @@ func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt 
 	normB := linalg.Norm2F64(b)
 
 	for k := 1; k <= maxIter; k++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// r = b − A·x against the float64 master matrix.
 		a.MatVecF64(x, ax)
 		for i := range r {
@@ -114,14 +135,15 @@ func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt 
 		}
 		eta := linalg.Norm2F64(r) / (normAF*linalg.Norm2F64(x) + normB)
 		res.BackwardError = eta
+		res.History = append(res.History, eta)
 		res.Iterations = k - 1
 		res.X = append(res.X[:0], x...)
 		if eta <= tol {
 			res.Converged = true
-			return res
+			return res, nil
 		}
 		if math.IsNaN(eta) || math.IsInf(eta, 0) {
-			return res // diverged
+			return res, nil // diverged
 		}
 		// Correction: Â·v = μ·R∘r, then d = μ·R∘v maps back to the
 		// original variables (d = μ·R·Â⁻¹·R·r solves A·d ≈ r).
@@ -154,9 +176,10 @@ func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt 
 		r[i] = b[i] - ax[i]
 	}
 	res.BackwardError = linalg.Norm2F64(r) / (normAF*linalg.Norm2F64(x) + normB)
+	res.History = append(res.History, res.BackwardError)
 	res.Converged = res.BackwardError <= tol
 	res.X = x
-	return res
+	return res, nil
 }
 
 // solveCholF64 solves (RᵀR)·x = b in float64 given the upper factor.
