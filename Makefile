@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service
+.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service bench-jobs
 
 verify: vet build lint test race
 
@@ -54,3 +54,11 @@ serve:
 bench-service:
 	POSITLAB_BENCH_SERVICE=1 $(GO) test -run TestWriteServiceBenchReport ./internal/service/
 	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchtime 2s ./internal/service/
+
+# Reproduce BENCH_jobs.json: submit-to-complete throughput of the
+# durable job store (ephemeral / journaled / journaled-nosync) and
+# journal replay latency at several backlog sizes, plus the raw Go
+# micro-benchmarks for the same paths.
+bench-jobs:
+	POSITLAB_BENCH_JOBS=1 $(GO) test -run TestWriteJobsBenchReport ./internal/jobs/
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitComplete|BenchmarkReplay' -benchtime 1s ./internal/jobs/

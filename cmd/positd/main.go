@@ -8,6 +8,8 @@
 //	positd [-addr :8787] [-max-inflight N] [-cache-entries N]
 //	       [-request-timeout D] [-drain-timeout D]
 //	       [-cache dir] [-jobs N] [-par N] [-instrument]
+//	       [-jobs-dir dir] [-job-workers N] [-checkpoint-every N]
+//	       [-max-queued-jobs N]
 //	       [-matrices a,b,c] [-cgcap N] [-irmax N] [-quiet]
 //
 // Endpoints:
@@ -16,12 +18,21 @@
 //	POST /v1/convert              batch format conversion with error stats
 //	POST /v1/solve                one CG / Cholesky / IR run
 //	GET  /v1/experiments/{name}   a registered experiment's rendered rows
-//	GET  /debug/metrics           per-route latency, cache, op counters
+//	POST /v1/jobs                 submit an async solve/experiment job
+//	GET  /v1/jobs                 list jobs (?state= ?kind= ?limit=)
+//	GET  /v1/jobs/{id}            job status/result (?wait=30s long-polls)
+//	DEL  /v1/jobs/{id}            cancel a job
+//	GET  /debug/metrics           per-route latency, cache, op, job counters
 //	GET  /debug/vars              expvar
 //
+// With -jobs-dir, jobs are journaled to disk: a SIGKILLed or restarted
+// positd replays the journal on startup and resumes interrupted solver
+// jobs from their last checkpoint, with results bit-identical to an
+// uninterrupted run.
+//
 // positd drains gracefully on SIGINT/SIGTERM: the listener closes, in-
-// flight requests get -drain-timeout to finish, and a clean drain
-// exits 0.
+// flight requests get -drain-timeout to finish, in-flight jobs are
+// requeued with their checkpoints, and a clean drain exits 0.
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"positlab/internal/experiments"
+	"positlab/internal/jobs"
 	"positlab/internal/linalg"
 	"positlab/internal/matgen"
 	"positlab/internal/runner"
@@ -54,7 +66,11 @@ func run(argv []string, stderr io.Writer) int {
 	requestTimeout := fs.Duration("request-timeout", service.DefaultRequestTimeout, "per-request deadline; expiry cancels in-flight solver loops")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long in-flight requests may finish after SIGTERM")
 	cacheDir := fs.String("cache", "", "on-disk experiment result cache directory (empty = no disk cache)")
-	jobs := fs.Int("jobs", 0, "concurrent runner jobs per experiment request (0 = GOMAXPROCS)")
+	runnerJobs := fs.Int("jobs", 0, "concurrent runner jobs per experiment request (0 = GOMAXPROCS)")
+	jobsDir := fs.String("jobs-dir", "", "durable job journal directory for /v1/jobs (empty = in-memory only; jobs do not survive restarts)")
+	jobWorkers := fs.Int("job-workers", service.DefaultJobWorkers, "async job pool workers")
+	checkpointEvery := fs.Int("checkpoint-every", service.DefaultJobCheckpointEvery, "default solver-iteration cadence for journaling job checkpoints")
+	maxQueuedJobs := fs.Int("max-queued-jobs", service.DefaultMaxQueuedJobs, "queued-job backlog bound; submissions beyond it get 429")
 	par := fs.Int("par", 1, "in-solver workers for order-independent kernel loops")
 	instrument := fs.Bool("instrument", true, "count experiment arithmetic into job reports")
 	matrices := fs.String("matrices", "", "restrict the experiment suite to these matrices (comma-separated; default all 19)")
@@ -80,6 +96,15 @@ func run(argv []string, stderr io.Writer) int {
 	if *par < 1 {
 		return usage("-par must be >= 1, got %d", *par)
 	}
+	if *jobWorkers < 1 {
+		return usage("-job-workers must be >= 1, got %d", *jobWorkers)
+	}
+	if *checkpointEvery < 1 {
+		return usage("-checkpoint-every must be >= 1, got %d", *checkpointEvery)
+	}
+	if *maxQueuedJobs < 1 {
+		return usage("-max-queued-jobs must be >= 1, got %d", *maxQueuedJobs)
+	}
 	linalg.SetWorkers(*par)
 
 	opt := experiments.Options{CGCapFactor: *cgcap, IRMaxIter: *irmax}
@@ -94,14 +119,17 @@ func run(argv []string, stderr io.Writer) int {
 
 	cfg := service.Config{
 		RunnerConfig: runner.Config{
-			Jobs:       *jobs,
+			Jobs:       *runnerJobs,
 			Options:    opt,
 			KeyData:    opt.Canonical(),
 			Instrument: *instrument,
 		},
-		MaxInflight:    *maxInflight,
-		CacheEntries:   *cacheEntries,
-		RequestTimeout: *requestTimeout,
+		MaxInflight:        *maxInflight,
+		CacheEntries:       *cacheEntries,
+		RequestTimeout:     *requestTimeout,
+		JobWorkers:         *jobWorkers,
+		JobCheckpointEvery: *checkpointEvery,
+		MaxQueuedJobs:      *maxQueuedJobs,
 	}
 	if !*quiet {
 		cfg.AccessLog = stderr
@@ -113,6 +141,22 @@ func run(argv []string, stderr io.Writer) int {
 			return 1
 		}
 		cfg.RunnerConfig.Cache = cache
+	}
+	if *jobsDir != "" {
+		store, err := jobs.Open(*jobsDir, jobs.Config{})
+		if err != nil {
+			fmt.Fprintf(stderr, "positd: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				fmt.Fprintf(stderr, "positd: close job store: %v\n", cerr)
+			}
+		}()
+		st := store.ReplayStats()
+		fmt.Fprintf(stderr, "positd: job journal %s: %d snapshot + %d records replayed in %.1f ms, %d resumed, %d restarted\n",
+			*jobsDir, st.SnapshotJobs, st.Records, st.MS, st.Resumed, st.Restarted)
+		cfg.Jobs = store
 	}
 
 	ln, err := net.Listen("tcp", *addr)

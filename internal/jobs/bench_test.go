@@ -1,0 +1,241 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// noopRunner completes immediately; benchmarks over it measure the
+// subsystem (journal, queue, settle), not the solver.
+var noopRunner = runnerFunc(func(ctx context.Context, job Job, sink Sink) ([]byte, error) {
+	return []byte(`{"ok":true}`), nil
+})
+
+func benchSubmitComplete(b *testing.B, dir string, cfg Config) {
+	s, err := Open(dir, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			b.Errorf("Close: %v", err)
+		}
+	}()
+	p := NewPool(s, noopRunner, PoolConfig{Workers: 4})
+	p.Start()
+	defer p.Drain(30 * time.Second)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := p.Submit("bench", []byte(`{}`), SubmitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := s.Wait(context.Background(), j.ID)
+		if err != nil || got.State != StateSucceeded {
+			b.Fatalf("job %s: state=%s err=%v", j.ID, got.State, err)
+		}
+	}
+}
+
+func BenchmarkSubmitCompleteEphemeral(b *testing.B) {
+	benchSubmitComplete(b, "", Config{})
+}
+
+func BenchmarkSubmitCompleteJournaled(b *testing.B) {
+	benchSubmitComplete(b, b.TempDir(), Config{})
+}
+
+func BenchmarkSubmitCompleteJournaledNoSync(b *testing.B) {
+	benchSubmitComplete(b, b.TempDir(), Config{NoSync: true})
+}
+
+// seedJournal populates dir with n settled jobs plus one interrupted
+// running job carrying a checkpoint — the worst realistic replay shape.
+func seedJournal(tb testing.TB, dir string, n int, ckptBytes int) {
+	tb.Helper()
+	s, err := Open(dir, Config{NoSync: true, CompactEvery: 1 << 30})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j, err := s.Submit("bench", []byte(`{"i":1}`), SubmitOptions{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := s.markStart(j.ID, 1); err != nil {
+			tb.Fatal(err)
+		}
+		if err := s.finish(j.ID, []byte(`{"ok":true}`)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	j, err := s.Submit("bench", []byte(`{}`), SubmitOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.markStart(j.ID, 1); err != nil {
+		tb.Fatal(err)
+	}
+	ckpt, err := json.Marshal(map[string]any{"state": make([]byte, ckptBytes)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.saveCheckpoint(j.ID, 100, ckpt); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func BenchmarkReplay1000Jobs(b *testing.B) {
+	dir := b.TempDir()
+	seedJournal(b, dir, 1000, 64<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != 1001 {
+			b.Fatalf("replayed %d jobs, want 1001", s.Len())
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteJobsBenchReport regenerates BENCH_jobs.json at the repo
+// root. Gated behind POSITLAB_BENCH_JOBS=1 so ordinary test runs stay
+// fast; `make bench-jobs` sets it.
+func TestWriteJobsBenchReport(t *testing.T) {
+	if os.Getenv("POSITLAB_BENCH_JOBS") != "1" {
+		t.Skip("set POSITLAB_BENCH_JOBS=1 to regenerate BENCH_jobs.json")
+	}
+
+	type throughputResult struct {
+		Name    string  `json:"name"`
+		Jobs    int     `json:"jobs"`
+		JobsPS  float64 `json:"jobs_per_s"`
+		WaitP50 float64 `json:"wait_p50_ms"`
+		WaitP99 float64 `json:"wait_p99_ms"`
+		RunP50  float64 `json:"run_p50_ms"`
+		RunP99  float64 `json:"run_p99_ms"`
+		Note    string  `json:"note,omitempty"`
+	}
+
+	// measure drives jobs submit→complete for d and reports throughput
+	// with the pool's own latency quantiles.
+	measure := func(name, dir string, cfg Config, d time.Duration, note string) throughputResult {
+		s, err := Open(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPool(s, noopRunner, PoolConfig{Workers: 4})
+		p.Start()
+		n := 0
+		start := time.Now()
+		for time.Since(start) < d {
+			j, err := p.Submit("bench", []byte(`{}`), SubmitOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := s.Wait(context.Background(), j.ID); err != nil || got.State != StateSucceeded {
+				t.Fatalf("job %s: %s %v", j.ID, got.State, err)
+			}
+			n++
+		}
+		elapsed := time.Since(start).Seconds()
+		m := p.Metrics()
+		if !p.Drain(30 * time.Second) {
+			t.Fatal("drain timed out")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return throughputResult{
+			Name:    name,
+			Jobs:    n,
+			JobsPS:  float64(n) / elapsed,
+			WaitP50: m.WaitP50MS,
+			WaitP99: m.WaitP99MS,
+			RunP50:  m.RunP50MS,
+			RunP99:  m.RunP99MS,
+			Note:    note,
+		}
+	}
+
+	runs := []throughputResult{
+		measure("submit-complete ephemeral", "", Config{}, 3*time.Second,
+			"no journal: upper bound of the queue/settle machinery"),
+		measure("submit-complete journaled", t.TempDir(), Config{}, 3*time.Second,
+			"fsync per record (production default): throughput is fsync-bound"),
+		measure("submit-complete journaled nosync", t.TempDir(), Config{NoSync: true}, 3*time.Second,
+			"journal without fsync: isolates the encoding/write cost from disk flushes"),
+	}
+
+	// Recovery replay: time Open over a journal of settled jobs plus an
+	// interrupted checkpointed job.
+	type replayResult struct {
+		Jobs          int     `json:"jobs"`
+		CheckpointKiB int     `json:"checkpoint_kib"`
+		OpenMS        float64 `json:"open_ms"`
+		ReplayMS      float64 `json:"replay_ms"`
+		Resumed       int     `json:"resumed"`
+	}
+	replayCase := func(n, ckptKiB int) replayResult {
+		dir := t.TempDir()
+		seedJournal(t, dir, n, ckptKiB<<10)
+		start := time.Now()
+		s, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		openMS := float64(time.Since(start)) / float64(time.Millisecond)
+		st := s.ReplayStats()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return replayResult{Jobs: n + 1, CheckpointKiB: ckptKiB, OpenMS: openMS, ReplayMS: st.MS, Resumed: st.Resumed}
+	}
+	replays := []replayResult{
+		replayCase(100, 64),
+		replayCase(1000, 64),
+		replayCase(1000, 1024),
+	}
+
+	report := map[string]any{
+		"benchmark": "jobs subsystem: submit-to-complete throughput over a no-op runner, and crash-recovery journal replay latency at Open",
+		"date":      time.Now().UTC().Format("2006-01-02"),
+		"host": map[string]any{
+			"cpus":       runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"os":         runtime.GOOS + "/" + runtime.GOARCH,
+			"go":         runtime.Version(),
+		},
+		"throughput": runs,
+		"replay":     replays,
+		"notes": []string{
+			"throughput runner is a no-op: numbers bound the subsystem overhead, not solver time",
+			"journaled throughput is fsync-bound by design: every acknowledged transition is durable",
+			"replay cases include one interrupted running job with a checkpoint of the listed size; resumed=1 confirms recovery kicked in",
+		},
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "../../BENCH_jobs.json"
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

@@ -1,0 +1,221 @@
+// Package jobs is the durable asynchronous job-execution subsystem:
+// a job store backed by an append-only JSONL journal with periodic
+// snapshot compaction, and a bounded worker pool with priority
+// classes, per-job cancellation, deadlines, and bounded retry with
+// backoff.
+//
+// The package is deliberately generic: a job's Spec, Checkpoint, and
+// Result are opaque json.RawMessage payloads interpreted only by the
+// Runner the pool is constructed with (for positd, the serving layer's
+// solve/experiment executor). Everything the subsystem itself needs —
+// states, priorities, attempts, checkpoint cadence — lives in the Job
+// envelope and is journaled, so a crashed or restarted process replays
+// the journal on Open and resumes interrupted work from its last
+// checkpoint instead of losing it.
+//
+// Durability model: every state transition (submit, start, checkpoint,
+// done, fail, cancel, requeue) appends one JSON line to
+// <dir>/journal.jsonl and fsyncs it. When the journal exceeds the
+// compaction threshold, the store writes <dir>/snapshot.json (the full
+// job table) atomically and truncates the journal. Open loads the
+// snapshot, replays the journal — tolerating a torn final line from a
+// mid-write crash — and converts every job found "running" back to
+// "queued": the process that ran it is gone, and its journaled
+// checkpoint (if any) lets the next attempt resume.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states. Queued and Running are live; the rest are
+// terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Priority is a job's scheduling class. Workers always prefer
+// interactive jobs over bulk ones; within a class, FIFO.
+type Priority string
+
+// Priority classes: interactive solves ahead of bulk experiment
+// sweeps.
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBulk        Priority = "bulk"
+)
+
+// ParsePriority validates a priority name; empty defaults to bulk.
+func ParsePriority(s string) (Priority, error) {
+	switch Priority(s) {
+	case PriorityInteractive, PriorityBulk:
+		return Priority(s), nil
+	case "":
+		return PriorityBulk, nil
+	}
+	return "", fmt.Errorf("jobs: unknown priority %q (known: interactive, bulk)", s)
+}
+
+// Progress is the in-memory live progress of a running job: solver
+// iterations completed, the latest residual-style metric, and a short
+// tail of the metric series. Progress is advisory and not journaled —
+// recovery reconstructs position from the last checkpoint instead.
+type Progress struct {
+	Iterations int       `json:"iterations,omitempty"`
+	Residual   float64   `json:"residual,omitempty"`
+	Tail       []float64 `json:"tail,omitempty"`
+}
+
+// scrub drops non-finite values so the containing Job always marshals
+// (encoding/json rejects NaN and ±Inf; a diverged solve legitimately
+// produces them).
+func (p Progress) scrub() Progress {
+	if math.IsNaN(p.Residual) || math.IsInf(p.Residual, 0) {
+		p.Residual = 0
+	}
+	var tail []float64
+	for _, v := range p.Tail {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			tail = append(tail, v)
+		}
+	}
+	p.Tail = tail
+	return p
+}
+
+// Job is one unit of durable asynchronous work. The envelope fields
+// are managed by the store and pool; Spec, Checkpoint, and Result are
+// opaque to this package.
+type Job struct {
+	// ID is the store-assigned identifier ("j000001", ...).
+	ID string `json:"id"`
+	// Seq is the monotone submission sequence number behind ID.
+	Seq uint64 `json:"seq"`
+	// Kind names the runner-interpreted job type ("solve",
+	// "experiment", ...).
+	Kind string `json:"kind"`
+	// Priority is the scheduling class.
+	Priority Priority `json:"priority"`
+	// Spec is the runner-interpreted work description.
+	Spec json.RawMessage `json:"spec,omitempty"`
+
+	State State `json:"state"`
+	// Attempt is the 1-based count of times the job has been started.
+	Attempt int `json:"attempt,omitempty"`
+	// Retries counts transient-failure retries consumed so far.
+	Retries int `json:"retries,omitempty"`
+	// Recoveries counts times the job was requeued with work already
+	// done — after a crash replay or a graceful drain.
+	Recoveries int `json:"recoveries,omitempty"`
+	// MaxRetries bounds Retries; a transient failure beyond it is
+	// final.
+	MaxRetries int `json:"max_retries"`
+	// CheckpointEvery is the solver-iteration checkpoint cadence the
+	// runner should honor (0: runner default).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// MaxRuntime bounds one attempt's wall time (0: unbounded).
+	MaxRuntime time.Duration `json:"max_runtime_ns,omitempty"`
+
+	// SubmittedNS/StartedNS/FinishedNS are Unix-nanosecond timestamps
+	// (0 = not yet).
+	SubmittedNS int64 `json:"submitted_ns"`
+	StartedNS   int64 `json:"started_ns,omitempty"`
+	FinishedNS  int64 `json:"finished_ns,omitempty"`
+
+	// Error is the last failure message (kept across retries until a
+	// successful attempt).
+	Error string `json:"error,omitempty"`
+	// Result is the runner's final payload, set when succeeded.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Checkpoint is the runner's latest resumable state;
+	// CheckpointIter its iteration stamp.
+	Checkpoint     json.RawMessage `json:"checkpoint,omitempty"`
+	CheckpointIter int             `json:"checkpoint_iter,omitempty"`
+	// Progress is live, memory-only progress (empty after a restart).
+	Progress Progress `json:"progress"`
+}
+
+// clone returns a copy safe to hand outside the store lock. RawMessage
+// payloads are shared but treated as immutable by contract.
+func (j *Job) clone() Job { return *j }
+
+// Filter selects jobs for List. Zero fields match everything.
+type Filter struct {
+	State    State
+	Kind     string
+	Priority Priority
+	// Limit caps the number of jobs returned (newest first); <= 0
+	// means no cap.
+	Limit int
+}
+
+func (f Filter) matches(j *Job) bool {
+	if f.State != "" && j.State != f.State {
+		return false
+	}
+	if f.Kind != "" && j.Kind != f.Kind {
+		return false
+	}
+	if f.Priority != "" && j.Priority != f.Priority {
+		return false
+	}
+	return true
+}
+
+// SubmitOptions carries the per-job knobs accepted at submission.
+type SubmitOptions struct {
+	Priority        Priority
+	MaxRetries      int
+	CheckpointEvery int
+	MaxRuntime      time.Duration
+}
+
+// Sentinel errors for job lookups and lifecycle misuse.
+var (
+	// ErrUnknownJob: no job with that ID.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrFinished: the operation needs a live job but it already
+	// reached a terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrClosed: the store has been closed.
+	ErrClosed = errors.New("jobs: store closed")
+)
+
+// permanentError marks a failure that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the pool fails the job immediately instead of
+// retrying — for errors that are a property of the job itself (a
+// malformed spec, an unknown matrix), not of the attempt.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}

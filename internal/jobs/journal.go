@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The on-disk layout of a job directory:
+//
+//	journal.jsonl   append-only record stream, fsynced per record
+//	snapshot.json   full job table at the last compaction
+//
+// Record types (rec.T):
+//
+//	submit   full Job envelope at submission
+//	start    job began an attempt (id, attempt, ts)
+//	ckpt     runner checkpoint (id, iter, opaque data)
+//	done     job succeeded (id, result, ts)
+//	fail     attempt failed (id, error, final; non-final means the job
+//	         went back to queued with one retry consumed)
+//	cancel   job canceled (id, ts)
+//	requeue  running job returned to the queue with its work kept
+//	         (graceful drain)
+//
+// Replay applies records in order on top of the snapshot. A torn final
+// line — the signature of a crash mid-append — is dropped; everything
+// before it is intact because records are written with a single
+// buffered write followed by fsync.
+type rec struct {
+	T       string          `json:"t"`
+	TS      int64           `json:"ts,omitempty"`
+	Job     *Job            `json:"job,omitempty"`
+	ID      string          `json:"id,omitempty"`
+	Attempt int             `json:"attempt,omitempty"`
+	Iter    int             `json:"iter,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Final   bool            `json:"final,omitempty"`
+}
+
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+)
+
+// journal is the append side of the record stream.
+type journal struct {
+	f      *os.File
+	noSync bool
+}
+
+func openJournal(dir string, noSync bool) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	return &journal{f: f, noSync: noSync}, nil
+}
+
+// append writes one record as a single line and syncs it to disk, so
+// an acknowledged transition survives a crash immediately after.
+func (j *journal) append(r rec) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal journal record: %w", err)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("jobs: append journal: %w", err)
+	}
+	if j.noSync {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: sync journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// truncate resets the journal after a snapshot compaction.
+func (j *journal) truncate() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("jobs: truncate journal: %w", err)
+	}
+	// O_APPEND writes reposition automatically; nothing else to do.
+	return nil
+}
+
+// maxJournalLine bounds one journal record: a checkpoint for the
+// largest admissible system (N = 2048, three vectors, base64) is well
+// under 1 MiB; 16 MiB leaves a wide margin.
+const maxJournalLine = 16 << 20
+
+// replayJournal streams records from dir's journal into apply. It
+// returns the number of applied records and whether a torn tail was
+// dropped. A missing journal is an empty one.
+func replayJournal(dir string, apply func(rec)) (records int, truncated bool, err error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("jobs: open journal for replay: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxJournalLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r rec
+		if uerr := json.Unmarshal(line, &r); uerr != nil {
+			// A torn line means the process died mid-append; every
+			// complete record before it has already been applied.
+			return records, true, nil
+		}
+		apply(r)
+		records++
+	}
+	if serr := sc.Err(); serr != nil && !errors.Is(serr, io.EOF) {
+		if errors.Is(serr, bufio.ErrTooLong) {
+			return records, true, nil
+		}
+		return records, false, fmt.Errorf("jobs: replay journal: %w", serr)
+	}
+	return records, truncated, nil
+}
+
+// snapshot is the compacted full job table.
+type snapshot struct {
+	Seq  uint64 `json:"seq"`
+	Jobs []*Job `json:"jobs"`
+}
+
+// writeSnapshot writes the snapshot atomically: tmp file, fsync,
+// rename.
+func writeSnapshot(dir string, snap *snapshot) error {
+	// Deterministic order: sorted by submission sequence.
+	sort.Slice(snap.Jobs, func(i, k int) bool { return snap.Jobs[i].Seq < snap.Jobs[k].Seq })
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("jobs: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: create snapshot: %w", err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		_ = f.Close() // surfacing the write error; close error is secondary
+		return fmt.Errorf("jobs: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("jobs: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobs: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return fmt.Errorf("jobs: rename snapshot: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads the snapshot; a missing file is an empty one.
+func readSnapshot(dir string) (*snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return &snapshot{}, nil
+		}
+		return nil, fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("jobs: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,92 @@
+package jobs
+
+import "sort"
+
+// latWindow is the latency reservoir size: quantiles are computed over
+// the most recent latWindow observations (matching the serving layer's
+// approach; a sliding window is what an operator wants under changing
+// load).
+const latWindow = 256
+
+// latencyWindow is a fixed-size sliding reservoir of millisecond
+// latencies. Methods require external locking (the pool's mutex).
+type latencyWindow struct {
+	buf [latWindow]float64
+	n   int
+}
+
+func (w *latencyWindow) observe(ms float64) {
+	w.buf[w.n%latWindow] = ms
+	w.n++
+}
+
+// quantiles returns p50/p99 over the retained window; zeros before any
+// observation (keeping the snapshot JSON-marshalable).
+func (w *latencyWindow) quantiles() (p50, p99 float64) {
+	n := w.n
+	if n > latWindow {
+		n = latWindow
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	s := make([]float64, n)
+	copy(s, w.buf[:n])
+	sort.Float64s(s)
+	return s[int(0.50*float64(n-1))], s[int(0.99*float64(n-1))]
+}
+
+// poolMetrics is the pool's mutable aggregate, guarded by Pool.mu.
+type poolMetrics struct {
+	submitted, completed, failed, canceled uint64
+	retries, requeued                      uint64
+	wait, run                              latencyWindow
+}
+
+// MetricsSnapshot is the jobs section of /debug/metrics: queue depths
+// per priority class, lifecycle counters, wait/run latency quantiles,
+// and the journal/recovery health of the store.
+type MetricsSnapshot struct {
+	QueueInteractive int    `json:"queue_interactive"`
+	QueueBulk        int    `json:"queue_bulk"`
+	Running          int    `json:"running"`
+	Jobs             int    `json:"jobs"`
+	Submitted        uint64 `json:"submitted"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	Canceled         uint64 `json:"canceled"`
+	Retries          uint64 `json:"retries"`
+	Requeued         uint64 `json:"requeued"`
+	// WaitP50MS/WaitP99MS: submit→start latency (includes retry
+	// backoff); RunP50MS/RunP99MS: attempt wall time.
+	WaitP50MS     float64     `json:"wait_p50_ms"`
+	WaitP99MS     float64     `json:"wait_p99_ms"`
+	RunP50MS      float64     `json:"run_p50_ms"`
+	RunP99MS      float64     `json:"run_p99_ms"`
+	JournalErrors uint64      `json:"journal_errors"`
+	Replay        ReplayStats `json:"replay"`
+}
+
+// Metrics renders the pool's current aggregate.
+func (p *Pool) Metrics() MetricsSnapshot {
+	qi, qb := p.store.QueueDepths()
+	snap := MetricsSnapshot{
+		QueueInteractive: qi,
+		QueueBulk:        qb,
+		Jobs:             p.store.Len(),
+		JournalErrors:    p.store.JournalErrors(),
+		Replay:           p.store.ReplayStats(),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap.Running = len(p.running)
+	snap.Submitted = p.m.submitted
+	snap.Completed = p.m.completed
+	snap.Failed = p.m.failed
+	snap.Canceled = p.m.canceled
+	snap.Retries = p.m.retries
+	snap.Requeued = p.m.requeued
+	snap.WaitP50MS, snap.WaitP99MS = p.m.wait.quantiles()
+	snap.RunP50MS, snap.RunP99MS = p.m.run.quantiles()
+	return snap
+}

@@ -1,0 +1,323 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Runner executes one job attempt. Implementations interpret the
+// job's Spec (and, on a resumed attempt, its Checkpoint), report
+// progress and durable checkpoints through the sink, and return the
+// final result payload. Returning an error wrapped with Permanent
+// fails the job immediately; any other error consumes a retry. ctx
+// cancellation must stop the work promptly — the pool cancels it on
+// user cancel, job deadline, and drain.
+type Runner interface {
+	Run(ctx context.Context, job Job, sink Sink) ([]byte, error)
+}
+
+// Sink receives a running job's live progress and durable checkpoints.
+type Sink interface {
+	// Progress records advisory, memory-only progress.
+	Progress(p Progress)
+	// Checkpoint journals resumable state; on error the runner should
+	// abort (durability can no longer be promised).
+	Checkpoint(iter int, data []byte) error
+}
+
+// storeSink is the pool's Sink implementation.
+type storeSink struct {
+	store *Store
+	id    string
+}
+
+func (s storeSink) Progress(p Progress)                 { s.store.setProgress(s.id, p) }
+func (s storeSink) Checkpoint(iter int, d []byte) error { return s.store.saveCheckpoint(s.id, iter, d) }
+
+// PoolConfig tunes the worker pool.
+type PoolConfig struct {
+	// Workers is the number of concurrent job executors. <= 0 means 2.
+	Workers int
+	// RetryBackoff is the base delay before re-running a transiently
+	// failed job; it doubles per consumed retry. <= 0 means 250ms.
+	RetryBackoff time.Duration
+}
+
+func (c PoolConfig) fill() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Pool executes a Store's queued jobs on a bounded set of workers,
+// interactive jobs first. Create with NewPool, call Start once, and
+// Drain on shutdown — Drain cancels in-flight jobs and requeues them
+// with their checkpoints, so a restarted process resumes them.
+type Pool struct {
+	store  *Store
+	runner Runner
+	cfg    PoolConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	qi, qb   []string // queued job IDs per priority class, FIFO
+	running  map[string]*runningJob
+	stopped  bool
+	draining bool
+	wg       sync.WaitGroup
+	m        poolMetrics
+}
+
+type runningJob struct {
+	cancel     context.CancelFunc
+	userCancel bool
+}
+
+// NewPool builds a pool over store and runner.
+func NewPool(store *Store, runner Runner, cfg PoolConfig) *Pool {
+	p := &Pool{
+		store:   store,
+		runner:  runner,
+		cfg:     cfg.fill(),
+		running: map[string]*runningJob{},
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Start enqueues every job the store recovered in the queued state
+// (submission order) and launches the workers.
+func (p *Pool) Start() {
+	for _, id := range p.store.queuedIDs() {
+		p.enqueue(id)
+	}
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// Submit stores a new job and hands it to the workers.
+func (p *Pool) Submit(kind string, spec []byte, opt SubmitOptions) (Job, error) {
+	j, err := p.store.Submit(kind, spec, opt)
+	if err != nil {
+		return Job{}, err
+	}
+	p.mu.Lock()
+	p.m.submitted++
+	p.mu.Unlock()
+	p.enqueue(j.ID)
+	return j, nil
+}
+
+// enqueue makes a queued job visible to the workers. After the pool
+// stops, the job simply stays queued in the store; the next process
+// picks it up.
+func (p *Pool) enqueue(id string) {
+	j, ok := p.store.Get(id)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	if j.Priority == PriorityInteractive {
+		p.qi = append(p.qi, id)
+	} else {
+		p.qb = append(p.qb, id)
+	}
+	p.cond.Signal()
+}
+
+// next blocks until a job is available or the pool stops.
+func (p *Pool) next() (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.stopped {
+			return "", false
+		}
+		if len(p.qi) > 0 {
+			id := p.qi[0]
+			p.qi = p.qi[1:]
+			return id, true
+		}
+		if len(p.qb) > 0 {
+			id := p.qb[0]
+			p.qb = p.qb[1:]
+			return id, true
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		id, ok := p.next()
+		if !ok {
+			return
+		}
+		p.run(id)
+	}
+}
+
+// run executes one attempt of one job and applies the outcome policy:
+// success, user cancel, drain requeue, deadline, permanent failure, or
+// bounded retry with backoff.
+func (p *Pool) run(id string) {
+	job, ok := p.store.Get(id)
+	if !ok || job.State != StateQueued {
+		return // canceled (or otherwise settled) while waiting in queue
+	}
+	attempt := job.Attempt + 1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if job.MaxRuntime > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, job.MaxRuntime)
+		defer tcancel()
+	}
+
+	p.mu.Lock()
+	if p.stopped {
+		// Drain won the race; the job stays queued for the next
+		// process.
+		p.mu.Unlock()
+		return
+	}
+	rj := &runningJob{cancel: cancel}
+	p.running[id] = rj
+	p.mu.Unlock()
+
+	if err := p.store.markStart(id, attempt); err != nil {
+		p.mu.Lock()
+		delete(p.running, id)
+		p.mu.Unlock()
+		return
+	}
+	started := time.Now()
+	job, _ = p.store.Get(id)
+	waitMS := float64(job.StartedNS-job.SubmittedNS) / float64(time.Millisecond)
+
+	result, err := p.runner.Run(ctx, job, storeSink{store: p.store, id: id})
+	runMS := float64(time.Since(started)) / float64(time.Millisecond)
+
+	p.mu.Lock()
+	delete(p.running, id)
+	userCancel := rj.userCancel
+	draining := p.draining
+	p.m.wait.observe(waitMS)
+	p.m.run.observe(runMS)
+	p.mu.Unlock()
+
+	// outcome applies one settlement op; its counter is bumped only if
+	// the transition won (a concurrent Cancel may have settled the job
+	// first, in which case the store refuses with ErrFinished and the
+	// cancel side already counted it).
+	outcome := func(counter *uint64, op func() error) bool {
+		if op() != nil {
+			return false
+		}
+		p.mu.Lock()
+		*counter++
+		p.mu.Unlock()
+		return true
+	}
+
+	switch {
+	case err == nil:
+		outcome(&p.m.completed, func() error { return p.store.finish(id, result) })
+	case userCancel:
+		outcome(&p.m.canceled, func() error { return p.store.markCanceled(id) })
+	case draining && errors.Is(err, context.Canceled):
+		outcome(&p.m.requeued, func() error { return p.store.requeueForDrain(id) })
+	case errors.Is(err, context.DeadlineExceeded) && job.MaxRuntime > 0:
+		outcome(&p.m.failed, func() error {
+			return p.store.fail(id, fmt.Sprintf("job exceeded its %v runtime limit", job.MaxRuntime), true)
+		})
+	case IsPermanent(err):
+		outcome(&p.m.failed, func() error { return p.store.fail(id, err.Error(), true) })
+	default:
+		if job.Retries >= job.MaxRetries {
+			outcome(&p.m.failed, func() error { return p.store.fail(id, err.Error(), true) })
+			return
+		}
+		if outcome(&p.m.retries, func() error { return p.store.fail(id, err.Error(), false) }) {
+			backoff := p.cfg.RetryBackoff << uint(job.Retries)
+			time.AfterFunc(backoff, func() { p.enqueue(id) })
+		}
+	}
+}
+
+// Cancel stops a job: a queued job is settled immediately, a running
+// one has its context canceled (the worker settles it when the runner
+// returns). Canceling a terminal job returns ErrFinished.
+func (p *Pool) Cancel(id string) error {
+	// The pool lock is held across the whole decision so a worker
+	// cannot move the job from queued to running mid-cancel: run()
+	// registers in p.running (under this lock) before markStart, so a
+	// job absent from p.running here is queued or terminal, and the
+	// store's transition guards settle any remaining race.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rj, ok := p.running[id]; ok {
+		rj.userCancel = true
+		rj.cancel()
+		return nil
+	}
+	if _, ok := p.store.Get(id); !ok {
+		return ErrUnknownJob
+	}
+	// Queued (or mid-retry-backoff): settle directly. The queue slices
+	// may still hold the ID; run() rechecks the state and skips it.
+	if err := p.store.markCanceled(id); err != nil {
+		return err
+	}
+	p.m.canceled++
+	return nil
+}
+
+// Drain stops the pool gracefully: workers stop picking up queued work
+// (it stays queued in the store), in-flight jobs are canceled and
+// requeued with their last checkpoint, and Drain waits up to timeout
+// for the workers to settle. It reports whether the drain completed in
+// time.
+func (p *Pool) Drain(timeout time.Duration) bool {
+	p.mu.Lock()
+	p.stopped = true
+	p.draining = true
+	cancels := make([]context.CancelFunc, 0, len(p.running))
+	for _, rj := range p.running {
+		cancels = append(cancels, rj.cancel)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Store exposes the pool's job table (read paths of the API layer).
+func (p *Pool) Store() *Store { return p.store }

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSubmitCancelList hammers every public entry point from
+// many goroutines at once. It asserts only invariants (no lost jobs,
+// terminal counts consistent) — its real job is to fail under -race if
+// any path touches shared state without the lock.
+func TestConcurrentSubmitCancelList(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Config{NoSync: true, CompactEvery: 64})
+	p := NewPool(s, runnerFunc(func(ctx context.Context, job Job, sink Sink) ([]byte, error) {
+		sink.Progress(Progress{Iterations: 1, Residual: 0.1, Tail: []float64{0.1}})
+		if err := sink.Checkpoint(1, []byte(`{}`)); err != nil {
+			return nil, Permanent(err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(job.Seq%3) * time.Millisecond):
+		}
+		return []byte(`{}`), nil
+	}), PoolConfig{Workers: 4, RetryBackoff: time.Millisecond})
+	p.Start()
+
+	const (
+		submitters    = 8
+		perSubmitter  = 25
+		totalJobs     = submitters * perSubmitter
+		hammerReaders = 4
+	)
+	var wg sync.WaitGroup
+	ids := make(chan string, totalJobs)
+
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				pri := PriorityBulk
+				if (g+i)%2 == 0 {
+					pri = PriorityInteractive
+				}
+				j, err := p.Submit("solve", []byte(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i)), SubmitOptions{Priority: pri, MaxRetries: 1})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				ids <- j.ID
+			}
+		}(g)
+	}
+
+	stop := make(chan struct{})
+	// Cancelers: race cancels against execution; any of queued /
+	// running / finished outcomes is legal.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case id := <-ids:
+					_ = p.Cancel(id)
+				}
+			}
+		}()
+	}
+	// Readers: list, filter, metrics, long-poll.
+	for g := 0; g < hammerReaders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.List(Filter{Limit: 10})
+				_ = s.List(Filter{State: StateRunning})
+				_ = p.Metrics()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				_, _ = s.Wait(ctx, "j000001")
+				cancel()
+			}
+		}()
+	}
+
+	// Wait for all jobs to settle or park in the queue-free steady
+	// state (canceled jobs settle instantly, so this converges fast).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		settled := 0
+		for _, j := range s.List(Filter{}) {
+			if j.State.Terminal() {
+				settled++
+			}
+		}
+		if settled == totalJobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d jobs settled", settled, totalJobs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := s.Len(); got != totalJobs {
+		t.Fatalf("store has %d jobs, want %d", got, totalJobs)
+	}
+	m := p.Metrics()
+	if m.Submitted != totalJobs {
+		t.Fatalf("metrics.Submitted = %d, want %d", m.Submitted, totalJobs)
+	}
+	if m.Completed+m.Failed+m.Canceled != totalJobs {
+		t.Fatalf("terminal counters %d+%d+%d != %d", m.Completed, m.Failed, m.Canceled, totalJobs)
+	}
+	if !p.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+}

@@ -6,11 +6,11 @@ import (
 )
 
 // errcheckScope: the packages that own durable outputs — rendered
-// reports, SVG figures, the runner's cache/runs.json, and the HTTP
-// serving layer's response bodies — where a silently dropped write
-// error means a truncated artifact (or response) that looks like a
-// result.
-var errcheckScope = []string{"report", "svgplot", "runner", "positio", "service"}
+// reports, SVG figures, the runner's cache/runs.json, the HTTP
+// serving layer's response bodies, and the job journal — where a
+// silently dropped write error means a truncated artifact (or
+// response, or journal record) that looks like a result.
+var errcheckScope = []string{"report", "svgplot", "runner", "positio", "service", "jobs"}
 
 // errcheckRule flags statements that discard the error result of an
 // output operation: fmt.Fprint* to a real writer, io/os calls, and

@@ -131,6 +131,7 @@ func TestAllowSuppresses(t *testing.T) {
 		"solvers/solvers.go:precision":        3,
 		"report/report.go:errcheck":           4,
 		"service/service.go:errcheck":         3,
+		"jobs/jobs.go:errcheck":               5,
 		"lib/lib.go:locks":                    3,
 		"lib/lib.go:panics":                   1,
 		"experiments/experiments.go:maporder": 1,

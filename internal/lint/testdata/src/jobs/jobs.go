@@ -1,0 +1,36 @@
+// Package jobs is a lint fixture for the errcheck rule's journal
+// coverage: a job journal is the durability story, so a dropped
+// Write/Sync/Close error means a record that was never on disk while
+// the store believes it was — the job silently evaporates on replay.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Append journals one record, dropping every error the rule cares
+// about.
+func Append(f *os.File, rec any) {
+	json.NewEncoder(f).Encode(rec) // want: errcheck statement Encode
+	f.Write([]byte("\n"))          // want: errcheck statement Write
+	f.Sync()                       // want: errcheck statement Sync
+	defer f.Close()                // want: errcheck defer Close
+	fmt.Fprintf(f, "trailer\n")    // want: errcheck statement Fprintf
+}
+
+// AppendChecked is the journal writer the rule wants: every failure
+// surfaces to the caller, so durability claims stay honest.
+func AppendChecked(f *os.File, line []byte) error {
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// Acknowledged discard: close-after-successful-sync cannot lose
+	// data that matters.
+	_ = f.Close()
+	return nil
+}

@@ -57,6 +57,15 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return json.Marshal(resp)
 	})
 	if err != nil {
+		// Provenance on errors too: "hit" here means this request joined
+		// an in-flight computation that failed rather than starting its
+		// own, which matters when debugging a thundering herd on a
+		// broken experiment.
+		if cached {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
 		if ctxErr := r.Context().Err(); ctxErr != nil {
 			httpError(w, statusFromCtx(ctxErr), "experiment canceled: "+ctxErr.Error())
 			return

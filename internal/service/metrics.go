@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"positlab/internal/arith"
+	"positlab/internal/jobs"
 )
 
 // latWindow is the per-route latency reservoir size: quantiles are
@@ -94,6 +95,10 @@ type MetricsSnapshot struct {
 	Cache     CacheSnapshot            `json:"cache"`
 	Ops       arith.OpCounts           `json:"ops"`
 	OpsTotal  uint64                   `json:"ops_total"`
+	// Jobs is the async job subsystem section (queue depths, lifecycle
+	// counters, wait/run latency quantiles, journal/replay health);
+	// attached by the server, absent from bare Metrics snapshots.
+	Jobs *jobs.MetricsSnapshot `json:"jobs,omitempty"`
 }
 
 // CacheSnapshot is the cache section of the metrics snapshot.

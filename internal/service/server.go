@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"positlab/internal/jobs"
 	"positlab/internal/runner"
 )
 
@@ -38,6 +39,15 @@ const (
 	// DefaultMaxMatrixN bounds uploaded systems: the Cholesky path
 	// densifies the matrix, so N is the resource knob that matters.
 	DefaultMaxMatrixN = 2048
+	// DefaultJobWorkers is the async job pool size; solver jobs are
+	// CPU-bound, so a small pool avoids starving interactive requests.
+	DefaultJobWorkers = 2
+	// DefaultJobCheckpointEvery is the solver-iteration cadence at
+	// which running jobs journal resumable state.
+	DefaultJobCheckpointEvery = 50
+	// DefaultMaxQueuedJobs bounds the job backlog; submissions beyond
+	// it are refused with 429.
+	DefaultMaxQueuedJobs = 1024
 )
 
 // Config tunes a Server. The zero value serves the Default runner
@@ -67,6 +77,22 @@ type Config struct {
 	MaxMatrixN int
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
+
+	// Jobs is the durable job store backing /v1/jobs. nil means an
+	// ephemeral in-memory store (jobs do not survive a restart); the
+	// positd binary opens a journaled store when -jobs-dir is set.
+	Jobs *jobs.Store
+	// JobWorkers bounds concurrent async job execution. <= 0 means 2.
+	JobWorkers int
+	// JobRetryBackoff is the base delay before retrying a transiently
+	// failed job (doubles per retry). <= 0 means the pool default.
+	JobRetryBackoff time.Duration
+	// JobCheckpointEvery is the default solver-iteration checkpoint
+	// cadence for jobs that do not set their own. <= 0 means 50.
+	JobCheckpointEvery int
+	// MaxQueuedJobs bounds the queued-job backlog; submissions beyond
+	// it get 429. <= 0 means 1024.
+	MaxQueuedJobs int
 }
 
 func (c Config) fill() Config {
@@ -91,6 +117,19 @@ func (c Config) fill() Config {
 	if c.MaxMatrixN <= 0 {
 		c.MaxMatrixN = DefaultMaxMatrixN
 	}
+	if c.Jobs == nil {
+		// Open with an empty dir never fails: the store is ephemeral.
+		c.Jobs, _ = jobs.Open("", jobs.Config{})
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = DefaultJobWorkers
+	}
+	if c.JobCheckpointEvery <= 0 {
+		c.JobCheckpointEvery = DefaultJobCheckpointEvery
+	}
+	if c.MaxQueuedJobs <= 0 {
+		c.MaxQueuedJobs = DefaultMaxQueuedJobs
+	}
 	c.RunnerConfig.Timeout = 0 // the per-request deadline governs
 	return c
 }
@@ -104,9 +143,11 @@ type Server struct {
 	metrics *Metrics
 	sem     chan struct{}
 	handler http.Handler
+	jobPool *jobs.Pool
 }
 
-// New builds a Server from cfg.
+// New builds a Server from cfg and starts its job workers (recovered
+// queued jobs from cfg.Jobs begin executing immediately).
 func New(cfg Config) *Server {
 	cfg = cfg.fill()
 	s := &Server{
@@ -116,6 +157,11 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxInflight),
 	}
 	s.exec = &runner.Executor{Registry: cfg.Registry, Config: cfg.RunnerConfig}
+	s.jobPool = jobs.NewPool(cfg.Jobs, &jobExecutor{s: s}, jobs.PoolConfig{
+		Workers:      cfg.JobWorkers,
+		RetryBackoff: cfg.JobRetryBackoff,
+	})
+	s.jobPool.Start()
 	s.handler = s.buildHandler()
 	publishExpvar(s)
 	return s
@@ -130,12 +176,19 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Handler returns the fully-wrapped root handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Jobs exposes the worker pool (tests and the drain path).
+func (s *Server) Jobs() *jobs.Pool { return s.jobPool }
+
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/convert", s.handleConvert)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
@@ -171,6 +224,16 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, drainTimeout time.Dur
 	}
 	err := srv.Shutdown(shutdownCtx)
 	<-errCh // Serve has returned http.ErrServerClosed
+	// Drain the job pool last: in-flight jobs are canceled and
+	// requeued with their checkpoints, so a restarted process resumes
+	// them instead of redoing the work.
+	jobDrain := drainTimeout
+	if jobDrain <= 0 {
+		jobDrain = 30 * time.Second
+	}
+	if !s.jobPool.Drain(jobDrain) && err == nil {
+		err = fmt.Errorf("service: job pool did not drain within %v", jobDrain)
+	}
 	return err
 }
 
@@ -261,6 +324,9 @@ func routeOf(r *http.Request) string {
 	if strings.HasPrefix(path, "/v1/experiments/") {
 		path = "/v1/experiments/{name}"
 	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		path = "/v1/jobs/{id}"
+	}
 	return r.Method + " " + path
 }
 
@@ -286,6 +352,14 @@ func (s *Server) logLine(fields map[string]any) {
 func (s *Server) admissionMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		// Job-control requests bypass the semaphore: the heavy work runs
+		// on the bounded worker pool, not in the request, and a long-poll
+		// GET holding an admission slot would starve the synchronous
+		// endpoints. The queue itself is bounded (MaxQueuedJobs).
+		if r.URL.Path == "/v1/jobs" || strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -328,14 +402,25 @@ func statusFromCtx(err error) int {
 // --- health and metrics handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	qi, qb := s.jobPool.Store().QueueDepths()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"experiments": len(s.cfg.Registry.IDs()),
+		"jobs_queued": qi + qb,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cache))
+	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+// snapshotMetrics renders the serving metrics with the job subsystem
+// section attached (shared by /debug/metrics and expvar).
+func (s *Server) snapshotMetrics() MetricsSnapshot {
+	snap := s.metrics.Snapshot(s.cache)
+	js := s.jobPool.Metrics()
+	snap.Jobs = &js
+	return snap
 }
 
 // expvar's registry is process-global and panics on duplicate names,
@@ -346,7 +431,7 @@ var publishOnce sync.Once
 func publishExpvar(s *Server) {
 	publishOnce.Do(func() {
 		expvar.Publish("positd", expvar.Func(func() any {
-			return s.metrics.Snapshot(s.cache)
+			return s.snapshotMetrics()
 		}))
 	})
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -41,6 +42,10 @@ type solveRequest struct {
 	// Higham applies Algorithm 5 equilibration with the format-aware
 	// μ before ir (Table III preparation).
 	Higham bool `json:"higham,omitempty"`
+	// ReturnX includes the solution vector in the response. Off by
+	// default: x has N entries and most callers only want the
+	// convergence metrics.
+	ReturnX bool `json:"return_x,omitempty"`
 }
 
 // solveResponse is the POST /v1/solve body on success.
@@ -65,9 +70,29 @@ type solveResponse struct {
 	// History is the per-iteration residual (cg) or backward-error
 	// (ir) series.
 	History []jsonFloat `json:"history,omitempty"`
+	// X is the solution vector, present only with return_x.
+	X []jsonFloat `json:"x,omitempty"`
 	// Ops counts the format arithmetic this request performed.
 	Ops    arith.OpCounts `json:"ops"`
 	WallMS float64        `json:"wall_ms"`
+}
+
+// solveError carries an HTTP status with a failed solve so both
+// callers of runSolve (the synchronous handler and the job executor)
+// can map it to their own error model.
+type solveError struct {
+	status int
+	msg    string
+}
+
+func (e *solveError) Error() string { return e.msg }
+
+// solveCheckpointing threads the job subsystem's checkpoint cadence and
+// resume state into the solver loops. The zero value (the synchronous
+// /v1/solve path) checkpoints nothing.
+type solveCheckpointing struct {
+	cg solvers.CGCheckpointOptions
+	ir solvers.IRCheckpointOptions
 }
 
 // handleSolve implements POST /v1/solve: one solver run, in the
@@ -80,24 +105,48 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	resp, serr := s.runSolve(r.Context(), &req, solveCheckpointing{})
+	if serr != nil {
+		httpError(w, serr.status, serr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validateSolve resolves the request's format and solver names,
+// normalizing req.Solver. It is called both at HTTP time and at job
+// submission so bad specs are rejected before they are journaled.
+func validateSolve(req *solveRequest) (arith.Format, *solveError) {
 	f, err := arith.ByName(req.Format)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, &solveError{http.StatusBadRequest, err.Error()}
 	}
 	solver := strings.ToLower(strings.TrimSpace(req.Solver))
 	switch solver {
 	case "cg", "cholesky", "ir":
 	default:
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown solver %q (known: cg, cholesky, ir)", req.Solver))
-		return
+		return nil, &solveError{http.StatusBadRequest,
+			fmt.Sprintf("unknown solver %q (known: cg, cholesky, ir)", req.Solver)}
 	}
+	req.Solver = solver
+	return f, nil
+}
 
-	a, b, name, err := s.loadSystem(&req)
+// runSolve executes one solver request. It is the shared engine of the
+// synchronous POST /v1/solve handler and the async job executor; the
+// latter passes checkpoint cadence and resume state through ck. Because
+// the whole pipeline — system construction, rescaling, format
+// conversion, solver loop — is deterministic, a run resumed from a
+// checkpoint returns results bit-identical to an uninterrupted one.
+func (s *Server) runSolve(ctx context.Context, req *solveRequest, ck solveCheckpointing) (solveResponse, *solveError) {
+	var resp solveResponse
+	f, serr := validateSolve(req)
+	if serr != nil {
+		return resp, serr
+	}
+	a, b, name, err := s.loadSystem(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
+		return resp, &solveError{http.StatusBadRequest, err.Error()}
 	}
 
 	reqOps := &arith.AtomicOpCounts{}
@@ -106,10 +155,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// the same tally; results stay bit-identical.
 	fi := arith.InstrumentAtomic(arith.InstrumentAtomic(f, s.metrics.Ops), reqOps)
 
-	resp := solveResponse{Solver: solver, Format: f.Name(), Matrix: name, N: a.N}
+	resp = solveResponse{Solver: req.Solver, Format: f.Name(), Matrix: name, N: a.N}
 	start := time.Now()
-	ctx := r.Context()
-	switch solver {
+	switch req.Solver {
 	case "cg":
 		tol := req.Tol
 		if tol == 0 {
@@ -126,16 +174,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		an := a.ToFormat(fi, false)
 		bn := linalg.VecFromFloat64(fi, b)
-		res, err := solvers.CGCtx(ctx, an, bn, tol, maxIter)
+		res, err := solvers.CGCheckpointed(ctx, an, bn, tol, maxIter, ck.cg)
 		if err != nil {
-			httpError(w, statusFromCtx(err), "solve canceled: "+err.Error())
-			return
+			return resp, &solveError{statusFromCtx(err), "solve canceled: " + err.Error()}
 		}
 		resp.Iterations = res.Iterations
 		resp.Converged = res.Converged
 		resp.Failed = res.Failed
 		resp.RelResidual = jsonFloat(res.RelResidual)
 		resp.History = jsonFloats(res.History)
+		if req.ReturnX {
+			resp.X = jsonFloats(res.X)
+		}
 
 	case "cholesky":
 		if req.Rescale {
@@ -148,16 +198,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		x, err := solvers.CholeskySolveCtx(ctx, an, bn)
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
-				httpError(w, statusFromCtx(ctxErr), "solve canceled: "+ctxErr.Error())
-				return
+				return resp, &solveError{statusFromCtx(ctxErr), "solve canceled: " + ctxErr.Error()}
 			}
 			// Breakdown in the working format: a result, not a server
 			// error (the '-' entries of the paper's tables).
 			resp.Failed = true
 			break
 		}
+		xf := linalg.VecToFloat64(f, x)
 		resp.Converged = true
-		resp.BackwardError = jsonFloat(solvers.BackwardError(a, b, linalg.VecToFloat64(f, x)))
+		resp.BackwardError = jsonFloat(solvers.BackwardError(a, b, xf))
+		if req.ReturnX {
+			resp.X = jsonFloats(xf)
+		}
 
 	case "ir":
 		sc := solvers.IRScaling{}
@@ -167,13 +220,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				Mu: scaling.MuFor(f),
 			}
 		}
-		res, err := solvers.MixedIRCtx(ctx, a, b, fi, sc, solvers.IROptions{
+		res, err := solvers.MixedIRCheckpointed(ctx, a, b, fi, sc, solvers.IROptions{
 			Tol:     req.Tol,
 			MaxIter: req.MaxIter,
-		})
+		}, ck.ir)
 		if err != nil {
-			httpError(w, statusFromCtx(err), "solve canceled: "+err.Error())
-			return
+			return resp, &solveError{statusFromCtx(err), "solve canceled: " + err.Error()}
 		}
 		resp.Iterations = res.Iterations
 		resp.Converged = res.Converged
@@ -181,10 +233,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.BackwardError = jsonFloat(res.BackwardError)
 		resp.FactorError = jsonFloat(res.FactorError)
 		resp.History = jsonFloats(res.History)
+		if req.ReturnX {
+			resp.X = jsonFloats(res.X)
+		}
 	}
 	resp.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	resp.Ops = reqOps.Snapshot()
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // loadSystem resolves the request's linear system: a named Table I

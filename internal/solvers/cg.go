@@ -50,31 +50,67 @@ func CG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) CGResult {
 // result is returned together with the context's error. The iterates
 // are bit-identical to CG's for the iterations that did run.
 func CGCtx(ctx context.Context, a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) (CGResult, error) {
+	return CGCheckpointed(ctx, a, b, tol, maxIter, CGCheckpointOptions{})
+}
+
+// CGCheckpointed is CGCtx with durable-checkpoint support: with
+// ck.Every > 0 it hands the complete iteration state to
+// ck.OnCheckpoint at that cadence, and with ck.Resume set it continues
+// a previous run from its checkpoint instead of starting at x₀ = 0.
+// Checkpoint emission never perturbs the iteration, and a resumed run
+// produces iterates bit-identical to the uninterrupted run's from the
+// checkpointed iteration onward.
+func CGCheckpointed(ctx context.Context, a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int, ck CGCheckpointOptions) (CGResult, error) {
 	f := a.F
 	n := a.N
 
-	x := linalg.NewVec(f, n)
-	r := append([]arith.Num(nil), b...)
-	p := append([]arith.Num(nil), b...)
+	var (
+		x, r, p []arith.Num
+		rr      arith.Num
+		normB2  float64
+	)
 	ap := linalg.NewVec(f, n)
+	start := 0
+	res := CGResult{}
 
-	rr := linalg.Dot(f, r, r)
-	normB2 := f.ToFloat64(rr) // x₀ = 0 ⇒ r₀ = b
+	if ck.Resume != nil {
+		if err := ck.Resume.valid(n); err != nil {
+			return res, err
+		}
+		x = copyNums(ck.Resume.X)
+		r = copyNums(ck.Resume.R)
+		p = copyNums(ck.Resume.P)
+		rr = ck.Resume.RR
+		start = ck.Resume.Iter
+		res.Iterations = start
+		res.History = copyFloats(ck.Resume.History)
+		// ‖b‖² is not part of the checkpoint: recompute it exactly as
+		// the fresh path does (x₀ = 0 ⇒ r₀ = b there), so the threshold
+		// and the float64 history denominators are identical.
+		normB2 = f.ToFloat64(linalg.Dot(f, b, b))
+	} else {
+		x = linalg.NewVec(f, n)
+		r = append([]arith.Num(nil), b...)
+		p = append([]arith.Num(nil), b...)
+		rr = linalg.Dot(f, r, r)
+		normB2 = f.ToFloat64(rr) // x₀ = 0 ⇒ r₀ = b
+	}
 	thresh := tol * tol * normB2
 
-	res := CGResult{}
-	if f.Bad(rr) {
-		res.Failed = true
-		res.X = linalg.VecToFloat64(f, x)
-		return res, nil
-	}
-	if f.ToFloat64(rr) <= thresh {
-		res.Converged = true
-		res.X = linalg.VecToFloat64(f, x)
-		return res, nil
+	if ck.Resume == nil {
+		if f.Bad(rr) {
+			res.Failed = true
+			res.X = linalg.VecToFloat64(f, x)
+			return res, nil
+		}
+		if f.ToFloat64(rr) <= thresh {
+			res.Converged = true
+			res.X = linalg.VecToFloat64(f, x)
+			return res, nil
+		}
 	}
 
-	for k := 0; k < maxIter; k++ {
+	for k := start; k < maxIter; k++ {
 		if err := ctx.Err(); err != nil {
 			res.X = linalg.VecToFloat64(f, x)
 			return res, err
@@ -114,6 +150,23 @@ func CGCtx(ctx context.Context, a *linalg.SparseNum, b []arith.Num, tol float64,
 		// bit-identical to the scalar Add(r, Mul(β, p)) form).
 		linalg.MulAddVec(f, beta, p, r, p)
 		rr = rrNew
+		// The loop state for iteration k+1 is now complete — the only
+		// point where a snapshot can resume without re-running any
+		// arithmetic of iteration k.
+		if ck.Every > 0 && ck.OnCheckpoint != nil && (k+1)%ck.Every == 0 {
+			cp := &CGCheckpoint{
+				Iter:    k + 1,
+				X:       copyNums(x),
+				R:       copyNums(r),
+				P:       copyNums(p),
+				RR:      rr,
+				History: copyFloats(res.History),
+			}
+			if err := ck.OnCheckpoint(cp); err != nil {
+				res.X = linalg.VecToFloat64(f, x)
+				return res, err
+			}
+		}
 	}
 	res.X = linalg.VecToFloat64(f, x)
 	if normB2 > 0 {

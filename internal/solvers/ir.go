@@ -73,6 +73,16 @@ func MixedIR(a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt 
 // returned together with the context's error. Results are
 // bit-identical to MixedIR's when the context never fires.
 func MixedIRCtx(ctx context.Context, a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt IROptions) (IRResult, error) {
+	return MixedIRCheckpointed(ctx, a, b, low, sc, opt, IRCheckpointOptions{})
+}
+
+// MixedIRCheckpointed is MixedIRCtx with durable-checkpoint support:
+// with ck.Every > 0 it hands the refinement state (current iterate and
+// backward-error history) to ck.OnCheckpoint at that cadence, and with
+// ck.Resume set it refactors the same scaled matrix (deterministic,
+// hence identical) and continues refinement from the checkpointed
+// iterate. Results are bit-identical to an uninterrupted run.
+func MixedIRCheckpointed(ctx context.Context, a *linalg.Sparse, b []float64, low arith.Format, sc IRScaling, opt IROptions, ck IRCheckpointOptions) (IRResult, error) {
 	n := a.N
 	tol := opt.Tol
 	if tol == 0 {
@@ -124,7 +134,19 @@ func MixedIRCtx(ctx context.Context, a *linalg.Sparse, b []float64, low arith.Fo
 	normAF := a.NormFrob()
 	normB := linalg.Norm2F64(b)
 
-	for k := 1; k <= maxIter; k++ {
+	startK := 1
+	if ck.Resume != nil {
+		if err := ck.Resume.valid(n); err != nil {
+			return res, err
+		}
+		copy(x, ck.Resume.X)
+		res.History = copyFloats(ck.Resume.History)
+		res.Iterations = ck.Resume.Iter
+		res.X = append([]float64(nil), x...)
+		startK = ck.Resume.Iter + 1
+	}
+
+	for k := startK; k <= maxIter; k++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
@@ -167,6 +189,14 @@ func MixedIRCtx(ctx context.Context, a *linalg.Sparse, b []float64, low arith.Fo
 		}
 		for i := range x {
 			x[i] += v[i]
+		}
+		// Pass k is complete: x is the iterate pass k+1 will refine, so
+		// this is the resumable snapshot point.
+		if ck.Every > 0 && ck.OnCheckpoint != nil && k%ck.Every == 0 {
+			cp := &IRCheckpoint{Iter: k, X: copyFloats(x), History: copyFloats(res.History)}
+			if err := ck.OnCheckpoint(cp); err != nil {
+				return res, err
+			}
 		}
 	}
 	res.Iterations = maxIter
