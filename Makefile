@@ -16,9 +16,12 @@ build:
 
 # positlint: the repo-specific analyzers (precision laundering,
 # deterministic output, lock hygiene, error discipline, panic
-# discipline, registry consistency). See internal/lint.
+# discipline, registry consistency, plus the interprocedural rules:
+# xprecision, durability, ctxprop, mutexio, unusedallow). The fact
+# cache under .positlint-cache makes re-runs near-instant; delete the
+# directory to force a cold analysis. See internal/lint.
 lint:
-	$(GO) run ./cmd/positlint ./...
+	$(GO) run ./cmd/positlint -cache .positlint-cache
 
 test:
 	$(GO) test ./...
@@ -38,10 +41,10 @@ bench-runner:
 bench-kernels:
 	$(GO) test -run '^$$' -bench 'Dot1024|MatVec1000|Cholesky200' -benchtime 2s ./internal/linalg/
 
-# Reproduce BENCH_lint.json: the linter's full-repo load and the
-# per-run analysis cost.
+# Reproduce BENCH_lint.json: the linter's full-repo load, the per-run
+# analysis cost, and the cold vs warm fact-cache comparison.
 bench-lint:
-	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkRunRules' -benchtime 3x ./internal/lint/
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadRepo|BenchmarkRunRules|BenchmarkRepoCold|BenchmarkRepoWarm' -benchtime 3x ./internal/lint/
 
 # Run the positd HTTP server on :8787 with a local disk cache for
 # experiment results. See README "Serving" for the endpoints.

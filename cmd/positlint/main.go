@@ -1,20 +1,31 @@
 // Command positlint runs the repo's static-analysis suite
-// (internal/lint): numerical-correctness and concurrency invariants
-// that code review alone cannot guarantee at scale.
+// (internal/lint): numerical-correctness, durability, and concurrency
+// invariants that code review alone cannot guarantee at scale.
 //
 // Usage:
 //
-//	positlint [-C dir] [-json] [-rules list] [-list] [packages...]
+//	positlint [-C dir] [-json|-sarif] [-rules list] [-list] [-fix]
+//	          [-baseline file] [-write-baseline file] [-cache dir]
+//	          [packages...]
 //
-// With no package arguments (or "./...") the whole module is analyzed.
-// Package arguments are directories relative to the module root
-// ("internal/solvers"). -rules selects a comma-separated subset
-// ("precision,maporder"), with "-name" dropping a rule from the set
-// ("-rules all,-maporder" or just "-rules -maporder"). -json emits
-// machine-readable diagnostics. -list prints the rules and exits.
+// With no package arguments (or "./...") the whole module is analyzed;
+// that is the mode -cache accelerates, keying per-package fact/finding
+// entries by content hash so warm re-runs skip unchanged packages
+// entirely. Package arguments are directories relative to the module
+// root ("internal/solvers") and always analyze cold.
 //
-// Exit status is 0 when the tree is clean, 1 when any diagnostic was
-// reported, and 2 on usage or load errors.
+// -rules selects a comma-separated subset ("precision,maporder"), with
+// "-name" dropping a rule from the set ("-rules all,-maporder" or just
+// "-rules -maporder"). -json emits the versioned diagnostic envelope;
+// -sarif emits SARIF 2.1.0 for code-scanning upload. -fix applies the
+// mechanical suggested fixes (acknowledged error discards, stale
+// //lint:allow deletion) in place. -baseline subtracts a recorded
+// finding snapshot; -write-baseline records one. -list prints the
+// selected rules and exits.
+//
+// Exit status is 0 when the tree is clean (after baseline filtering
+// and fixes), 1 when any diagnostic remains, and 2 on usage or load
+// errors.
 package main
 
 import (
@@ -33,10 +44,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("positlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	chdir := fs.String("C", "", "module root (default: walk up from the working directory to go.mod)")
-	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as the versioned JSON envelope")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	ruleSpec := fs.String("rules", "all", "comma-separated rules to run; prefix with - to drop (e.g. all,-maporder)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	cacheDir := fs.String("cache", "", "fact-cache directory for whole-module runs (created if missing)")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "positlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -47,7 +67,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, r := range rules {
-			fmt.Fprintf(stdout, "%-10s %s\n", r.Name(), r.Doc())
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name(), r.Doc())
 		}
 		return 0
 	}
@@ -60,21 +80,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		fmt.Fprintf(stderr, "positlint: %v\n", err)
-		return 2
-	}
 
-	var pkgs []*lint.Package
+	var diags []lint.Diagnostic
 	args := fs.Args()
 	if len(args) == 0 || (len(args) == 1 && (args[0] == "./..." || args[0] == "...")) {
-		pkgs, err = loader.LoadAll()
+		res, err := lint.RunRepo(root, *cacheDir, rules)
 		if err != nil {
 			fmt.Fprintf(stderr, "positlint: %v\n", err)
 			return 2
 		}
+		diags = res.Diags
+		if *cacheDir != "" {
+			fmt.Fprintf(stderr, "positlint: %d package(s): %d cached, %d analyzed\n",
+				res.Stats.Packages, res.Stats.CacheHits, res.Stats.CacheMisses)
+		}
 	} else {
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		var pkgs []*lint.Package
 		for _, arg := range args {
 			rel := filepath.ToSlash(filepath.Clean(arg))
 			importPath := loader.ModulePath
@@ -88,22 +114,69 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 			pkgs = append(pkgs, pkg)
 		}
+		diags = lint.Run(root, pkgs, rules)
 	}
 
-	diags := lint.Run(root, pkgs, rules)
-	if *jsonOut {
+	if *baselinePath != "" {
+		baseline, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		var suppressed int
+		diags, suppressed = lint.FilterBaseline(diags, baseline)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "positlint: %d finding(s) suppressed by baseline %s\n", suppressed, *baselinePath)
+		}
+	}
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "positlint: wrote %d finding(s) to baseline %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *fix {
+		applied, files, err := lint.ApplyFixes(root, diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "positlint: applied %d fix(es) in %d file(s)\n", applied, len(files))
+		// Fixed findings are resolved; report only what remains. The fix
+		// edited sources out from under any -cache entries keyed on them,
+		// so the next cached run re-analyzes the touched packages.
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if d.Fix == nil {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	switch {
+	case *jsonOut:
 		data, err := lint.JSON(diags)
 		if err != nil {
 			fmt.Fprintf(stderr, "positlint: %v\n", err)
 			return 2
 		}
 		fmt.Fprintf(stdout, "%s\n", data)
-	} else {
+	case *sarifOut:
+		data, err := lint.SARIF(diags, rules)
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(stderr, "positlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "positlint: %d finding(s)\n", len(diags))
 		}
 	}
 	if len(diags) > 0 {

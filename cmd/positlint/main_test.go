@@ -61,14 +61,20 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+	var report struct {
+		Schema      string            `json:"schema"`
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
 	}
-	if len(diags) == 0 {
+	if report.Schema != "positlint-diagnostics/v1" {
+		t.Errorf("schema = %q", report.Schema)
+	}
+	if len(report.Diagnostics) == 0 {
 		t.Error("no diagnostics decoded")
 	}
-	for _, d := range diags {
+	for _, d := range report.Diagnostics {
 		if d.Rule == "" || d.File == "" || d.Line == 0 {
 			t.Errorf("incomplete diagnostic: %+v", d)
 		}
@@ -95,5 +101,82 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-C", t.TempDir()}, &out, &errb); code != 2 {
 		t.Errorf("no go.mod: exit %d (want 2)", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", "-sarif"}, &out, &errb); code != 2 {
+		t.Errorf("-json with -sarif: exit %d (want 2)", code)
+	}
+}
+
+func TestSARIFOutputFlag(t *testing.T) {
+	root := repoRoot(t)
+	var out, errb strings.Builder
+	code := run([]string{"-C", root, "-sarif", "internal/lint/testdata/src/lib"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1), stderr: %s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "positlint" {
+		t.Errorf("unexpected runs: %+v", log.Runs)
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Error("no SARIF results for a fixture with known findings")
+	}
+}
+
+// TestBaselineFlags records the fixture's findings as a baseline, then
+// re-lints against it: every finding is suppressed, so the exit is 0.
+func TestBaselineFlags(t *testing.T) {
+	root := repoRoot(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var out, errb strings.Builder
+	code := run([]string{"-C", root, "-write-baseline", base, "internal/lint/testdata/src/lib"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-C", root, "-baseline", base, "internal/lint/testdata/src/lib"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("baselined lint exit %d, out: %s stderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestCacheFlag runs the whole-module analysis twice through the CLI
+// with a cache dir; the second run must report zero analyzed packages.
+func TestCacheFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type check")
+	}
+	root := repoRoot(t)
+	cache := t.TempDir()
+	var out, errb strings.Builder
+	if code := run([]string{"-C", root, "-cache", cache}, &out, &errb); code != 0 {
+		t.Fatalf("cold run exit %d, out: %s stderr: %s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", root, "-cache", cache}, &out, &errb); code != 0 {
+		t.Fatalf("warm run exit %d, out: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "0 analyzed") {
+		t.Errorf("warm run should analyze nothing, stderr: %s", errb.String())
 	}
 }

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// baseline.go implements finding suppression by baseline file: a
+// recorded snapshot of known findings that `positlint -baseline`
+// subtracts from a run, so a repo can adopt a new rule without first
+// burning down every historical hit. Matching is on (rule, file,
+// message) — deliberately NOT on line/column, so unrelated edits that
+// shift a finding a few lines do not resurrect it.
+
+const baselineSchema = "positlint-baseline/v1"
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+type baselineFile struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// WriteBaseline serializes the diagnostics as a baseline file.
+// Duplicate (rule, file, message) triples collapse to one entry; the
+// output is sorted and stable.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	seen := map[BaselineEntry]bool{}
+	var entries []BaselineEntry
+	for _, d := range diags {
+		e := BaselineEntry{Rule: d.Rule, File: d.File, Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Schema: baselineSchema, Entries: entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: write baseline: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (map[BaselineEntry]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: load baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: load baseline %s: %w", path, err)
+	}
+	if bf.Schema != baselineSchema {
+		return nil, fmt.Errorf("lint: baseline %s has schema %q, want %q", path, bf.Schema, baselineSchema)
+	}
+	set := make(map[BaselineEntry]bool, len(bf.Entries))
+	for _, e := range bf.Entries {
+		set[e] = true
+	}
+	return set, nil
+}
+
+// FilterBaseline drops diagnostics present in the baseline, returning
+// the survivors and how many were suppressed.
+func FilterBaseline(diags []Diagnostic, baseline map[BaselineEntry]bool) (kept []Diagnostic, suppressed int) {
+	if len(baseline) == 0 {
+		return diags, 0
+	}
+	kept = diags[:0:0]
+	for _, d := range diags {
+		if baseline[BaselineEntry{Rule: d.Rule, File: d.File, Message: d.Message}] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

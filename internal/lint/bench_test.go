@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"os"
 	"testing"
 
 	"positlab/internal/lint"
@@ -42,6 +43,56 @@ func BenchmarkRunRules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if diags := lint.Run(root, pkgs, rules); len(diags) != 0 {
 			b.Fatalf("repo not clean: %d findings", len(diags))
+		}
+	}
+}
+
+// BenchmarkRepoCold measures a full-module analysis with an empty fact
+// cache: scan, type-check, compute facts, run rules, write entries.
+func BenchmarkRepoCold(b *testing.B) {
+	root := moduleRoot(b)
+	rules := lint.AllRules()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := os.MkdirTemp("", "positlint-bench-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := lint.RunRepo(root, cache, rules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if res.Stats.CacheHits != 0 {
+			b.Fatalf("cold run hit the cache: %+v", res.Stats)
+		}
+		os.RemoveAll(cache)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRepoWarm measures the fully-cached re-run: content hashing
+// and diagnostic replay, no parsing of function bodies, no go/types.
+func BenchmarkRepoWarm(b *testing.B) {
+	root := moduleRoot(b)
+	rules := lint.AllRules()
+	cache, err := os.MkdirTemp("", "positlint-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(cache)
+	if _, err := lint.RunRepo(root, cache, rules); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lint.RunRepo(root, cache, rules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.CacheMisses != 0 {
+			b.Fatalf("warm run missed the cache: %+v", res.Stats)
 		}
 	}
 }

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxpropScope: the packages whose long-running calls (solvers, job
+// pool, scheduler, HTTP layer) are cancellation points. Everything
+// here threads a context; a dropped one turns graceful drain and
+// request timeouts into hangs.
+var ctxpropScope = []string{"service", "jobs", "runner", "solvers"}
+
+// ctxpropRule flags context non-propagation: a function that receives
+// a context.Context but invokes a context-consuming callee with
+// context.Background() (or context.TODO()) instead. The callee then
+// never observes the caller's cancellation or deadline — a solve
+// outlives its HTTP request, a drained pool waits on work that cannot
+// be interrupted.
+//
+// The callee side is interprocedural: a module function counts as
+// context-consuming when the fact engine saw it actually use its ctx
+// parameter (UsesCtx); standard-library callees with a ctx parameter
+// are assumed to honor it. The caller side tracks simple laundering:
+// locals assigned from context.Background()/TODO(), including through
+// context.With* chains, are flagged wherever they are passed.
+// Detaching deliberately (e.g. a drain deadline after the parent ctx
+// is already canceled) is an audited //lint:allow ctxprop site.
+type ctxpropRule struct{}
+
+func (ctxpropRule) Name() string { return "ctxprop" }
+func (ctxpropRule) Doc() string {
+	return "forbid passing context.Background()/TODO() to context-consuming calls from functions that already have a ctx"
+}
+
+func (ctxpropRule) Check(p *Pass) {
+	if !scoped(p.Pkg, ctxpropScope...) || p.Facts == nil {
+		return
+	}
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if sig == nil || ctxParamIndex(sig) < 0 {
+			return
+		}
+		name := funcDisplayName(fd)
+		tainted := backgroundLocals(info, fd)
+		walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() == "context" {
+				return true // context.With* only propagates; reported at the real consumer
+			}
+			if !p.Facts.ForCall(callee).UsesCtx {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isBackgroundExpr(info, arg, tainted) {
+					p.Reportf(arg.Pos(), "%s drops its caller's context: %s consumes a ctx but receives context.Background()/TODO(); propagate ctx so cancellation and deadlines reach it", name, callee.FullName())
+				}
+			}
+			return true
+		})
+	})
+}
+
+// backgroundLocals collects locals holding a detached context:
+// assigned from context.Background()/TODO() or derived from one
+// through context.With* (whose first result is a child of its first
+// argument). Two passes pick up chains written out of order.
+func backgroundLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for pass := 0; pass < 2; pass++ {
+		walkSkipFuncLit(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			var derived bool
+			switch fn.Name() {
+			case "Background", "TODO":
+				derived = true
+			case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithoutCancel":
+				derived = len(call.Args) > 0 && isBackgroundExpr(info, call.Args[0], tainted)
+			}
+			if !derived {
+				return true
+			}
+			if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// isBackgroundExpr matches a direct context.Background()/TODO() call
+// or a local known to hold a detached context.
+func isBackgroundExpr(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		return tainted[info.ObjectOf(id)]
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}

@@ -1,0 +1,462 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"positlab/internal/lint"
+)
+
+// TestDifferentialLegacyRules pins the engine's compatibility contract:
+// the original six intraprocedural rules must produce byte-identical
+// diagnostics whether or not the interprocedural fact layer runs. The
+// new rules go quiet without facts; the old ones must not notice.
+func TestDifferentialLegacyRules(t *testing.T) {
+	root := moduleRoot(t)
+	legacy, err := lint.SelectRules(strings.Join(lint.LegacyRuleNames(), ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, pkgs []*lint.Package) {
+		withFacts := lint.Run(root, pkgs, legacy)
+		withoutFacts := lint.RunWith(root, pkgs, legacy, lint.Options{DisableFacts: true})
+		if !reflect.DeepEqual(withFacts, withoutFacts) {
+			t.Errorf("legacy rules diverge with facts enabled:\nwith:    %v\nwithout: %v", withFacts, withoutFacts)
+		}
+	}
+
+	t.Run("fixtures", func(t *testing.T) {
+		check(t, fixturePackages(t, root))
+	})
+	t.Run("repo", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("full-repo type check")
+		}
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, pkgs)
+	})
+}
+
+// TestFactSummaries asserts the per-function summaries the engine
+// derives for the floatutil fixture helpers — the ground truth every
+// interprocedural rule builds on.
+func TestFactSummaries(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs := fixturePackages(t, root)
+	facts := lint.NewFacts()
+	for _, pkg := range pkgs {
+		lint.ComputeFacts(pkg, facts)
+	}
+	const fu = "positlab/internal/lint/testdata/src/floatutil"
+	exported := facts.Export(fu)
+	want := map[string]lint.FuncFacts{
+		fu + ".Hyp":          {Launder: 0b11},
+		fu + ".Scale":        {Launder: 0b11},
+		fu + ".Clamp":        {}, // analyzed, provably boring
+		fu + ".FSync":        {Syncs: true},
+		fu + ".DropWrites":   {DropsWriterErr: true},
+		fu + ".WriteChecked": {},
+		fu + ".BlockOn":      {Blocking: true},
+		fu + ".Poll":         {}, // select with default: non-blocking
+		fu + ".WithCtx":      {UsesCtx: true},
+		fu + ".NoCtx":        {}, // ignores its ctx parameter
+	}
+	for name, w := range want {
+		got, ok := exported[name]
+		if !ok {
+			t.Errorf("%s: no fact entry (zero facts must still be recorded)", name)
+			continue
+		}
+		if got != w {
+			t.Errorf("%s: facts = %+v, want %+v", name, got, w)
+		}
+	}
+}
+
+// writeTempModule lays out a small three-package module:
+//
+//	jobs   (leaf)   — WriteSync: write+fsync helper
+//	runner (depends on jobs) — SaveAtomic: WriteSync then os.Rename
+//	util   (independent)     — carries a stale //lint:allow
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"jobs/jobs.go": `package jobs
+
+import "os"
+
+// WriteSync writes data and fsyncs — callers renaming after it have
+// durability evidence.
+func WriteSync(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+`,
+		"runner/runner.go": `package runner
+
+import (
+	"os"
+
+	"tmpmod/jobs"
+)
+
+// SaveAtomic relies on jobs.WriteSync for its fsync.
+func SaveAtomic(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := jobs.WriteSync(f, data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+`,
+		"util/util.go": `package util
+
+// Pad is unrelated to jobs and runner.
+func Pad(n int) int {
+	m := n + 1 //lint:allow maporder stale on purpose
+	return m
+}
+`,
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestFactCacheInvalidation drives the cache through its life cycle:
+// cold run populates, identical warm run is all hits with identical
+// diagnostics, and editing a leaf package re-analyzes exactly the leaf
+// and its dependents — observable both in the stats and in a new
+// interprocedural finding that only a re-analysis could produce.
+func TestFactCacheInvalidation(t *testing.T) {
+	root := writeTempModule(t)
+	cache := filepath.Join(root, ".positlint-cache")
+	rules := lint.AllRules()
+
+	cold, err := lint.RunRepo(root, cache, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses != 3 {
+		t.Fatalf("cold stats = %+v, want 0 hits / 3 misses", cold.Stats)
+	}
+	// The only cold finding: util's stale allow.
+	if len(cold.Diags) != 1 || cold.Diags[0].Rule != "unusedallow" {
+		t.Fatalf("cold diags = %v, want one unusedallow finding", cold.Diags)
+	}
+
+	warm, err := lint.RunRepo(root, cache, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != 3 || warm.Stats.CacheMisses != 0 {
+		t.Fatalf("warm stats = %+v, want 3 hits / 0 misses", warm.Stats)
+	}
+	if !reflect.DeepEqual(stripFixes(cold.Diags), stripFixes(warm.Diags)) {
+		t.Fatalf("warm diags diverge from cold:\ncold: %v\nwarm: %v", cold.Diags, warm.Diags)
+	}
+
+	// Edit the leaf: WriteSync stops syncing. The leaf AND its
+	// dependent must re-analyze (util stays cached), and runner's
+	// rename loses its interprocedural fsync evidence.
+	leaf := filepath.Join(root, "jobs", "jobs.go")
+	src, err := os.ReadFile(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src), "return f.Sync()", "return nil", 1)
+	if edited == string(src) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(leaf, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dirty, err := lint.RunRepo(root, cache, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Stats.CacheHits != 1 || dirty.Stats.CacheMisses != 2 {
+		t.Fatalf("dirty stats = %+v, want 1 hit (util) / 2 misses (jobs, runner)", dirty.Stats)
+	}
+	var foundDurability bool
+	for _, d := range dirty.Diags {
+		if d.Rule == "durability" && strings.Contains(d.File, "runner") {
+			foundDurability = true
+		}
+	}
+	if !foundDurability {
+		t.Fatalf("dependent re-analysis missed the new durability finding: %v", dirty.Diags)
+	}
+}
+
+// stripFixes normalizes diagnostics for equality checks (the Fix
+// pointer differs by identity between runs).
+func stripFixes(diags []lint.Diagnostic) []lint.Diagnostic {
+	out := make([]lint.Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Fix = nil
+		out[i] = d
+	}
+	return out
+}
+
+// TestWarmRunIsFaster pins the acceptance criterion: a fully-warm
+// fact-cached analysis of the real repository must be at least 2x
+// faster than the cold run, because it skips parsing bodies and
+// type-checking entirely.
+func TestWarmRunIsFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type check")
+	}
+	root := moduleRoot(t)
+	cache := t.TempDir()
+	rules := lint.AllRules()
+
+	start := time.Now()
+	cold, err := lint.RunRepo(root, cache, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(start)
+	if cold.Stats.CacheHits != 0 {
+		t.Fatalf("cold run hit the cache: %+v", cold.Stats)
+	}
+
+	start = time.Now()
+	warm, err := lint.RunRepo(root, cache, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(start)
+	if warm.Stats.CacheMisses != 0 {
+		t.Fatalf("warm run missed the cache: %+v", warm.Stats)
+	}
+	if !reflect.DeepEqual(stripFixes(cold.Diags), stripFixes(warm.Diags)) {
+		t.Fatalf("warm diags diverge from cold")
+	}
+	if warmDur*2 > coldDur {
+		t.Errorf("warm run not >=2x faster: cold=%v warm=%v", coldDur, warmDur)
+	}
+	t.Logf("cold=%v warm=%v (%.1fx)", coldDur, warmDur, float64(coldDur)/float64(warmDur))
+}
+
+// TestApplyFixes drives -fix end to end on a throwaway module: an
+// errcheck statement discard gains its `_, _ =` acknowledgment, the
+// stale allow comment is deleted, and a re-run comes back clean.
+func TestApplyFixes(t *testing.T) {
+	root := writeTempModule(t)
+	// Add a report package with a fixable errcheck finding.
+	reportSrc := `package report
+
+import (
+	"fmt"
+	"os"
+)
+
+// Render drops the Fprintf error.
+func Render(f *os.File) {
+	fmt.Fprintf(f, "header\n")
+}
+`
+	if err := os.MkdirAll(filepath.Join(root, "report"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "report", "report.go"), []byte(reportSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := lint.RunRepo(root, "", lint.AllRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lint.FixableCount(res.Diags) != 2 {
+		t.Fatalf("want 2 fixable findings (errcheck + unusedallow), got %d in %v", lint.FixableCount(res.Diags), res.Diags)
+	}
+	applied, files, err := lint.ApplyFixes(root, res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 || len(files) != 2 {
+		t.Fatalf("applied=%d files=%v", applied, files)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(root, "report", "report.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), `_, _ = fmt.Fprintf(f, "header\n")`) {
+		t.Errorf("errcheck fix not applied:\n%s", fixed)
+	}
+	utilFixed, err := os.ReadFile(filepath.Join(root, "util", "util.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(utilFixed), "lint:allow") {
+		t.Errorf("stale allow not deleted:\n%s", utilFixed)
+	}
+
+	rerun, err := lint.RunRepo(root, "", lint.AllRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rerun.Diags) != 0 {
+		t.Errorf("tree not clean after fixes: %v", rerun.Diags)
+	}
+}
+
+// TestSARIFOutput checks the SARIF 2.1.0 rendering: version, driver
+// rule metadata, result locations, and determinism.
+func TestSARIFOutput(t *testing.T) {
+	rules := lint.AllRules()
+	diags := []lint.Diagnostic{
+		{Rule: "durability", File: "internal/jobs/journal.go", Line: 10, Col: 3, Message: "m1"},
+		{Rule: "precision", File: "internal/solvers/cg.go", Line: 20, Col: 5, Message: "m2"},
+	}
+	data, err := lint.SARIF(diags, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "positlint" || len(run.Tool.Driver.Rules) != len(rules) {
+		t.Errorf("driver %q with %d rules", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 || run.Results[0].RuleID != "durability" {
+		t.Fatalf("results: %+v", run.Results)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/jobs/journal.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location: %+v", loc)
+	}
+	again, err := lint.SARIF(diags, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("SARIF output is not deterministic")
+	}
+}
+
+// TestBaselineRoundTrip covers -write-baseline / -baseline semantics:
+// matching on (rule, file, message) but not line, schema validation,
+// and exact suppression accounting.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Rule: "errcheck", File: "a.go", Line: 3, Col: 1, Message: "dropped"},
+		{Rule: "mutexio", File: "b.go", Line: 9, Col: 2, Message: "held"},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := lint.WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same finding on a different line still matches.
+	moved := []lint.Diagnostic{
+		{Rule: "errcheck", File: "a.go", Line: 30, Col: 7, Message: "dropped"},
+		{Rule: "errcheck", File: "a.go", Line: 31, Col: 7, Message: "new finding"},
+	}
+	kept, suppressed := lint.FilterBaseline(moved, baseline)
+	if suppressed != 1 || len(kept) != 1 || kept[0].Message != "new finding" {
+		t.Fatalf("kept=%v suppressed=%d", kept, suppressed)
+	}
+	// A wrong-schema file is rejected, not silently tolerated.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(bad); err == nil {
+		t.Error("wrong-schema baseline accepted")
+	}
+}
+
+// TestGoldenJSON pins the machine-readable envelope byte-for-byte over
+// the fixture corpus (regenerate with -update).
+func TestGoldenJSON(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs := fixturePackages(t, root)
+	diags := lint.Run(root, pkgs, lint.AllRules())
+	data, err := lint.JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data) + "\n"
+	goldenPath := filepath.Join(root, "internal", "lint", "testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got != string(wantBytes) {
+		t.Errorf("JSON envelope diverges from golden.json\n--- got ---\n%s--- want ---\n%s", got, wantBytes)
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // errcheckScope: the packages that own durable outputs — rendered
@@ -37,7 +38,7 @@ func (errcheckRule) Check(p *Pass) {
 		return
 	}
 	info := p.Pkg.Info
-	check := func(call *ast.CallExpr, how string) {
+	check := func(call *ast.CallExpr, how string, fixable bool) {
 		if !returnsErrorLast(info, call) {
 			return
 		}
@@ -45,19 +46,28 @@ func (errcheckRule) Check(p *Pass) {
 		if fn == nil || !isOutputCall(info, call, fn) {
 			return
 		}
-		p.Reportf(call.Pos(), "%s discards the error of %s; handle it or acknowledge with `_ =`", how, fn.FullName())
+		msg := "%s discards the error of %s; handle it or acknowledge with `_ =`"
+		if !fixable {
+			p.Reportf(call.Pos(), msg, how, fn.FullName())
+			return
+		}
+		// Mechanical fix: acknowledge the discard explicitly. Only a
+		// plain statement can take the `_ =` prefix (defer/go cannot).
+		sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+		text := strings.Repeat("_, ", sig.Results().Len()-1) + "_ = "
+		p.ReportFix(call.Pos(), call.Pos(), call.Pos(), text, msg, how, fn.FullName())
 	}
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := s.X.(*ast.CallExpr); ok {
-					check(call, "statement")
+					check(call, "statement", true)
 				}
 			case *ast.DeferStmt:
-				check(s.Call, "defer")
+				check(s.Call, "defer", false)
 			case *ast.GoStmt:
-				check(s.Call, "go statement")
+				check(s.Call, "go statement", false)
 			}
 			return true
 		})

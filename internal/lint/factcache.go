@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// factcache.go is the persistent layer of the interprocedural engine.
+// A cache entry stores, per package, the exported function summaries
+// AND the final (allow-filtered, audited) diagnostics, keyed by a
+// content hash that covers the engine schema, the enabled rule set,
+// every source file of the package, and — transitively, through the
+// dep keys — every source file the package can see. A warm run over an
+// unchanged repo therefore never parses a function body or touches
+// go/types at all: it hashes sources, replays cached diagnostics, and
+// merges cached facts. Editing a leaf package changes its key, which
+// changes every dependent's key, so exactly the affected slice of the
+// import graph re-analyzes.
+
+const cacheSchemaVersion = "positlint-factcache/v1"
+
+// RepoStats reports what RunRepo did.
+type RepoStats struct {
+	Packages    int `json:"packages"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+}
+
+// RepoResult is a full-module analysis: sorted diagnostics plus cache
+// accounting.
+type RepoResult struct {
+	Diags []Diagnostic
+	Stats RepoStats
+}
+
+// modPkg is one package discovered by the module scanner: enough to
+// compute its cache key without type-checking it.
+type modPkg struct {
+	importPath string
+	dir        string
+	files      []string // sorted absolute paths, non-test .go
+	fileHashes []string // hex SHA-256, parallel to files
+	deps       []string // module-internal imports, sorted
+	key        string   // hex cache key, set by computeKeys
+}
+
+// RunRepo analyzes the whole module rooted at root with the given
+// rules, consulting (and refreshing) the fact cache in cacheDir.
+// An empty cacheDir disables caching: every package is analyzed cold.
+func RunRepo(root, cacheDir string, rules []Rule) (*RepoResult, error) {
+	modPath, absRoot, err := moduleInfo(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := scanModule(modPath, absRoot)
+	if err != nil {
+		return nil, err
+	}
+	computeKeys(pkgs, rules)
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("lint: fact cache: %w", err)
+		}
+	}
+	res := &RepoResult{Stats: RepoStats{Packages: len(pkgs)}}
+	facts := NewFacts()
+	var loader *Loader
+	for _, mp := range pkgs {
+		if cacheDir != "" {
+			if ent := readCacheEntry(cacheDir, mp); ent != nil {
+				res.Stats.CacheHits++
+				facts.Merge(ent.Facts)
+				for _, cd := range ent.Diags {
+					res.Diags = append(res.Diags, cd.toDiagnostic())
+				}
+				continue
+			}
+		}
+		res.Stats.CacheMisses++
+		if loader == nil {
+			loader, err = NewLoader(absRoot)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pkg, err := loader.LoadDir(mp.importPath, mp.dir)
+		if err != nil {
+			return nil, err
+		}
+		ComputeFacts(pkg, facts)
+		diags := runPackage(absRoot, pkg, rules, facts)
+		res.Diags = append(res.Diags, diags...)
+		if cacheDir != "" {
+			if err := writeCacheEntry(cacheDir, mp, facts.Export(mp.importPath), diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	SortDiagnostics(res.Diags)
+	return res, nil
+}
+
+// moduleInfo resolves the module path and absolute root of the module
+// at dir from its go.mod.
+func moduleInfo(dir string) (modPath, absDir string, err error) {
+	absDir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	data, err := os.ReadFile(filepath.Join(absDir, "go.mod"))
+	if err != nil {
+		return "", "", fmt.Errorf("lint: module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return "", "", fmt.Errorf("lint: no module line in %s/go.mod", absDir)
+	}
+	return modPath, absDir, nil
+}
+
+// scanModule discovers every package directory of the module and scans
+// packages concurrently: each file is read once, hashed, and parsed in
+// imports-only mode to recover the module-internal dependency edges.
+// The result is topologically sorted (dependencies first).
+func scanModule(modPath, root string) ([]*modPkg, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") && !strings.HasPrefix(d.Name(), ".") {
+			if dir := filepath.Dir(p); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*modPkg, len(dirs))
+	for i, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkgs[i] = &modPkg{importPath: importPath, dir: dir}
+	}
+
+	// Scan packages in parallel: hashing and imports-only parsing are
+	// embarrassingly parallel, and on a warm run they ARE the analysis.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, mp := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(mp *modPkg) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := mp.scan(modPath); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(mp)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return topoModPkgs(pkgs), nil
+}
+
+// scan reads, hashes, and imports-only-parses the package's files.
+func (mp *modPkg) scan(modPath string) error {
+	entries, err := os.ReadDir(mp.dir)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	depSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, name := range names {
+		abs := filepath.Join(mp.dir, name)
+		data, err := os.ReadFile(abs)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		mp.files = append(mp.files, abs)
+		mp.fileHashes = append(mp.fileHashes, hex.EncodeToString(sum[:]))
+		f, err := parser.ParseFile(fset, abs, data, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == modPath || strings.HasPrefix(p, modPath+"/") {
+				depSet[p] = true
+			}
+		}
+	}
+	for d := range depSet {
+		if d != mp.importPath {
+			mp.deps = append(mp.deps, d)
+		}
+	}
+	sort.Strings(mp.deps)
+	return nil
+}
+
+// topoModPkgs orders packages dependencies-first (ties broken by
+// import path, matching topoPackages on loaded packages).
+func topoModPkgs(pkgs []*modPkg) []*modPkg {
+	byPath := make(map[string]*modPkg, len(pkgs))
+	for _, mp := range pkgs {
+		byPath[mp.importPath] = mp
+	}
+	var out []*modPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(mp *modPkg)
+	visit = func(mp *modPkg) {
+		if state[mp.importPath] != 0 {
+			return
+		}
+		state[mp.importPath] = 1
+		for _, d := range mp.deps {
+			if dep, ok := byPath[d]; ok {
+				visit(dep)
+			}
+		}
+		state[mp.importPath] = 2
+		out = append(out, mp)
+	}
+	for _, mp := range pkgs { // pkgs already path-sorted
+		visit(mp)
+	}
+	return out
+}
+
+// computeKeys derives each package's cache key in topo order, folding
+// in the dep keys so invalidation is transitive.
+func computeKeys(topo []*modPkg, rules []Rule) {
+	keys := map[string]string{}
+	var ruleNames []string
+	for _, r := range rules {
+		ruleNames = append(ruleNames, r.Name())
+	}
+	ruleSpec := strings.Join(ruleNames, ",")
+	for _, mp := range topo {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n%s\n%s\n%s\n", cacheSchemaVersion, factsSchema, ruleSpec, mp.importPath)
+		for i, f := range mp.files {
+			fmt.Fprintf(h, "%s %s\n", filepath.Base(f), mp.fileHashes[i])
+		}
+		for _, d := range mp.deps {
+			fmt.Fprintf(h, "dep %s %s\n", d, keys[d])
+		}
+		mp.key = hex.EncodeToString(h.Sum(nil))
+		keys[mp.importPath] = mp.key
+	}
+}
+
+// cacheDiag mirrors Diagnostic with the Fix serialized (Diagnostic
+// hides it from -json output; the cache must keep it so a warm -fix
+// run still has edits to apply).
+type cacheDiag struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Fix     *Fix   `json:"fix,omitempty"`
+}
+
+func (cd cacheDiag) toDiagnostic() Diagnostic {
+	return Diagnostic{
+		Rule: cd.Rule, File: cd.File, Line: cd.Line, Col: cd.Col,
+		Message: cd.Message, Fixable: cd.Fix != nil, Fix: cd.Fix,
+	}
+}
+
+// cacheEntry is the on-disk record of one analyzed package.
+type cacheEntry struct {
+	Schema     string               `json:"schema"`
+	ImportPath string               `json:"import_path"`
+	Key        string               `json:"key"`
+	Facts      map[string]FuncFacts `json:"facts,omitempty"`
+	Diags      []cacheDiag          `json:"diags,omitempty"`
+}
+
+// cachePath maps an import path to its entry file. Slashes become
+// double underscores so entries stay flat and legible in the cache dir.
+func cachePath(cacheDir, importPath string) string {
+	return filepath.Join(cacheDir, strings.ReplaceAll(importPath, "/", "__")+".json")
+}
+
+// readCacheEntry returns the entry for mp iff it exists and its key
+// matches; any mismatch or decode error reads as a miss.
+func readCacheEntry(cacheDir string, mp *modPkg) *cacheEntry {
+	data, err := os.ReadFile(cachePath(cacheDir, mp.importPath))
+	if err != nil {
+		return nil
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil
+	}
+	if ent.Schema != cacheSchemaVersion || ent.Key != mp.key {
+		return nil
+	}
+	return &ent
+}
+
+// writeCacheEntry persists one package's analysis atomically
+// (write-to-temp, sync, rename), so a crashed run never leaves a
+// half-written entry that a later run would trust.
+func writeCacheEntry(cacheDir string, mp *modPkg, facts map[string]FuncFacts, diags []Diagnostic) error {
+	cds := make([]cacheDiag, 0, len(diags))
+	for _, d := range diags {
+		cds = append(cds, cacheDiag{
+			Rule: d.Rule, File: d.File, Line: d.Line, Col: d.Col,
+			Message: d.Message, Fix: d.Fix,
+		})
+	}
+	data, err := json.Marshal(cacheEntry{
+		Schema:     cacheSchemaVersion,
+		ImportPath: mp.importPath,
+		Key:        mp.key,
+		Facts:      facts,
+		Diags:      cds,
+	})
+	if err != nil {
+		return fmt.Errorf("lint: fact cache: %w", err)
+	}
+	final := cachePath(cacheDir, mp.importPath)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lint: fact cache: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("lint: fact cache: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("lint: fact cache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("lint: fact cache: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("lint: fact cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,588 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// facts.go is the interprocedural layer of positlint: a per-function
+// summary ("fact") table computed bottom-up over the module's packages
+// in dependency order. Rules consult facts to see one call past the
+// function they are inspecting — the helper that launders precision,
+// the journal writer that fsyncs, the solver loop that blocks — while
+// staying stdlib-only (go/ast + go/types, no x/tools, no SSA).
+//
+// Facts are deliberately coarse (per-function bits and one parameter
+// bitmask) so they serialize into the on-disk fact cache and compose
+// across packages: analyzing package P only needs the fact tables of
+// P's imports, never their syntax trees.
+
+// factsSchema versions the serialized fact layout; it participates in
+// cache keys so a fact-shape change invalidates every entry.
+const factsSchema = "positlint-facts/v1"
+
+// FuncFacts is the summary of one function. The zero value means "no
+// interesting behavior known", which is the safe default for unknown
+// callees: interprocedural rules under-approximate rather than guess.
+type FuncFacts struct {
+	// Launder is a bitmask over the function's parameters (positional,
+	// receiver excluded, capped at 64): bit i set means parameter i is
+	// a float that flows through a rounded float64 operation (binary
+	// arithmetic or a deny-listed math call) into a return value. A
+	// caller passing a Format.ToFloat64 result into such a parameter
+	// launders precision one call away.
+	Launder uint64 `json:"launder,omitempty"`
+	// Blocking: the function (transitively) performs a channel
+	// send/receive/select, sleeps, waits on a WaitGroup, or does
+	// network I/O. sync.Cond.Wait is deliberately excluded: it is
+	// called while holding its own mutex by contract.
+	Blocking bool `json:"blocking,omitempty"`
+	// Syncs: the function (transitively) calls (*os.File).Sync, i.e.
+	// it is durability evidence before a rename.
+	Syncs bool `json:"syncs,omitempty"`
+	// UsesCtx: the function has a context.Context parameter and
+	// actually consults it (the parameter appears in the body).
+	// Passing context.Background() to such a function severs the
+	// caller's cancellation chain.
+	UsesCtx bool `json:"uses_ctx,omitempty"`
+	// DropsWriterErr: the function has an io.Writer-shaped parameter
+	// and silently discards the error of an output operation on it
+	// (an `_ =` acknowledgment does not count as dropping).
+	DropsWriterErr bool `json:"drops_writer_err,omitempty"`
+}
+
+// Facts is the global fact table, keyed by types.Func FullName (e.g.
+// "positlab/internal/jobs.openJournal" or
+// "(*positlab/internal/jobs.journal).append").
+type Facts struct {
+	m map[string]FuncFacts
+}
+
+// NewFacts returns an empty table.
+func NewFacts() *Facts { return &Facts{m: map[string]FuncFacts{}} }
+
+// Len reports the number of analyzed functions in the table.
+func (fa *Facts) Len() int { return len(fa.m) }
+
+// Export returns the facts recorded for one package, keyed by function
+// full name, for cache serialization.
+func (fa *Facts) Export(pkgPath string) map[string]FuncFacts {
+	out := map[string]FuncFacts{}
+	prefix1 := pkgPath + "."
+	prefix2 := "(" + pkgPath + "."  // methods: (pkg.T).M
+	prefix3 := "(*" + pkgPath + "." // pointer methods: (*pkg.T).M
+	for _, k := range sortedKeys(fa.m) {
+		if strings.HasPrefix(k, prefix1) || strings.HasPrefix(k, prefix2) || strings.HasPrefix(k, prefix3) {
+			out[k] = fa.m[k]
+		}
+	}
+	return out
+}
+
+// Merge loads externally computed facts (from the cache) into the
+// table.
+func (fa *Facts) Merge(m map[string]FuncFacts) {
+	for _, k := range sortedKeys(m) {
+		fa.m[k] = m[k] // zero facts carry meaning: the function was analyzed
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order, for
+// deterministic iteration.
+func sortedKeys(m map[string]FuncFacts) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ForCall resolves the facts of a callee: module functions from the
+// computed table, standard-library functions from the built-in models.
+func (fa *Facts) ForCall(fn *types.Func) FuncFacts {
+	if fn == nil || fn.Pkg() == nil {
+		return FuncFacts{}
+	}
+	if ff, ok := fa.m[fn.FullName()]; ok {
+		return ff
+	}
+	return stdlibFacts(fn)
+}
+
+// stdlibFacts models the standard library: which functions round
+// floats, block, sync files, or consume contexts. The models are
+// conservative allowlists — an unmodeled stdlib call simply has zero
+// facts.
+func stdlibFacts(fn *types.Func) FuncFacts {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return FuncFacts{}
+	}
+	var ff FuncFacts
+	sig, _ := fn.Type().(*types.Signature)
+	path, name := pkg.Path(), fn.Name()
+	recvName := ""
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj() != nil {
+			recvName = n.Obj().Name()
+		}
+	}
+	switch path {
+	case "math":
+		if precisionDeny[name] && sig != nil {
+			for i := 0; i < sig.Params().Len() && i < 64; i++ {
+				if b, ok := sig.Params().At(i).Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					ff.Launder |= 1 << uint(i)
+				}
+			}
+		}
+	case "time":
+		if name == "Sleep" {
+			ff.Blocking = true
+		}
+	case "sync":
+		if name == "Wait" && recvName == "WaitGroup" {
+			ff.Blocking = true
+		}
+	case "net":
+		if recvName != "" || strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") {
+			ff.Blocking = true
+		}
+	case "net/http":
+		switch {
+		case recvName == "Client",
+			recvName == "Transport" && name == "RoundTrip",
+			recvName == "Server" && (name == "Serve" || name == "ListenAndServe" || name == "ListenAndServeTLS" || name == "Shutdown"),
+			recvName == "" && (name == "Get" || name == "Head" || name == "Post" || name == "PostForm" || name == "ListenAndServe"):
+			ff.Blocking = true
+		}
+	case "os/exec":
+		if recvName == "Cmd" && (name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput") {
+			ff.Blocking = true
+		}
+	case "io":
+		switch name {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull":
+			ff.Blocking = true
+		}
+	case "os":
+		if recvName == "File" && name == "Sync" {
+			ff.Syncs = true
+		}
+	}
+	if sig != nil && ctxParamIndex(sig) >= 0 {
+		// A stdlib (or otherwise unanalyzed) function that accepts a
+		// context is assumed to honor it.
+		ff.UsesCtx = true
+	}
+	return ff
+}
+
+// ctxParamIndex returns the index of the first context.Context
+// parameter of sig, or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}
+
+// isWriterish reports types with a Write method (io.Writer
+// implementations and interfaces embedding it) — the parameter shape
+// the DropsWriterErr fact tracks.
+func isWriterish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() >= 1 && sig.Results().Len() >= 1
+}
+
+// ComputeFacts analyzes every function of pkg and records its facts,
+// iterating to a fixpoint so same-package (including mutually
+// recursive) helper chains converge. Cross-package facts must already
+// be present in fa — callers analyze packages in dependency order.
+func ComputeFacts(pkg *Package, fa *Facts) {
+	type fdecl struct {
+		key string
+		fd  *ast.FuncDecl
+		fn  *types.Func
+	}
+	var funcs []fdecl
+	forEachFunc(pkg, func(fd *ast.FuncDecl) {
+		fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		funcs = append(funcs, fdecl{fn.FullName(), fd, fn})
+	})
+	// Bounded fixpoint: each round can only set more bits, and the
+	// lattice is tiny, so convergence is fast; the bound is a guard.
+	// Zero facts are stored too: presence in the table means "analyzed",
+	// which stops ForCall from falling through to the conservative
+	// stdlib models for module functions (e.g. a function that ignores
+	// its ctx parameter must NOT be presumed to consume it).
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, f := range funcs {
+			ff := analyzeFunc(pkg, f.fd, f.fn, fa)
+			if old, seen := fa.m[f.key]; !seen || ff != old {
+				fa.m[f.key] = ff
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// analyzeFunc computes the facts of one function against the current
+// table.
+func analyzeFunc(pkg *Package, fd *ast.FuncDecl, fn *types.Func, fa *Facts) FuncFacts {
+	info := pkg.Info
+	var ff FuncFacts
+	ff.Launder = launderMask(pkg, fd, fn, fa)
+
+	sig, _ := fn.Type().(*types.Signature)
+
+	// UsesCtx: the context parameter appears anywhere in the body
+	// (including closures — capturing ctx is consuming it).
+	if sig != nil {
+		if ci := ctxParamIndex(sig); ci >= 0 {
+			ctxObj := sig.Params().At(ci)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && info.Uses[id] == ctxObj {
+					ff.UsesCtx = true
+					return false
+				}
+				return !ff.UsesCtx
+			})
+		}
+	}
+
+	// Writer parameters, for DropsWriterErr.
+	writerParams := map[types.Object]bool{}
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			if isWriterish(p.Type()) {
+				writerParams[p] = true
+			}
+		}
+	}
+
+	// Blocking, Syncs, DropsWriterErr: one walk over the body,
+	// skipping function literals (a closure's channel op happens when
+	// the closure runs, not when the enclosing function does).
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SendStmt:
+			ff.Blocking = true
+		case *ast.SelectStmt:
+			// A select with a default clause never blocks, and neither
+			// do the comm operations of a select once it has chosen a
+			// case — only the clause bodies can block.
+			if !selectHasDefault(e) {
+				ff.Blocking = true
+			}
+			for _, cl := range e.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						walkSkipFuncLit(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				ff.Blocking = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ff.Blocking = true
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := e.X.(*ast.CallExpr); ok {
+				if dropsWriterErrCall(info, call, writerParams) {
+					ff.DropsWriterErr = true
+				}
+			}
+		case *ast.CallExpr:
+			cf := calleeFunc(info, e)
+			cff := fa.ForCall(cf)
+			if cff.Blocking {
+				ff.Blocking = true
+			}
+			if cff.Syncs {
+				ff.Syncs = true
+			}
+		}
+		return true
+	}
+	walkSkipFuncLit(fd.Body, visit)
+	return ff
+}
+
+// selectHasDefault reports whether the select carries a default clause
+// (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// dropsWriterErrCall reports an output-op call on a writer parameter
+// whose error result is discarded by appearing as a statement.
+func dropsWriterErrCall(info *types.Info, call *ast.CallExpr, writerParams map[types.Object]bool) bool {
+	if len(writerParams) == 0 || !returnsErrorLast(info, call) {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	onParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && writerParams[info.Uses[id]]
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if !errcheckMethods[fn.Name()] {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && onParam(sel.X)
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && onParam(call.Args[0])
+		}
+	}
+	return false
+}
+
+// walkSkipFuncLit is ast.Inspect that does not descend into function
+// literals.
+func walkSkipFuncLit(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// taintVal tracks, for one expression or local, which float parameters
+// it derives from and whether a rounding operation happened on the
+// way.
+type taintVal struct {
+	mask    uint64
+	rounded bool
+}
+
+func (a taintVal) union(b taintVal) taintVal {
+	return taintVal{a.mask | b.mask, a.rounded || b.rounded}
+}
+
+// launderMask runs a small forward taint pass over the function body:
+// float parameters are sources, rounded float64 operations (binary
+// arithmetic, deny-listed math calls, calls into already-summarized
+// laundering helpers) mark the value, return statements are sinks.
+func launderMask(pkg *Package, fd *ast.FuncDecl, fn *types.Func, fa *Facts) uint64 {
+	info := pkg.Info
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return 0
+	}
+	taint := map[types.Object]taintVal{}
+	nFloatParams := 0
+	for i := 0; i < sig.Params().Len() && i < 64; i++ {
+		p := sig.Params().At(i)
+		if b, ok := p.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			taint[p] = taintVal{mask: 1 << uint(i)}
+			nFloatParams++
+		}
+	}
+	if nFloatParams == 0 {
+		return 0
+	}
+
+	var launder uint64
+	var eval func(e ast.Expr) taintVal
+	eval = func(e ast.Expr) taintVal {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return taint[info.ObjectOf(x)]
+		case *ast.UnaryExpr:
+			if x.Op == token.SUB || x.Op == token.ADD {
+				return eval(x.X)
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if isFloatExpr(info, x) {
+					v := eval(x.X).union(eval(x.Y))
+					if v.mask != 0 {
+						v.rounded = true
+					}
+					return v
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				return eval(x.Args[0]) // conversion: taint flows through
+			}
+			cf := calleeFunc(info, x)
+			cff := fa.ForCall(cf)
+			if cff.Launder != 0 {
+				var v taintVal
+				for i, arg := range x.Args {
+					if i >= 64 {
+						break
+					}
+					if cff.Launder&(1<<uint(i)) != 0 {
+						v = v.union(eval(arg))
+					}
+				}
+				if v.mask != 0 {
+					v.rounded = true
+				}
+				return v
+			}
+		}
+		return taintVal{}
+	}
+
+	assign := func(lhs ast.Expr, v taintVal) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				if merged := taint[obj].union(v); merged != (taintVal{}) {
+					taint[obj] = merged
+				}
+			}
+		}
+	}
+
+	var walkStmts func(n ast.Node)
+	walkStmts = func(root ast.Node) {
+		walkSkipFuncLit(root, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Rhs) == len(s.Lhs) {
+					for i := range s.Rhs {
+						assign(s.Lhs[i], eval(s.Rhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Values) == len(s.Names) {
+					for i := range s.Values {
+						assign(s.Names[i], eval(s.Values[i]))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range s.Results {
+					if v := eval(r); v.rounded && v.mask != 0 {
+						launder |= v.mask
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Two passes handle loop-carried and use-before-def-order taint;
+	// the lattice is monotone so extra passes only add bits.
+	for pass := 0; pass < 3; pass++ {
+		before := launder
+		sizeBefore := len(taint)
+		var bits uint64
+		for _, v := range taint {
+			bits |= v.mask
+			if v.rounded {
+				bits |= 1 << 63
+			}
+		}
+		walkStmts(fd.Body)
+		var bitsAfter uint64
+		for _, v := range taint {
+			bitsAfter |= v.mask
+			if v.rounded {
+				bitsAfter |= 1 << 63
+			}
+		}
+		if launder == before && len(taint) == sizeBefore && bits == bitsAfter {
+			break
+		}
+	}
+	return launder
+}
+
+// topoPackages orders pkgs so every package appears after the packages
+// it imports (restricted to the given set). Ties and roots keep their
+// incoming (sorted-by-path) order for determinism.
+func topoPackages(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var order []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return
+		}
+		state[p.ImportPath] = 1
+		if p.Types != nil {
+			imps := p.Types.Imports()
+			paths := make([]string, 0, len(imps))
+			for _, imp := range imps {
+				paths = append(paths, imp.Path())
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				if dep, ok := byPath[path]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Fix is one mechanical suggested edit: replace the bytes [Start, End)
+// of Path with Text. Paths are slash-separated and relative to the
+// module root once a Diagnostic leaves the driver (absolute while
+// in-flight inside a Pass). Offsets are byte offsets into the file as
+// analyzed — applying fixes to a file that changed since the analysis
+// is refused by re-checking bounds, not detected semantically, so run
+// -fix against a fresh analysis.
+type Fix struct {
+	Path  string `json:"path"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Text  string `json:"text"`
+}
+
+// ApplyFixes applies the suggested fixes of the given diagnostics to
+// the files under root, returning how many fixes were applied and the
+// (root-relative) files rewritten. Overlapping fixes are applied
+// first-wins; a fix whose offsets fall outside the current file is
+// skipped with an error. Deleting a fix's bytes may leave an empty
+// line (a removed //lint:allow comment that owned its line); such
+// lines are removed, and trailing whitespace left before a deleted
+// line-end comment is trimmed.
+func ApplyFixes(root string, diags []Diagnostic) (applied int, files []string, err error) {
+	byFile := map[string][]*Fix{}
+	for i := range diags {
+		if diags[i].Fix != nil {
+			f := diags[i].Fix
+			byFile[f.Path] = append(byFile[f.Path], f)
+		}
+	}
+	paths := make([]string, 0, len(byFile))
+	for p := range byFile {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, rel := range paths {
+		abs := filepath.Join(root, filepath.FromSlash(rel))
+		data, rerr := os.ReadFile(abs)
+		if rerr != nil {
+			return applied, files, fmt.Errorf("lint: apply fixes: %w", rerr)
+		}
+		fixes := byFile[rel]
+		// Apply back-to-front so earlier offsets stay valid.
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+		out := data
+		lastStart := len(data) + 1
+		n := 0
+		for _, f := range fixes {
+			if f.Start < 0 || f.End > len(data) || f.Start > f.End || f.End > lastStart {
+				continue // stale offsets or overlap with an already-applied fix
+			}
+			start, end := f.Start, f.End
+			if f.Text == "" {
+				start, end = widenDeletion(out, start, end)
+			}
+			out = append(out[:start:start], append([]byte(f.Text), out[end:]...)...)
+			lastStart = start
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		info, serr := os.Stat(abs)
+		mode := os.FileMode(0o644)
+		if serr == nil {
+			mode = info.Mode().Perm()
+		}
+		if werr := os.WriteFile(abs, out, mode); werr != nil {
+			return applied, files, fmt.Errorf("lint: apply fixes: %w", werr)
+		}
+		applied += n
+		files = append(files, rel)
+	}
+	return applied, files, nil
+}
+
+// widenDeletion grows a pure deletion to swallow the whitespace it
+// would strand: leading spaces/tabs before the deleted region, and —
+// when the deletion then owns the whole line — the line itself.
+func widenDeletion(data []byte, start, end int) (int, int) {
+	s := start
+	for s > 0 && (data[s-1] == ' ' || data[s-1] == '\t') {
+		s--
+	}
+	atLineStart := s == 0 || data[s-1] == '\n'
+	atLineEnd := end >= len(data) || data[end] == '\n'
+	if atLineStart && atLineEnd && end < len(data) {
+		return s, end + 1 // comment owned the line: delete the line
+	}
+	if atLineEnd {
+		return s, end // trailing comment: trim the spaces before it too
+	}
+	return start, end
+}
+
+// FixableCount reports how many diagnostics carry a suggested fix.
+func FixableCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			n++
+		}
+	}
+	return n
+}

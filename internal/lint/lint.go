@@ -4,13 +4,17 @@
 // arithmetic of internal/arith and when parallel runs stay
 // byte-identical to serial ones; positlint machine-checks those
 // invariants (plus lock hygiene, error discipline on output paths,
-// panic discipline, and experiment-registry consistency) on every
-// `make verify`.
+// panic discipline, durability ordering, context propagation, and
+// experiment-registry consistency) on every `make verify`.
 //
 // The driver is built only on the standard library: go/parser and
 // go/types with a source importer, honoring the module's
 // zero-dependency constraint. Rules operate per package with full type
-// information and report position-accurate diagnostics.
+// information and report position-accurate diagnostics. On top of the
+// per-package passes sits an interprocedural layer (facts.go): function
+// summaries propagated bottom-up in package dependency order, with a
+// persistent on-disk fact cache (factcache.go) so warm re-runs skip
+// unchanged packages entirely.
 //
 // A finding at an audited site is silenced with an escape-hatch
 // comment on the flagged line or the line above it:
@@ -19,7 +23,9 @@
 //	//lint:allow all [reason]
 //
 // The reason is free text; writing one is strongly encouraged so the
-// audit trail lives next to the code.
+// audit trail lives next to the code. The unusedallow rule keeps the
+// escape hatches honest: an allow that no longer suppresses anything
+// is itself a finding (with an automatic fix under -fix).
 package lint
 
 import (
@@ -33,6 +39,9 @@ import (
 	"strings"
 )
 
+// diagnosticsSchema names the versioned -json output layout.
+const diagnosticsSchema = "positlint-diagnostics/v1"
+
 // Diagnostic is one finding, positioned at a source location.
 type Diagnostic struct {
 	Rule    string `json:"rule"`
@@ -40,6 +49,12 @@ type Diagnostic struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Fixable reports that the diagnostic carries a mechanical
+	// suggested fix that `positlint -fix` can apply.
+	Fixable bool `json:"fixable"`
+	// Fix is the suggested edit (nil when Fixable is false). It is
+	// serialized into the fact cache but not into -json output.
+	Fix *Fix `json:"-"`
 }
 
 func (d Diagnostic) String() string {
@@ -58,15 +73,20 @@ type Rule interface {
 
 // Pass hands one package to one rule.
 type Pass struct {
-	Pkg  *Package
-	rule string
-	out  *[]rawDiag
+	Pkg *Package
+	// Facts is the interprocedural summary table, populated for the
+	// analyzed set (and, on cached runs, for every module package).
+	// Legacy rules ignore it; the cross-function rules consult it.
+	Facts *Facts
+	rule  string
+	out   *[]rawDiag
 }
 
 type rawDiag struct {
 	rule string
 	pos  token.Position // absolute filename
 	msg  string
+	fix  *Fix // optional suggested edit, offsets into pos.Filename
 }
 
 // Reportf records a finding at pos.
@@ -78,7 +98,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// AllRules returns the full suite in a fixed order.
+// ReportFix records a finding at pos carrying a suggested edit that
+// replaces the source bytes [start, end) with text.
+func (p *Pass) ReportFix(pos token.Pos, start, end token.Pos, text, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, rawDiag{
+		rule: p.rule,
+		pos:  position,
+		msg:  fmt.Sprintf(format, args...),
+		fix: &Fix{
+			Path:  position.Filename,
+			Start: p.Pkg.Fset.Position(start).Offset,
+			End:   p.Pkg.Fset.Position(end).Offset,
+			Text:  text,
+		},
+	})
+}
+
+// AllRules returns the full suite in a fixed order: the six original
+// per-package rules, then the interprocedural rules, then the allow
+// audit.
 func AllRules() []Rule {
 	return []Rule{
 		precisionRule{},
@@ -87,7 +126,18 @@ func AllRules() []Rule {
 		errcheckRule{},
 		panicsRule{},
 		registryRule{},
+		xprecisionRule{},
+		durabilityRule{},
+		ctxpropRule{},
+		mutexioRule{},
+		unusedallowRule{},
 	}
+}
+
+// LegacyRuleNames lists the original intraprocedural suite (useful for
+// differential testing of the engine).
+func LegacyRuleNames() []string {
+	return []string{"precision", "maporder", "locks", "errcheck", "panics", "registry"}
 }
 
 // RuleNames returns the names of the full suite in order.
@@ -153,24 +203,73 @@ func SelectRules(spec string) ([]Rule, error) {
 	return out, nil
 }
 
+// Options tunes a Run.
+type Options struct {
+	// DisableFacts skips the interprocedural summary computation,
+	// reducing every rule to its purely per-package behavior. The
+	// legacy six rules must produce identical output either way (the
+	// differential tests assert it); the cross-function rules go
+	// quiet. For benchmarking and testing only.
+	DisableFacts bool
+}
+
 // Run checks every package with every rule, filters findings through
 // //lint:allow comments, and returns them sorted by position. File
-// paths are reported relative to root.
+// paths are reported relative to root. Interprocedural facts are
+// computed over the given set in dependency order before any rule
+// runs.
 func Run(root string, pkgs []*Package, rules []Rule) []Diagnostic {
-	var raw []rawDiag
-	for _, pkg := range pkgs {
-		allows := collectAllows(pkg)
-		start := len(raw)
-		for _, r := range rules {
-			r.Check(&Pass{Pkg: pkg, rule: r.Name(), out: &raw})
+	return RunWith(root, pkgs, rules, Options{})
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(root string, pkgs []*Package, rules []Rule, opts Options) []Diagnostic {
+	facts := NewFacts()
+	ordered := topoPackages(pkgs)
+	if !opts.DisableFacts {
+		for _, pkg := range ordered {
+			ComputeFacts(pkg, facts)
 		}
-		raw = filterAllowed(raw, start, allows)
 	}
-	diags := make([]Diagnostic, 0, len(raw))
-	for _, d := range raw {
+	var diags []Diagnostic
+	for _, pkg := range ordered {
+		diags = append(diags, runPackage(root, pkg, rules, facts)...)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPackage runs the rule set over one package: rule passes, allow
+// filtering, and the allow audit. Returned diagnostics are rebased
+// relative to root and unsorted.
+func runPackage(root string, pkg *Package, rules []Rule, facts *Facts) []Diagnostic {
+	allows := collectAllows(pkg)
+	var raw []rawDiag
+	auditAllows := false
+	for _, r := range rules {
+		if _, ok := r.(unusedallowRule); ok {
+			auditAllows = true
+			continue // driver-integrated; see below
+		}
+		r.Check(&Pass{Pkg: pkg, Facts: facts, rule: r.Name(), out: &raw})
+	}
+	kept := filterAllowed(raw, allows)
+	if auditAllows {
+		kept = append(kept, auditAllowComments(pkg, rules, allows)...)
+	}
+	diags := make([]Diagnostic, 0, len(kept))
+	for _, d := range kept {
 		file := d.pos.Filename
 		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 			file = rel
+		}
+		fix := d.fix
+		if fix != nil {
+			f := *fix
+			if rel, err := filepath.Rel(root, f.Path); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Path = filepath.ToSlash(rel)
+			}
+			fix = &f
 		}
 		diags = append(diags, Diagnostic{
 			Rule:    d.rule,
@@ -178,8 +277,16 @@ func Run(root string, pkgs []*Package, rules []Rule) []Diagnostic {
 			Line:    d.pos.Line,
 			Col:     d.pos.Column,
 			Message: d.msg,
+			Fixable: fix != nil,
+			Fix:     fix,
 		})
 	}
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, rule, and
+// message — the documented stable order of every output mode.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -191,18 +298,39 @@ func Run(root string, pkgs []*Package, rules []Rule) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
-// JSON renders diagnostics as a JSON array (never null, for stable
-// tooling).
+// jsonReport is the versioned envelope of -json output.
+type jsonReport struct {
+	Schema      string       `json:"schema"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// JSON renders diagnostics in the documented machine-readable form: a
+// versioned envelope holding the sorted diagnostic list (never null),
+// each entry carrying its rule id and fix availability.
 func JSON(diags []Diagnostic) ([]byte, error) {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
-	return json.MarshalIndent(diags, "", "  ")
+	return json.MarshalIndent(jsonReport{Schema: diagnosticsSchema, Diagnostics: diags}, "", "  ")
+}
+
+// allowComment is one //lint:allow directive: where it is, which rules
+// it names, and which of those names actually suppressed a finding
+// during this run.
+type allowComment struct {
+	file  string
+	line  int
+	pos   token.Pos
+	end   token.Pos
+	rules []string
+	used  map[string]bool
 }
 
 // allowKey identifies one line of one file.
@@ -213,9 +341,10 @@ type allowKey struct {
 
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_,-]+)(?:\s|$)`)
 
-// collectAllows maps file:line to the set of rule names allowed there.
-func collectAllows(pkg *Package) map[allowKey]map[string]bool {
-	allows := map[allowKey]map[string]bool{}
+// collectAllows finds every allow directive in the package, indexed by
+// file:line for suppression lookup.
+func collectAllows(pkg *Package) map[allowKey]*allowComment {
+	allows := map[allowKey]*allowComment{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -225,13 +354,17 @@ func collectAllows(pkg *Package) map[allowKey]map[string]bool {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				key := allowKey{pos.Filename, pos.Line}
-				set := allows[key]
-				if set == nil {
-					set = map[string]bool{}
-					allows[key] = set
+				ac := allows[key]
+				if ac == nil {
+					ac = &allowComment{
+						file: pos.Filename, line: pos.Line,
+						pos: c.Pos(), end: c.End(),
+						used: map[string]bool{},
+					}
+					allows[key] = ac
 				}
 				for _, name := range strings.Split(m[1], ",") {
-					set[strings.TrimSpace(name)] = true
+					ac.rules = append(ac.rules, strings.TrimSpace(name))
 				}
 			}
 		}
@@ -239,14 +372,15 @@ func collectAllows(pkg *Package) map[allowKey]map[string]bool {
 	return allows
 }
 
-// filterAllowed drops diagnostics (from index start on) that carry an
-// allow comment on their own line or the line directly above.
-func filterAllowed(raw []rawDiag, start int, allows map[allowKey]map[string]bool) []rawDiag {
+// filterAllowed drops diagnostics that carry an allow comment on their
+// own line or the line directly above, recording which rule names did
+// the suppressing.
+func filterAllowed(raw []rawDiag, allows map[allowKey]*allowComment) []rawDiag {
 	if len(allows) == 0 {
 		return raw
 	}
-	kept := raw[:start]
-	for _, d := range raw[start:] {
+	kept := raw[:0]
+	for _, d := range raw {
 		if allowedAt(allows, d.pos.Filename, d.pos.Line, d.rule) ||
 			allowedAt(allows, d.pos.Filename, d.pos.Line-1, d.rule) {
 			continue
@@ -256,9 +390,18 @@ func filterAllowed(raw []rawDiag, start int, allows map[allowKey]map[string]bool
 	return kept
 }
 
-func allowedAt(allows map[allowKey]map[string]bool, file string, line int, rule string) bool {
-	set := allows[allowKey{file, line}]
-	return set != nil && (set[rule] || set["all"])
+func allowedAt(allows map[allowKey]*allowComment, file string, line int, rule string) bool {
+	ac := allows[allowKey{file, line}]
+	if ac == nil {
+		return false
+	}
+	for _, name := range ac.rules {
+		if name == rule || name == "all" {
+			ac.used[name] = true
+			return true
+		}
+	}
+	return false
 }
 
 // forEachFunc visits every function declaration with a body in the

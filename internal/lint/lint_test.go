@@ -97,8 +97,8 @@ func TestGoldenDiagnostics(t *testing.T) {
 	}
 }
 
-// TestEveryRuleFires guards against a rule silently going dead: each of
-// the six rules must produce at least one fixture diagnostic.
+// TestEveryRuleFires guards against a rule silently going dead: each
+// rule of the suite must produce at least one fixture diagnostic.
 func TestEveryRuleFires(t *testing.T) {
 	root := moduleRoot(t)
 	pkgs := fixturePackages(t, root)
@@ -129,13 +129,18 @@ func TestAllowSuppresses(t *testing.T) {
 	// Exact per-file, per-rule counts: one extra means an allow leaked.
 	wantCounts := map[string]int{
 		"solvers/solvers.go:precision":        3,
+		"solvers/xprec.go:xprecision":         3,
 		"report/report.go:errcheck":           4,
 		"service/service.go:errcheck":         3,
+		"service/ctx.go:ctxprop":              2,
 		"jobs/jobs.go:errcheck":               5,
+		"jobs/durable.go:durability":          2,
+		"jobs/queue.go:mutexio":               3,
 		"lib/lib.go:locks":                    3,
 		"lib/lib.go:panics":                   1,
 		"experiments/experiments.go:maporder": 1,
 		"experiments/experiments.go:registry": 3,
+		"allowaudit/allowaudit.go:unusedallow": 3,
 	}
 	for key, want := range wantCounts {
 		if counts[key] != want {
@@ -186,29 +191,47 @@ func TestSelectRules(t *testing.T) {
 	if _, err := lint.SelectRules("bogus"); err == nil {
 		t.Error("unknown rule accepted")
 	}
-	if _, err := lint.SelectRules("-precision,-maporder,-locks,-errcheck,-panics,-registry"); err == nil {
+	var negateAll []string
+	for _, name := range lint.RuleNames() {
+		negateAll = append(negateAll, "-"+name)
+	}
+	if _, err := lint.SelectRules(strings.Join(negateAll, ",")); err == nil {
 		t.Error("empty selection accepted")
 	}
 }
 
-// TestJSONOutput checks the machine-readable form round-trips and
-// renders [] (not null) for a clean tree.
+// TestJSONOutput checks the documented envelope: a versioned schema
+// string plus the diagnostic list (never null), each entry carrying
+// its rule id and fix availability.
 func TestJSONOutput(t *testing.T) {
-	empty, err := lint.JSON(nil)
-	if err != nil || strings.TrimSpace(string(empty)) != "[]" {
-		t.Fatalf("empty JSON = %q, %v", empty, err)
+	type envelope struct {
+		Schema      string            `json:"schema"`
+		Diagnostics []lint.Diagnostic `json:"diagnostics"`
 	}
-	in := []lint.Diagnostic{{Rule: "panics", File: "a/b.go", Line: 3, Col: 7, Message: "m"}}
+	empty, err := lint.JSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(empty), `"diagnostics": []`) {
+		t.Fatalf("empty envelope must render [] not null:\n%s", empty)
+	}
+	in := []lint.Diagnostic{{Rule: "panics", File: "a/b.go", Line: 3, Col: 7, Message: "m", Fixable: true}}
 	data, err := lint.JSON(in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out []lint.Diagnostic
+	var out envelope
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 1 || out[0] != in[0] {
-		t.Fatalf("round-trip: %+v", out)
+	if out.Schema != "positlint-diagnostics/v1" {
+		t.Errorf("schema = %q", out.Schema)
+	}
+	if len(out.Diagnostics) != 1 || out.Diagnostics[0] != in[0] {
+		t.Fatalf("round-trip: %+v", out.Diagnostics)
+	}
+	if !strings.Contains(string(data), `"fixable": true`) {
+		t.Errorf("fix availability missing from envelope:\n%s", data)
 	}
 }
 

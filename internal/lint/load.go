@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -52,24 +53,9 @@ type Loader struct {
 // NewLoader builds a loader for the module rooted at dir (its go.mod
 // names the module path).
 func NewLoader(dir string) (*Loader, error) {
-	abs, err := filepath.Abs(dir)
+	modPath, abs, err := moduleInfo(dir)
 	if err != nil {
 		return nil, err
-	}
-	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
-	if err != nil {
-		return nil, fmt.Errorf("lint: module root: %w", err)
-	}
-	modPath := ""
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "module"); ok {
-			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
-			break
-		}
-	}
-	if modPath == "" {
-		return nil, fmt.Errorf("lint: no module line in %s/go.mod", abs)
 	}
 	fset := token.NewFileSet()
 	return &Loader{
@@ -128,13 +114,25 @@ func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	// Parse the package's files in parallel: token.FileSet is safe for
+	// concurrent use, and parsing is the load path's embarrassingly
+	// parallel half (type-checking below stays sequential because the
+	// importer recurses through this loader).
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
 	}
 
 	info := &types.Info{

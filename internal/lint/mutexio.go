@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mutexioScope: the concurrency-heavy packages (job pool/store,
+// scheduler, HTTP layer) where a mutex held across a blocking
+// operation serializes unrelated work at best and deadlocks at worst
+// (the classic shape: a lock held across a channel send whose receiver
+// needs the same lock to drain).
+var mutexioScope = []string{"jobs", "service", "runner"}
+
+// mutexioRule flags blocking operations performed while a
+// sync.Mutex/RWMutex is held: channel sends/receives/selects, ranges
+// over channels, and calls to functions the fact engine summarized as
+// Blocking (sleeps, WaitGroup waits, network I/O — transitively, so
+// the blocking call can hide any number of helpers away).
+//
+// Held-lock tracking is a linear scan per function: x.Lock() opens a
+// window that x.Unlock() closes; `defer x.Unlock()` leaves it open to
+// the end of the function. Branch bodies are analyzed with a copy of
+// the held set, so a conditional early-unlock-and-return does not leak
+// into the fallthrough path. Plain file writes under a lock are NOT
+// flagged: guarding a journal/file with its own mutex (the monitor
+// pattern, e.g. the fsynced job journal) is this repo's documented
+// design. sync.Cond.Wait is likewise exempt — it holds its mutex by
+// contract.
+type mutexioRule struct{}
+
+func (mutexioRule) Name() string { return "mutexio" }
+func (mutexioRule) Doc() string {
+	return "forbid blocking operations (channel ops, selects, blocking calls) while holding a sync.Mutex/RWMutex"
+}
+
+func (mutexioRule) Check(p *Pass) {
+	if !scoped(p.Pkg, mutexioScope...) || p.Facts == nil {
+		return
+	}
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		name := funcDisplayName(fd)
+		report := func(pos token.Pos, what string, held map[string]bool) {
+			lock := ""
+			for k := range held {
+				if lock == "" || k < lock {
+					lock = k
+				}
+			}
+			p.Reportf(pos, "%s while %s is locked in %s: a blocked holder stalls every other user of the lock (and can deadlock if the unblocking party needs it); release the mutex first", what, lock, name)
+		}
+		var process func(stmts []ast.Stmt, held map[string]bool)
+		scan := func(n ast.Node, held map[string]bool) {
+			if n == nil || len(held) == 0 {
+				return
+			}
+			var visit func(m ast.Node) bool
+			visit = func(m ast.Node) bool {
+				switch e := m.(type) {
+				case *ast.SendStmt:
+					report(e.Pos(), "channel send", held)
+				case *ast.UnaryExpr:
+					if e.Op == token.ARROW {
+						report(e.Pos(), "channel receive", held)
+					}
+				case *ast.SelectStmt:
+					// A select with a default clause polls without
+					// blocking, and a chosen case's comm op has already
+					// unblocked — only clause bodies can still block.
+					if !selectHasDefault(e) {
+						report(e.Pos(), "select", held)
+					}
+					for _, cl := range e.Body.List {
+						if cc, ok := cl.(*ast.CommClause); ok {
+							for _, s := range cc.Body {
+								walkSkipFuncLit(s, visit)
+							}
+						}
+					}
+					return false
+				case *ast.CallExpr:
+					if fn := calleeFunc(info, e); fn != nil && p.Facts.ForCall(fn).Blocking {
+						report(e.Pos(), "call to blocking "+fn.FullName(), held)
+					}
+				}
+				return true
+			}
+			walkSkipFuncLit(n, visit)
+		}
+		copyHeld := func(held map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(held))
+			for k := range held {
+				c[k] = true
+			}
+			return c
+		}
+		process = func(stmts []ast.Stmt, held map[string]bool) {
+			for _, s := range stmts {
+				switch st := s.(type) {
+				case *ast.ExprStmt:
+					if key, locking, ok := lockOp(info, st.X); ok {
+						if locking {
+							held[key] = true
+						} else {
+							delete(held, key)
+						}
+						continue
+					}
+					scan(st, held)
+				case *ast.DeferStmt:
+					// defer x.Unlock() keeps the window open to the
+					// end; deferred blocking calls run at return,
+					// outside any linear window we can reason about.
+				case *ast.GoStmt:
+					// The spawned goroutine does not block this one.
+				case *ast.BlockStmt:
+					process(st.List, held)
+				case *ast.IfStmt:
+					scan(st.Init, held)
+					scan(st.Cond, held)
+					process(st.Body.List, copyHeld(held))
+					if st.Else != nil {
+						process([]ast.Stmt{st.Else}, copyHeld(held))
+					}
+				case *ast.ForStmt:
+					scan(st.Init, held)
+					scan(st.Cond, held)
+					process(st.Body.List, copyHeld(held))
+				case *ast.RangeStmt:
+					if len(held) > 0 {
+						if t := info.TypeOf(st.X); t != nil {
+							if _, isChan := t.Underlying().(*types.Chan); isChan {
+								report(st.For, "range over channel", held)
+							}
+						}
+					}
+					process(st.Body.List, copyHeld(held))
+				case *ast.SwitchStmt:
+					scan(st.Init, held)
+					scan(st.Tag, held)
+					process(st.Body.List, copyHeld(held))
+				case *ast.TypeSwitchStmt:
+					process(st.Body.List, copyHeld(held))
+				case *ast.CaseClause:
+					process(st.Body, copyHeld(held))
+				case *ast.LabeledStmt:
+					process([]ast.Stmt{st.Stmt}, held)
+				default:
+					scan(s, held)
+				}
+			}
+		}
+		process(fd.Body.List, map[string]bool{})
+	})
+}
+
+// lockOp matches x.Lock()/x.RLock() (locking=true) and
+// x.Unlock()/x.RUnlock() (locking=false) on sync.Mutex/sync.RWMutex,
+// returning the lock's expression string as its identity.
+func lockOp(info *types.Info, e ast.Expr) (key string, locking, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locking, true
+}

@@ -1,0 +1,106 @@
+package lint
+
+import "encoding/json"
+
+// sarif.go renders diagnostics as SARIF 2.1.0, the interchange format
+// GitHub code scanning (and most CI annotation tooling) consumes. The
+// output is deterministic: rules in suite order, results in the
+// documented diagnostic sort order, no timestamps.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders the diagnostics as a SARIF 2.1.0 log for the given
+// rule set. Diagnostics must already be sorted (Run returns them so).
+func SARIF(diags []Diagnostic, rules []Rule) ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "positlint",
+		InformationURI: "https://positlab.invalid/positlint", // repo-internal tool; no public homepage
+	}
+	ruleIndex := map[string]int{}
+	for i, r := range rules {
+		ruleIndex[r.Name()] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Name(),
+			ShortDescription: sarifMessage{Text: r.Doc()},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Rule]
+		if !ok {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	return json.MarshalIndent(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}, "", "  ")
+}

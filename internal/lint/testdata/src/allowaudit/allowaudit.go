@@ -1,0 +1,35 @@
+// Package allowaudit is the unusedallow fixture: escape hatches in
+// every state of repair. Used directives are invisible; stale and
+// misspelled ones are findings, and fully-dead directives carry a
+// deletion fix that -fix applies.
+package allowaudit
+
+// Quiet carries a directive for a rule that has nothing to suppress
+// here: stale, and removable because every listed name is dead.
+func Quiet() int {
+	x := 1 //lint:allow maporder left behind after a refactor
+	return x
+}
+
+// Typo names a rule that does not exist — the directive never worked.
+func Typo() int {
+	y := 2 //lint:allow mapodrer misspelled since day one
+	return y
+}
+
+// Checked is a live allow: the panics rule fires on this line without
+// it, so the directive is doing its job and stays silent.
+func Checked(n int) {
+	if n < 0 {
+		panic("negative") //lint:allow panics fixture invariant check
+	}
+}
+
+// Mixed is half-live: panics suppresses a finding, maporder is dead.
+// The directive is reported but not auto-removable (deleting it would
+// unsilence the live panic finding).
+func Mixed(n int) {
+	if n > 0 {
+		panic("positive") //lint:allow panics,maporder live and dead names on one directive
+	}
+}

@@ -1,0 +1,91 @@
+// Package floatutil is the lint fixture's shared helper package: the
+// cross-package half of every interprocedural fixture. Nothing here is
+// flagged directly (the package base is outside every rule scope) —
+// what matters are the function summaries the fact engine derives and
+// the findings they trigger at call sites in the scoped fixture
+// packages (solvers, jobs, service).
+package floatutil
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Hyp launders precision: float64 arithmetic plus a deny-listed math
+// call. Its summary says "rounds parameters 0 and 1 in float64", which
+// the xprecision rule surfaces at format-generic call sites.
+func Hyp(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+// Scale launders through a plain binary float64 op — no math call
+// needed for the taint to stick.
+func Scale(x, k float64) float64 {
+	return x * k
+}
+
+// Clamp only compares and forwards its argument: the value is never
+// re-rounded, so passing a ToFloat64 result through it is exact and
+// must NOT be flagged.
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// FSync is sync evidence two calls deep: callers renaming after FSync
+// satisfy the durability rule without touching (*os.File).Sync
+// themselves.
+func FSync(f *os.File) error {
+	return f.Sync()
+}
+
+// DropWrites receives a writer and silently discards its write errors
+// — the DropsWriterErr summary the durability rule's handoff facet
+// reports at call sites that pass it a fallible writer.
+func DropWrites(w io.Writer) {
+	fmt.Fprintln(w, "header")
+}
+
+// WriteChecked is the honest twin: the error surfaces, so handing it a
+// writer is clean.
+func WriteChecked(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "header")
+	return err
+}
+
+// BlockOn blocks on a channel receive; calling it with a mutex held is
+// a mutexio finding even though the channel op is a package away.
+func BlockOn(ch chan int) int {
+	return <-ch
+}
+
+// Poll never blocks: the select has a default clause, so holding a
+// lock across it is fine.
+func Poll(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// WithCtx consumes its context (UsesCtx): handing it a detached
+// context from a function that already has one is a ctxprop finding.
+func WithCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// NoCtx ignores its context parameter entirely, so callers may pass
+// anything without dropping cancellation.
+func NoCtx(_ context.Context, n int) int {
+	return n + 1
+}

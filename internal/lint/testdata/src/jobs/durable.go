@@ -1,0 +1,79 @@
+package jobs
+
+import (
+	"bytes"
+	"os"
+
+	"positlab/internal/lint/testdata/src/floatutil"
+)
+
+// SaveTorn renames without any fsync evidence: after a crash the
+// "atomically replaced" file can be empty while the rename already
+// committed.
+func SaveTorn(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want: durability rename without sync
+}
+
+// SaveDirect syncs through the method itself; clean.
+func SaveDirect(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// SaveViaHelper gets its fsync evidence interprocedurally: FSync lives
+// a package away, and only its summary says it syncs.
+func SaveViaHelper(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := floatutil.FSync(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// WriteHeader hands the journal file to a helper whose summary says it
+// drops write errors — the torn-artifact bug entering sideways.
+func WriteHeader(f *os.File) {
+	floatutil.DropWrites(f) // want: durability writer handoff
+}
+
+// WriteHeaderChecked hands the file to the honest twin; clean.
+func WriteHeaderChecked(f *os.File) error {
+	return floatutil.WriteChecked(f)
+}
+
+// BufferHeader hands an infallible sink to the error-dropping helper;
+// a bytes.Buffer write cannot fail, so this is clean.
+func BufferHeader(b *bytes.Buffer) {
+	floatutil.DropWrites(b)
+}

@@ -1,0 +1,70 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+
+	"positlab/internal/lint/testdata/src/floatutil"
+)
+
+// Queue is the mutexio fixture: a mutex-guarded structure whose
+// methods mix lock windows with channel traffic.
+type Queue struct {
+	mu    sync.Mutex
+	ch    chan int
+	items []int
+}
+
+// PushBlocked sends on the channel with mu held: if the receiver needs
+// mu to drain, this deadlocks.
+func (q *Queue) PushBlocked(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.ch <- v // want: mutexio channel send under q.mu
+	q.mu.Unlock()
+}
+
+// PushUnlocked releases the lock before the send; clean.
+func (q *Queue) PushUnlocked(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// WaitBlocked blocks interprocedurally: BlockOn's channel receive is a
+// package away, visible only through its Blocking summary.
+func (q *Queue) WaitBlocked() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return floatutil.BlockOn(q.ch) // want: mutexio blocking call under q.mu
+}
+
+// PollHeld calls the select-with-default helper; polling never blocks,
+// so holding the lock is fine.
+func (q *Queue) PollHeld() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return floatutil.Poll(q.ch)
+}
+
+// SleepHeld parks the goroutine with the lock held, stalling every
+// other Queue user for the duration.
+func (q *Queue) SleepHeld() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want: mutexio blocking call under q.mu
+	q.mu.Unlock()
+}
+
+// SleepBranch unlocks on the fast path before sleeping: the branch
+// copy of the held set must not leak the outer lock window into it.
+func (q *Queue) SleepBranch(fast bool) {
+	q.mu.Lock()
+	if fast {
+		q.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	q.items = q.items[:0]
+	q.mu.Unlock()
+}

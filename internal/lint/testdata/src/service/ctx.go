@@ -1,0 +1,47 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"positlab/internal/lint/testdata/src/floatutil"
+)
+
+// HandleDetached has a perfectly good ctx and hands the consumer a
+// detached one: the callee never sees the request's cancellation.
+func HandleDetached(ctx context.Context) error {
+	return floatutil.WithCtx(context.Background()) // want: ctxprop detached context
+}
+
+// HandlePropagated threads its own ctx; clean.
+func HandlePropagated(ctx context.Context) error {
+	return floatutil.WithCtx(ctx)
+}
+
+// HandleDerivedDetached launders the detach through a With* chain: the
+// timeout child of Background() is still detached from ctx.
+func HandleDerivedDetached(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return floatutil.WithCtx(dctx) // want: ctxprop derived detached local
+}
+
+// HandleChildOK derives its child from the real ctx; clean.
+func HandleChildOK(ctx context.Context) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return floatutil.WithCtx(cctx)
+}
+
+// HandleIgnoredParam passes Background to a callee whose summary says
+// it never reads its ctx parameter — nothing is lost, so no finding.
+func HandleIgnoredParam(ctx context.Context) int {
+	return floatutil.NoCtx(context.Background(), 1)
+}
+
+// HandleAllowed is the audited detach pattern (compare the real
+// server's drain deadline after its parent ctx is canceled).
+func HandleAllowed(ctx context.Context) error {
+	//lint:allow ctxprop fixture audit: deliberate detach
+	return floatutil.WithCtx(context.Background())
+}

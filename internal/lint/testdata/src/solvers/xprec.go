@@ -1,0 +1,40 @@
+package solvers
+
+import (
+	"positlab/internal/arith"
+	"positlab/internal/lint/testdata/src/floatutil"
+)
+
+// ResidualBad launders across the package boundary: the local code
+// never calls math, but floatutil.Hyp's summary says both parameters
+// are re-rounded in float64 — inside a format-generic function that is
+// the same bug as calling math.Hypot directly.
+func ResidualBad(f arith.Format, a, b arith.Num) float64 {
+	return floatutil.Hyp(f.ToFloat64(a), f.ToFloat64(b)) // want: xprecision both args laundered by Hyp
+}
+
+// ScaledBad reaches a laundering helper through a local: the taint
+// survives the assignment.
+func ScaledBad(f arith.Format, a arith.Num) float64 {
+	v := f.ToFloat64(a)
+	return floatutil.Scale(v, 2.0) // want: xprecision local v is ToFloat64-derived
+}
+
+// ClampGood passes a ToFloat64 result to a helper that only compares
+// and forwards — no laundering summary, no finding.
+func ClampGood(f arith.Format, a arith.Num) float64 {
+	return floatutil.Clamp(f.ToFloat64(a), 0, 1)
+}
+
+// PlainArgsGood calls a laundering helper with values that never came
+// out of a Format: float64 helpers doing float64 math is their job.
+func PlainArgsGood(f arith.Format, x, y float64) float64 {
+	_ = f
+	return floatutil.Hyp(x, y)
+}
+
+// AllowedResidual carries an audited escape hatch for a reporting
+// metric.
+func AllowedResidual(f arith.Format, a, b arith.Num) float64 {
+	return floatutil.Hyp(f.ToFloat64(a), f.ToFloat64(b)) //lint:allow xprecision audited reporting metric
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// unusedallowRule audits the escape hatches themselves: a
+// //lint:allow directive that no longer suppresses any finding is
+// stale — the code it excused was fixed or moved, and the comment now
+// only misleads readers into thinking a finding exists. Stale allows
+// are findings with a mechanical fix (-fix deletes the comment), so
+// the audit trail stays exactly as large as the set of real audited
+// sites.
+//
+// The audit is evidence-based, so it only judges what it can see: a
+// rule name is checked only when that rule ran in this invocation, and
+// `all` directives are checked only when the full suite ran. Running
+// `positlint -rules unusedallow` alone therefore reports nothing.
+type unusedallowRule struct{}
+
+func (unusedallowRule) Name() string { return "unusedallow" }
+func (unusedallowRule) Doc() string {
+	return "flag //lint:allow directives that suppress no finding of the rules that ran (stale or unknown rule names)"
+}
+
+// Check is a no-op: the audit is driver-integrated (runPackage calls
+// auditAllowComments after the other rules ran and suppression was
+// recorded), because it needs the post-filter suppression bookkeeping
+// no ordinary Pass carries.
+func (unusedallowRule) Check(p *Pass) {}
+
+// auditAllowComments inspects every allow directive of the package
+// after the rule passes ran, reporting names that suppressed nothing.
+func auditAllowComments(pkg *Package, rules []Rule, allows map[allowKey]*allowComment) []rawDiag {
+	known := map[string]bool{}
+	for _, r := range AllRules() {
+		known[r.Name()] = true
+	}
+	enabled := map[string]bool{}
+	enabledCount := 0
+	for _, r := range rules {
+		if _, ok := r.(unusedallowRule); ok {
+			continue
+		}
+		enabled[r.Name()] = true
+		enabledCount++
+	}
+	fullSuite := enabledCount == len(AllRules())-1
+
+	keys := make([]allowKey, 0, len(allows))
+	for k := range allows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+
+	var out []rawDiag
+	for _, k := range keys {
+		ac := allows[k]
+		var stale, unknown []string
+		removable := true // every listed name judged and found dead
+		for _, name := range ac.rules {
+			switch {
+			case name == "all":
+				if !fullSuite {
+					removable = false
+				} else if !ac.used["all"] {
+					stale = append(stale, name)
+				} else {
+					removable = false
+				}
+			case !known[name]:
+				unknown = append(unknown, name)
+			case !enabled[name]:
+				removable = false // can't judge a rule that didn't run
+			case !ac.used[name]:
+				stale = append(stale, name)
+			default:
+				removable = false // genuinely suppressing
+			}
+		}
+		if len(stale) == 0 && len(unknown) == 0 {
+			continue
+		}
+		var parts []string
+		if len(unknown) > 0 {
+			parts = append(parts, "unknown rule(s) "+strings.Join(unknown, ", "))
+		}
+		if len(stale) > 0 {
+			parts = append(parts, "rule(s) "+strings.Join(stale, ", ")+" suppressed no finding here")
+		}
+		d := rawDiag{
+			rule: "unusedallow",
+			pos:  pkg.Fset.Position(ac.pos),
+			msg:  "stale //lint:allow: " + strings.Join(parts, "; ") + "; delete the directive or fix its rule list",
+		}
+		if removable {
+			d.fix = &Fix{
+				Path:  d.pos.Filename,
+				Start: pkg.Fset.Position(ac.pos).Offset,
+				End:   pkg.Fset.Position(ac.end).Offset,
+				Text:  "",
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

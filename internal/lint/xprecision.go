@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// xprecisionRule is the interprocedural half of the precision rule:
+// laundering hidden one call away. The intraprocedural rule catches
+// math.Sqrt and raw arithmetic on ToFloat64 results *inside* a
+// format-generic function; it cannot see
+//
+//	func hyp(a, b float64) float64 { return math.Sqrt(a*a + b*b) }
+//	...
+//	r := hyp(f.ToFloat64(x), f.ToFloat64(y)) // rounds in binary64!
+//
+// because hyp never mentions arith.Format and the caller performs no
+// arithmetic of its own. The fact engine summarizes hyp as "params 0
+// and 1 flow through rounded float64 operations into the result"
+// (FuncFacts.Launder), and this rule flags any call in a
+// format-generic function that feeds a Format.ToFloat64-derived value
+// into such a parameter — whether the helper lives in the same
+// package, another module package, or (via the deny list) math.
+//
+// Arguments recognized as ToFloat64-derived: a direct f.ToFloat64(x)
+// call, or a local variable assigned from one. Calls directly into
+// package math are left to the intraprocedural rule so each site is
+// reported exactly once.
+type xprecisionRule struct{}
+
+func (xprecisionRule) Name() string { return "xprecision" }
+func (xprecisionRule) Doc() string {
+	return "forbid cross-function precision laundering: passing Format.ToFloat64-derived values to helpers that round them in float64"
+}
+
+func (xprecisionRule) Check(p *Pass) {
+	if !scoped(p.Pkg, precisionScope...) || p.Facts == nil {
+		return
+	}
+	info := p.Pkg.Info
+	forEachFunc(p.Pkg, func(fd *ast.FuncDecl) {
+		if !usesArithFormat(info, fd) {
+			return
+		}
+		name := funcDisplayName(fd)
+		derived := toFloat64Locals(info, fd)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "math" {
+				return true
+			}
+			ff := p.Facts.ForCall(fn)
+			if ff.Launder == 0 {
+				return true
+			}
+			for i, arg := range call.Args {
+				if i >= 64 {
+					break
+				}
+				if ff.Launder&(1<<uint(i)) == 0 {
+					continue
+				}
+				if isToFloat64Call(info, arg) || isDerivedIdent(info, arg, derived) {
+					p.Reportf(arg.Pos(), "passing a Format.ToFloat64-derived value to %s, which rounds it in float64 (cross-function precision laundering inside format-generic %s); compute in the format and convert once at the end", fn.FullName(), name)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// toFloat64Locals collects local variables whose (only tracked)
+// assignment is a direct Format.ToFloat64 call.
+func toFloat64Locals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Rhs {
+			if !isToFloat64Call(info, as.Rhs[i]) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.ObjectOf(id); obj != nil {
+					derived[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+func isDerivedIdent(info *types.Info, e ast.Expr, derived map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && derived[info.ObjectOf(id)]
+}

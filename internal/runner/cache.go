@@ -102,11 +102,15 @@ func (c *Cache) Put(key string, res *Result) error {
 		return err
 	}
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync() // reach disk before the rename can commit the entry
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
 		if werr != nil {
 			return werr
+		}
+		if serr != nil {
+			return serr
 		}
 		return cerr
 	}

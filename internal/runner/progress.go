@@ -100,15 +100,32 @@ func (r *RunReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", " ")
 }
 
-// WriteFile writes runs.json atomically next to its final path.
+// WriteFile writes runs.json atomically next to its final path:
+// write to a temp file, fsync, then rename, so a crash between the
+// write and the rename cannot leave a torn (but plausibly complete)
+// report behind.
 func (r *RunReport) WriteFile(path string) error {
 	data, err := r.JSON()
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
+	}
+	_, werr := f.Write(append(data, '\n'))
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		_ = os.Remove(tmp)
+		if werr != nil {
+			return werr
+		}
+		if serr != nil {
+			return serr
+		}
+		return cerr
 	}
 	return os.Rename(tmp, path)
 }

@@ -222,6 +222,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener, drainTimeout time.Dur
 		shutdownCtx, cancel = context.WithTimeout(shutdownCtx, drainTimeout)
 		defer cancel()
 	}
+	//lint:allow ctxprop deliberate detach: ctx is already canceled here, a child of it would cut the drain short
 	err := srv.Shutdown(shutdownCtx)
 	<-errCh // Serve has returned http.ErrServerClosed
 	// Drain the job pool last: in-flight jobs are canceled and

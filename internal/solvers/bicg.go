@@ -85,7 +85,7 @@ func BiCG(a *linalg.SparseNum, b []arith.Num, tol float64, maxIter int) BiCGResu
 			break
 		}
 		res.Iterations = k + 1
-		res.RelResidual = safeRatioSqrt(f.ToFloat64(rr), normB2)
+		res.RelResidual = safeRatioSqrt(f.ToFloat64(rr), normB2) //lint:allow xprecision RelResidual is a float64 reporting metric, not iteration state
 		if f.ToFloat64(rr) <= thresh {
 			res.Converged = true
 			break
