@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service bench-jobs
+.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service bench-jobs bench-tables profile
 
 verify: vet build lint test race
 
@@ -50,6 +50,23 @@ bench-lint:
 # experiment results. See README "Serving" for the endpoints.
 serve:
 	$(GO) run ./cmd/positd -cache .cache/positd
+
+# Reproduce the table-engine rows of BENCH_kernels.json: the 16-bit
+# Cholesky/IR hot paths on the exhaustive-LUT fast path, the one-time
+# table-build cost (with resident bytes per format), and the tabulated
+# 8-bit scalar throughput.
+bench-tables:
+	$(GO) test -run '^$$' -bench 'Cholesky200(Float16|BFloat16|Posit16e1|Posit16e2)' -benchtime 2s ./internal/linalg/
+	$(GO) test -run '^$$' -bench 'MixedIR' -benchtime 2s ./internal/solvers/
+	$(GO) test -run '^$$' -bench 'TableBuild' ./internal/arith/
+
+# Capture a CPU profile of the table-driven 16-bit Cholesky hot path
+# and print the top functions. Inspect interactively with
+# `go tool pprof /tmp/positlab-cholesky.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'Cholesky200Float16' -benchtime 2s \
+		-cpuprofile /tmp/positlab-cholesky.prof ./internal/linalg/
+	$(GO) tool pprof -top -nodecount 15 /tmp/positlab-cholesky.prof
 
 # Reproduce BENCH_service.json: closed-loop req/s and latency for the
 # serving layer (convert batches and warm cached experiments), plus

@@ -11,6 +11,7 @@
 //	       [-jobs-dir dir] [-job-workers N] [-checkpoint-every N]
 //	       [-max-queued-jobs N]
 //	       [-matrices a,b,c] [-cgcap N] [-irmax N] [-quiet]
+//	       [-pprof] [-table-cache dir]
 //
 // Endpoints:
 //
@@ -24,6 +25,10 @@
 //	DEL  /v1/jobs/{id}            cancel a job
 //	GET  /debug/metrics           per-route latency, cache, op, job counters
 //	GET  /debug/vars              expvar
+//	GET  /debug/pprof/...         runtime profiles (only with -pprof)
+//
+// With -table-cache, the exhaustive <=16-bit arithmetic lookup tables
+// persist across restarts instead of being rebuilt on first use.
 //
 // With -jobs-dir, jobs are journaled to disk: a SIGKILLed or restarted
 // positd replays the journal on startup and resumes interrupted solver
@@ -47,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"positlab/internal/arith"
 	"positlab/internal/experiments"
 	"positlab/internal/jobs"
 	"positlab/internal/linalg"
@@ -77,6 +83,8 @@ func run(argv []string, stderr io.Writer) int {
 	cgcap := fs.Int("cgcap", 10, "CG iteration cap as a multiple of N for experiments")
 	irmax := fs.Int("irmax", 1000, "iterative-refinement cap for experiments")
 	quiet := fs.Bool("quiet", false, "suppress the JSON access log")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	tableCache := fs.String("table-cache", "", "on-disk arithmetic lookup-table cache directory (empty = build tables in memory each start)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -106,6 +114,12 @@ func run(argv []string, stderr io.Writer) int {
 		return usage("-max-queued-jobs must be >= 1, got %d", *maxQueuedJobs)
 	}
 	linalg.SetWorkers(*par)
+	if *tableCache != "" {
+		if err := arith.SetTableCacheDir(*tableCache); err != nil {
+			fmt.Fprintf(stderr, "positd: %v\n", err)
+			return 1
+		}
+	}
 
 	opt := experiments.Options{CGCapFactor: *cgcap, IRMaxIter: *irmax}
 	if *matrices != "" {
@@ -130,6 +144,7 @@ func run(argv []string, stderr io.Writer) int {
 		JobWorkers:         *jobWorkers,
 		JobCheckpointEvery: *checkpointEvery,
 		MaxQueuedJobs:      *maxQueuedJobs,
+		EnablePprof:        *pprofOn,
 	}
 	if !*quiet {
 		cfg.AccessLog = stderr

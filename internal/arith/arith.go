@@ -258,6 +258,8 @@ func PositConfig(f Format) (posit.Config, bool) {
 		return pf.c, true
 	case fastPosit:
 		return pf.c, true
+	case table8Format:
+		return pf.c, true
 	}
 	return posit.Config{}, false
 }

@@ -51,3 +51,22 @@ func BenchmarkSlowFloat16(b *testing.B) {
 }
 func BenchmarkNativeFloat64(b *testing.B) { benchFormat(b, arith.Float64) }
 func BenchmarkNativeFloat32(b *testing.B) { benchFormat(b, arith.Float32) }
+
+// Table-build cost: what the first use of a 16-bit format pays (once
+// per process, or once ever with the on-disk cache). The reported
+// table-bytes metric is the resident footprint per format.
+var sinkTables *arith.Tables
+
+func BenchmarkTableBuildPosit16e2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = arith.LoadOrBuildPositTablesForTest("", posit.Posit16e2)
+	}
+	b.ReportMetric(float64(sinkTables.MemBytes()), "table-bytes")
+}
+
+func BenchmarkTableBuildFloat16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkTables = arith.BuildMiniTablesForTest(minifloat.Float16)
+	}
+	b.ReportMetric(float64(sinkTables.MemBytes()), "table-bytes")
+}

@@ -250,12 +250,20 @@ type fastPosit struct {
 	c    posit.Config
 	t    *roundTables
 	kern *valueKernels
+	// ek is the exhaustive lookup-table engine, set for formats of at
+	// most 16 bits (see exact.go); nil means the roundTables path.
+	ek *exactKernels
 }
 
 // FastPosit builds the value-domain implementation of a posit format.
 // It is bit-compatible with Posit(c) in results; only the Num encoding
-// differs (float64 value bits instead of posit patterns).
+// differs (float64 value bits instead of posit patterns). 8-bit
+// configurations get the fully tabulated ALU instead (posit.Table8);
+// wider formats up to 16 bits get the table-driven rounding engine.
 func FastPosit(c posit.Config) Format {
+	if c.N() == 8 {
+		return newTable8Format(c)
+	}
 	t := &roundTables{
 		minScale: c.MinScale(),
 		maxScale: c.MaxScale(),
@@ -292,6 +300,11 @@ func FastPosit(c posit.Config) Format {
 		t.downOdd[i] = uint64(p)&1 == 1
 	}
 	fp := fastPosit{c: c, t: t}
+	if c.N() <= 16 {
+		// Every posit with n <= 16 is exact-product eligible: at most
+		// 14 significand bits and |scale| <= 224 (see exact.go).
+		fp.ek = &exactKernels{lt: lazyTables{build: func() *Tables { return tablesForPosit(c) }}}
+	}
 	// The kernel engine's rare-path closures capture fp by value; they
 	// only use c and t, so the nil kern inside the copy is harmless.
 	fp.kern = &valueKernels{t: t, add: fp.addVal, mul: fp.mulVal}
@@ -358,10 +371,20 @@ func (p fastPosit) mulVal(x, y float64) float64 {
 	return f64(p.exact2(posit.Config.Mul, x, y))
 }
 
-func (p fastPosit) Add(a, b Num) Num { return n64(p.addVal(f64(a), f64(b))) }
+func (p fastPosit) Add(a, b Num) Num {
+	if p.ek != nil {
+		return n64(p.ek.add(f64(a), f64(b)))
+	}
+	return n64(p.addVal(f64(a), f64(b)))
+}
 
 func (p fastPosit) Sub(a, b Num) Num {
 	x, y := f64(a), f64(b)
+	if p.ek != nil {
+		// Sub(a, b) = Add(a, -b): rounding is sign-symmetric and -y is
+		// exact.
+		return n64(p.ek.add(x, -y))
+	}
 	r := x - y
 	if v, ok := p.t.round(r, false); ok {
 		return n64(v)
@@ -373,16 +396,27 @@ func (p fastPosit) Sub(a, b Num) Num {
 	return p.exact2(posit.Config.Sub, x, y)
 }
 
-func (p fastPosit) Mul(a, b Num) Num { return n64(p.mulVal(f64(a), f64(b))) }
+func (p fastPosit) Mul(a, b Num) Num {
+	if p.ek != nil {
+		return n64(p.ek.mul(f64(a), f64(b)))
+	}
+	return n64(p.mulVal(f64(a), f64(b)))
+}
 
 // MulAdd fuses the pair in the value domain: product rounded, then sum
 // rounded — bit-identical to Add(Mul(a, b), c) with one dispatch.
 func (p fastPosit) MulAdd(a, b, c Num) Num {
+	if p.ek != nil {
+		return n64(p.ek.add(p.ek.mul(f64(a), f64(b)), f64(c)))
+	}
 	return n64(p.addVal(p.mulVal(f64(a), f64(b)), f64(c)))
 }
 
 func (p fastPosit) Div(a, b Num) Num {
 	x, y := f64(a), f64(b)
+	if p.ek != nil {
+		return n64(p.ek.div(x, y))
+	}
 	if y == 0 {
 		return n64(math.NaN()) // posit: division by zero is NaR
 	}
@@ -399,6 +433,9 @@ func (p fastPosit) Div(a, b Num) Num {
 
 func (p fastPosit) Sqrt(a Num) Num {
 	x := f64(a)
+	if p.ek != nil {
+		return n64(p.ek.sqrtVal(x))
+	}
 	if x < 0 {
 		return n64(math.NaN())
 	}
@@ -443,6 +480,22 @@ type fastMini struct {
 	name string
 	t    *roundTables
 	kern *valueKernels
+	// ek is the exhaustive lookup-table engine, set for eligible
+	// formats of at most 16 bits (see exact.go); nil means the
+	// roundTables path.
+	ek *exactKernels
+}
+
+// exactEligibleMini reports whether an IEEE format qualifies for the
+// table engine: tables must fit 2^16 entries and the product of any
+// two format values must be a normal float64 (exactness of the kernel
+// products; see exact.go).
+func exactEligibleMini(f minifloat.Format) bool {
+	frac := f.FracBits()
+	return f.Width() <= 16 &&
+		2*(frac+1) <= 53 &&
+		2*f.Emax()+2 <= 1022 &&
+		2*(f.Emin()-frac) >= -1020
 }
 
 // FastMini builds the value-domain implementation of an IEEE small
@@ -496,6 +549,9 @@ func FastMini(f minifloat.Format, name string) Format {
 		t.downOdd[i] = downPat&1 == 1
 	}
 	fm := fastMini{f: f, name: name, t: t}
+	if exactEligibleMini(f) {
+		fm.ek = &exactKernels{lt: lazyTables{build: func() *Tables { return tablesForMini(f) }}}
+	}
 	fm.kern = &valueKernels{t: t, add: fm.addVal, mul: fm.mulVal}
 	return fm
 }
@@ -541,10 +597,18 @@ func (m fastMini) mulVal(x, y float64) float64 {
 	return f64(m.exact2(minifloat.Format.Mul, x, y))
 }
 
-func (m fastMini) Add(a, b Num) Num { return n64(m.addVal(f64(a), f64(b))) }
+func (m fastMini) Add(a, b Num) Num {
+	if m.ek != nil {
+		return n64(m.ek.add(f64(a), f64(b)))
+	}
+	return n64(m.addVal(f64(a), f64(b)))
+}
 
 func (m fastMini) Sub(a, b Num) Num {
 	x, y := f64(a), f64(b)
+	if m.ek != nil {
+		return n64(m.ek.add(x, -y))
+	}
 	r := x - y
 	if v, ok := m.t.round(r, false); ok {
 		return n64(v)
@@ -556,15 +620,26 @@ func (m fastMini) Sub(a, b Num) Num {
 	return m.exact2(minifloat.Format.Sub, x, y)
 }
 
-func (m fastMini) Mul(a, b Num) Num { return n64(m.mulVal(f64(a), f64(b))) }
+func (m fastMini) Mul(a, b Num) Num {
+	if m.ek != nil {
+		return n64(m.ek.mul(f64(a), f64(b)))
+	}
+	return n64(m.mulVal(f64(a), f64(b)))
+}
 
 // MulAdd fuses the pair in the value domain (see fastPosit.MulAdd).
 func (m fastMini) MulAdd(a, b, c Num) Num {
+	if m.ek != nil {
+		return n64(m.ek.add(m.ek.mul(f64(a), f64(b)), f64(c)))
+	}
 	return n64(m.addVal(m.mulVal(f64(a), f64(b)), f64(c)))
 }
 
 func (m fastMini) Div(a, b Num) Num {
 	x, y := f64(a), f64(b)
+	if m.ek != nil {
+		return n64(m.ek.div(x, y))
+	}
 	r := x / y
 	if v, ok := m.t.round(r, false); ok {
 		return n64(v)
@@ -578,6 +653,9 @@ func (m fastMini) Div(a, b Num) Num {
 
 func (m fastMini) Sqrt(a Num) Num {
 	x := f64(a)
+	if m.ek != nil {
+		return n64(m.ek.sqrtVal(x))
+	}
 	r := math.Sqrt(x)
 	if v, ok := m.t.round(r, false); ok {
 		return n64(v)

@@ -117,6 +117,11 @@ func (i instrumented) TrailingUpdateKernel(nalpha Num, x, w []Num) {
 	BulkOf(i.Format).TrailingUpdateKernel(nalpha, x, w)
 }
 
+func (i instrumented) DivKernel(alpha Num, x []Num) {
+	i.counts.Div += uint64(len(x))
+	BulkOf(i.Format).DivKernel(alpha, x)
+}
+
 // AtomicOpCounts is an OpCounts safe for concurrent use: the
 // experiment runner hands one to each parallel job so per-job
 // operation counts stay exact even when jobs share worker threads.
@@ -230,4 +235,9 @@ func (i instrumentedAtomic) TrailingUpdateKernel(nalpha Num, x, w []Num) {
 	i.counts.mul.Add(n)
 	i.counts.add.Add(n)
 	BulkOf(i.Format).TrailingUpdateKernel(nalpha, x, w)
+}
+
+func (i instrumentedAtomic) DivKernel(alpha Num, x []Num) {
+	i.counts.div.Add(uint64(len(x)))
+	BulkOf(i.Format).DivKernel(alpha, x)
 }

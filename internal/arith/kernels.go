@@ -28,6 +28,7 @@ package arith
 //	MulAddKernel:         dst[i] = MulAdd(alpha, x[i], y[i])
 //	MatVecKernel:         y[i] = Σ-loop of Add(·, Mul(val[idx], x[col[idx]]))
 //	TrailingUpdateKernel: w[i] = MulAdd(nalpha, x[i], w[i])
+//	DivKernel:            x[i] = Div(x[i], alpha)
 //
 // MulAddKernel may be called with dst aliasing x or y elementwise
 // (dst[i] is written only after x[i] and y[i] are read).
@@ -48,6 +49,9 @@ type BulkFormat interface {
 	// y[lo:hi].
 	MatVecKernel(rowPtr, col []int, val []Num, x, y []Num)
 	TrailingUpdateKernel(nalpha Num, x, w []Num)
+	// DivKernel divides the slice elementwise by alpha — the Cholesky
+	// row division by the pivot.
+	DivKernel(alpha Num, x []Num)
 }
 
 // BulkOf returns f's slice kernels: f itself when it implements
@@ -112,6 +116,13 @@ func (s scalarKernels) TrailingUpdateKernel(nalpha Num, x, w []Num) {
 	f := s.f
 	for i := range x {
 		w[i] = f.MulAdd(nalpha, x[i], w[i])
+	}
+}
+
+func (s scalarKernels) DivKernel(alpha Num, x []Num) {
+	f := s.f
+	for i := range x {
+		x[i] = f.Div(x[i], alpha)
 	}
 }
 
@@ -236,26 +247,109 @@ func (k *valueKernels) trailingUpdate(nalpha Num, x, w []Num) {
 	}
 }
 
-func (p fastPosit) DotKernel(x, y []Num) Num           { return p.kern.dot(x, y) }
-func (p fastPosit) AxpyKernel(alpha Num, x, y []Num)   { p.kern.axpy(alpha, x, y) }
-func (p fastPosit) ScaleKernel(alpha Num, x []Num)     { p.kern.scale(alpha, x) }
-func (p fastPosit) MulAddKernel(a Num, x, y, dst []Num) { p.kern.mulAdd(a, x, y, dst) }
+// The fast formats dispatch to the table engine when eligible (ek set;
+// see exact.go) and to the roundTables engine otherwise.
+
+func (p fastPosit) DotKernel(x, y []Num) Num {
+	if p.ek != nil {
+		return p.ek.dot(x, y)
+	}
+	return p.kern.dot(x, y)
+}
+func (p fastPosit) AxpyKernel(alpha Num, x, y []Num) {
+	if p.ek != nil {
+		p.ek.fma(f64(alpha), x, y, y)
+		return
+	}
+	p.kern.axpy(alpha, x, y)
+}
+func (p fastPosit) ScaleKernel(alpha Num, x []Num) {
+	if p.ek != nil {
+		p.ek.scale(alpha, x)
+		return
+	}
+	p.kern.scale(alpha, x)
+}
+func (p fastPosit) MulAddKernel(a Num, x, y, dst []Num) {
+	if p.ek != nil {
+		p.ek.fma(f64(a), x, y, dst)
+		return
+	}
+	p.kern.mulAdd(a, x, y, dst)
+}
 func (p fastPosit) MatVecKernel(rowPtr, col []int, val []Num, x, y []Num) {
+	if p.ek != nil {
+		p.ek.matVec(rowPtr, col, val, x, y)
+		return
+	}
 	p.kern.matVec(rowPtr, col, val, x, y)
 }
 func (p fastPosit) TrailingUpdateKernel(nalpha Num, x, w []Num) {
+	if p.ek != nil {
+		p.ek.fma(f64(nalpha), x, w, w)
+		return
+	}
 	p.kern.trailingUpdate(nalpha, x, w)
 }
+func (p fastPosit) DivKernel(alpha Num, x []Num) {
+	if p.ek != nil {
+		p.ek.divK(alpha, x)
+		return
+	}
+	for i := range x {
+		x[i] = p.Div(x[i], alpha)
+	}
+}
 
-func (m fastMini) DotKernel(x, y []Num) Num            { return m.kern.dot(x, y) }
-func (m fastMini) AxpyKernel(alpha Num, x, y []Num)    { m.kern.axpy(alpha, x, y) }
-func (m fastMini) ScaleKernel(alpha Num, x []Num)      { m.kern.scale(alpha, x) }
-func (m fastMini) MulAddKernel(a Num, x, y, dst []Num) { m.kern.mulAdd(a, x, y, dst) }
+func (m fastMini) DotKernel(x, y []Num) Num {
+	if m.ek != nil {
+		return m.ek.dot(x, y)
+	}
+	return m.kern.dot(x, y)
+}
+func (m fastMini) AxpyKernel(alpha Num, x, y []Num) {
+	if m.ek != nil {
+		m.ek.fma(f64(alpha), x, y, y)
+		return
+	}
+	m.kern.axpy(alpha, x, y)
+}
+func (m fastMini) ScaleKernel(alpha Num, x []Num) {
+	if m.ek != nil {
+		m.ek.scale(alpha, x)
+		return
+	}
+	m.kern.scale(alpha, x)
+}
+func (m fastMini) MulAddKernel(a Num, x, y, dst []Num) {
+	if m.ek != nil {
+		m.ek.fma(f64(a), x, y, dst)
+		return
+	}
+	m.kern.mulAdd(a, x, y, dst)
+}
 func (m fastMini) MatVecKernel(rowPtr, col []int, val []Num, x, y []Num) {
+	if m.ek != nil {
+		m.ek.matVec(rowPtr, col, val, x, y)
+		return
+	}
 	m.kern.matVec(rowPtr, col, val, x, y)
 }
 func (m fastMini) TrailingUpdateKernel(nalpha Num, x, w []Num) {
+	if m.ek != nil {
+		m.ek.fma(f64(nalpha), x, w, w)
+		return
+	}
 	m.kern.trailingUpdate(nalpha, x, w)
+}
+func (m fastMini) DivKernel(alpha Num, x []Num) {
+	if m.ek != nil {
+		m.ek.divK(alpha, x)
+		return
+	}
+	for i := range x {
+		x[i] = m.Div(x[i], alpha)
+	}
 }
 
 // --- native kernels (hardware formats) ---
@@ -310,6 +404,13 @@ func (f float64Format) TrailingUpdateKernel(nalpha Num, x, w []Num) {
 	}
 }
 
+func (f float64Format) DivKernel(alpha Num, x []Num) {
+	a := f64(alpha)
+	for i := range x {
+		x[i] = n64(f64(x[i]) / a)
+	}
+}
+
 func (f float32Format) DotKernel(x, y []Num) Num {
 	s := float32(0)
 	for i := range x {
@@ -353,5 +454,12 @@ func (f float32Format) TrailingUpdateKernel(nalpha Num, x, w []Num) {
 	a := f32(nalpha)
 	for i := range x {
 		w[i] = n32(float32(a*f32(x[i])) + f32(w[i]))
+	}
+}
+
+func (f float32Format) DivKernel(alpha Num, x []Num) {
+	a := f32(alpha)
+	for i := range x {
+		x[i] = n32(f32(x[i]) / a)
 	}
 }

@@ -1,0 +1,376 @@
+package arith
+
+import (
+	"fmt"
+	"math"
+
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+const signBit64 = uint64(1) << 63
+
+// Tables is the exhaustive lookup-table engine for a format of at most
+// 16 bits. Every pattern's value fits a 65536-entry float64 decode
+// table, every rounding decision reduces to a search in a sorted
+// boundary table indexed off the float64 bit pattern, and the unary
+// operations (square root, reciprocal) become single indexed loads —
+// the way posit hardware and SoftPosit-style libraries realize narrow
+// formats. All tables are derived from the exact integer pipelines, so
+// results are bit-identical by construction (and proven so by the
+// exhaustive differential tests in table_test.go).
+//
+// A Tables is immutable after construction and safe for concurrent
+// use. Obtain one through TablesOf, which builds lazily behind the
+// process-wide registry in tablereg.go.
+type Tables struct {
+	spec  string
+	width int
+	ieee  bool
+
+	maxPat  uint32 // largest positive finite pattern
+	patMask uint16 // width-bit mask
+	signPat uint16 // IEEE sign bit (== the -0 pattern); posit: NaR
+	nanPat  uint16 // canonical NaN / NaR pattern
+	infPat  uint16 // IEEE +Inf pattern (unused for posits)
+
+	// decode[p] is the exact float64 value of pattern p (every value of
+	// a <=16-bit format embeds exactly in float64).
+	decode []float64
+	// cut[p] for p in 1..maxPat is the float64 bit pattern of the
+	// rounding boundary between positive patterns p-1 and p: magnitudes
+	// strictly between cut[p] and cut[p+1] round to p. cut[maxPat+1] is
+	// the overflow threshold (IEEE: midpoint to the next power of two,
+	// beyond which results are +Inf; posit: +Inf bits, since posits
+	// clamp to maxpos). cut[0] = 0 anchors the search. Positive
+	// patterns are value-ordered in both systems and float64 bits are
+	// value-ordered for positive floats, so the table is sorted and the
+	// locate step is a branch-predictable binary search — no bit-
+	// pattern pipeline anywhere.
+	cut []uint64
+	// maxFinBits is math.Float64bits(decode[maxPat]) — the bit-domain
+	// overflow check on the kernel hot paths.
+	maxFinBits uint64
+	// sqrt[p] and recip[p] are the full unary op tables over all
+	// patterns, including negatives and specials: sqrt[p] = Sqrt(p) and
+	// recip[p] = Div(One, p) in the exact pipeline.
+	sqrt  []uint16
+	recip []uint16
+
+	// O(1) exact-value encode: at scale s with fb[s-minScale] >= 1
+	// explicit fraction bits, patterns are contiguous within the binade
+	// and the pattern of a format value 2^s·(1+m/2^fb) is
+	// patBase[s-minScale] + m. (patBase is the pattern of 2^s.)
+	minScale int
+	fb       []int8
+	patBase  []uint16
+
+	// dropByE[e] for a float64 biased exponent e: the number of
+	// mantissa bits to discard when rounding a magnitude with that
+	// exponent, or 0 for scales the hot path must not handle inline
+	// (specials, region scales, out of range). Derived from fb; indexes
+	// the raw exponent field directly so the kernel loops do one load
+	// instead of a range check plus a signed index.
+	dropByE [2048]uint8
+}
+
+// finalize derives the redundant hot-path tables; called after both
+// builders and after a cache load.
+func (t *Tables) finalize() {
+	for i, b := range t.fb {
+		if b >= 1 {
+			t.dropByE[t.minScale+i+1023] = uint8(52 - int(b))
+		}
+	}
+}
+
+// positSpec and miniSpec are the registry/cache identities of a format
+// configuration. They name the rounding semantics completely.
+func positSpec(c posit.Config) string { return fmt.Sprintf("posit%de%d", c.N(), c.ES()) }
+
+func miniSpec(f minifloat.Format) string {
+	return fmt.Sprintf("mini_e%dm%d", f.ExpBits(), f.FracBits())
+}
+
+// buildPositTables derives the LUT engine for a posit format of width
+// <= 16 from the integer pipeline.
+func buildPositTables(c posit.Config) *Tables {
+	w := c.N()
+	t := &Tables{
+		spec:     positSpec(c),
+		width:    w,
+		maxPat:   uint32(c.MaxPos()),
+		patMask:  uint16(1<<uint(w) - 1),
+		signPat:  uint16(c.NaR()),
+		nanPat:   uint16(c.NaR()),
+		minScale: c.MinScale(),
+	}
+	size := 1 << uint(w)
+	t.decode = make([]float64, size)
+	for p := 0; p < size; p++ {
+		t.decode[p] = c.ToFloat64(posit.Bits(p))
+	}
+	// Rounding boundaries: the (w+1)-bit posit pattern 2p-1 decodes to
+	// the pipeline's boundary between positive patterns p-1 and p (the
+	// pattern-space midpoint; in binades with explicit fraction bits it
+	// coincides with the arithmetic midpoint). Exact in float64: at
+	// most w-1 significand bits, scales within ±(w-1)·2^es.
+	cx := posit.MustNew(w+1, c.ES())
+	t.cut = make([]uint64, t.maxPat+2)
+	for p := uint32(1); p <= t.maxPat; p++ {
+		t.cut[p] = math.Float64bits(cx.ToFloat64(posit.Bits(2*p - 1)))
+	}
+	// Posits never round a real result past maxpos (clamp, not NaR),
+	// so the overflow threshold sits at infinity.
+	t.cut[t.maxPat+1] = math.Float64bits(math.Inf(1))
+	t.maxFinBits = math.Float64bits(t.decode[t.maxPat])
+	t.sqrt = make([]uint16, size)
+	t.recip = make([]uint16, size)
+	one := c.One()
+	for p := 0; p < size; p++ {
+		t.sqrt[p] = uint16(c.Sqrt(posit.Bits(p)))
+		t.recip[p] = uint16(c.Div(one, posit.Bits(p)))
+	}
+	maxS := c.MaxScale()
+	t.fb = make([]int8, maxS-t.minScale+1)
+	t.patBase = make([]uint16, len(t.fb))
+	for s := t.minScale; s <= maxS; s++ {
+		i := s - t.minScale
+		t.fb[i] = int8(rawFracBits(c, s))
+		if t.fb[i] >= 1 {
+			t.patBase[i] = uint16(c.FromFloat64(math.Ldexp(1, s)))
+		}
+	}
+	t.finalize()
+	return t
+}
+
+// buildMiniTables derives the LUT engine for an IEEE small format of
+// width <= 16 from the minifloat integer pipeline.
+func buildMiniTables(f minifloat.Format) *Tables {
+	w := f.Width()
+	frac := f.FracBits()
+	t := &Tables{
+		spec:     miniSpec(f),
+		width:    w,
+		ieee:     true,
+		maxPat:   uint32(f.MaxFinite()),
+		patMask:  uint16(1<<uint(w) - 1),
+		signPat:  uint16(f.NegZero()),
+		nanPat:   uint16(f.NaN()),
+		infPat:   uint16(f.PosInf()),
+		minScale: f.Emin() - frac, // scale of the smallest subnormal
+	}
+	size := 1 << uint(w)
+	t.decode = make([]float64, size)
+	for p := 0; p < size; p++ {
+		t.decode[p] = f.ToFloat64(minifloat.Bits(p))
+	}
+	// IEEE boundaries are arithmetic midpoints of adjacent values —
+	// exact in float64 (one extra significand bit).
+	t.cut = make([]uint64, t.maxPat+2)
+	for p := uint32(1); p <= t.maxPat; p++ {
+		t.cut[p] = math.Float64bits((t.decode[p-1] + t.decode[p]) / 2)
+	}
+	// Overflow threshold: magnitudes at or beyond the midpoint of
+	// maxFinite and 2^(emax+1) round to infinity (ties land on the even
+	// side, which is the Inf pattern).
+	maxS := f.Emax()
+	t.cut[t.maxPat+1] = math.Float64bits((t.decode[t.maxPat] + math.Ldexp(1, maxS+1)) / 2)
+	t.maxFinBits = math.Float64bits(t.decode[t.maxPat])
+	t.sqrt = make([]uint16, size)
+	t.recip = make([]uint16, size)
+	one := f.One()
+	for p := 0; p < size; p++ {
+		t.sqrt[p] = uint16(f.Sqrt(minifloat.Bits(p)))
+		t.recip[p] = uint16(f.Div(one, minifloat.Bits(p)))
+	}
+	t.fb = make([]int8, maxS-t.minScale+1)
+	t.patBase = make([]uint16, len(t.fb))
+	for s := t.minScale; s <= maxS; s++ {
+		i := s - t.minScale
+		b := frac
+		if s < f.Emin() {
+			b = s - (f.Emin() - frac)
+		}
+		t.fb[i] = int8(b)
+		if b >= 1 {
+			t.patBase[i] = uint16(f.FromFloat64(math.Ldexp(1, s)))
+		}
+	}
+	t.finalize()
+	return t
+}
+
+// Tie-op codes for the boundary-hit resolvers: how roundPat decides a
+// result that lands exactly on a rounding boundary. Landing exactly on
+// a boundary is the only case where the float64 image of a result does
+// not determine the rounding — everywhere else the true result
+// provably sits on the same side of the (float64-representable)
+// boundary as its correctly rounded image (see exact.go).
+const (
+	tieExact uint8 = iota // r is the exact result: a hit is a genuine tie → even pattern
+	tieSum                // r = fl(x+y): resolve by the TwoSum residual
+	tieDiv                // r = fl(x/y): resolve by the FMA remainder against y
+	tieSqrt               // r = fl(√x):  resolve by the FMA remainder of r²
+)
+
+// boundaryTie returns which side of the boundary the exact result is
+// on, in magnitude terms: -1 below, +1 above, 0 exactly on it (a
+// genuine tie).
+func boundaryTie(op uint8, x, y, r float64) int {
+	var s float64
+	switch op {
+	case tieSum:
+		// Knuth TwoSum: the residual e with x+y = r+e exactly. Only the
+		// sign matters, and the residual of a correctly rounded sum is
+		// exact in float64.
+		bv := r - x
+		s = (x - (r - bv)) + (y - bv)
+	case tieDiv:
+		// exact - r = (x - r·y)/y: the sign of -FMA(r,y,-x) flipped by
+		// the sign of y.
+		s = -math.FMA(r, y, -x)
+		if y < 0 {
+			s = -s
+		}
+	case tieSqrt:
+		// exact - r has the sign of x - r².
+		s = -math.FMA(r, r, -x)
+	default: // tieExact
+		return 0
+	}
+	if s == 0 {
+		return 0
+	}
+	// s is signed like (exact - r) in value terms; the magnitude
+	// direction flips for negative r.
+	if (s > 0) == (r > 0) {
+		return 1
+	}
+	return -1
+}
+
+// locate returns the positive pattern whose rounding interval contains
+// the magnitude with float64 bits a (0 < value < ∞). For IEEE formats
+// the result can be maxPat+1, meaning overflow to infinity; posits
+// clamp to maxpos and never round a nonzero magnitude to zero.
+func (t *Tables) locate(a uint64, op uint8, x, y, r float64) uint32 {
+	cut := t.cut
+	lo, hi := uint32(0), uint32(len(cut)-1)
+	for lo < hi {
+		m := (lo + hi + 1) >> 1
+		if cut[m] <= a {
+			lo = m
+		} else {
+			hi = m - 1
+		}
+	}
+	p := lo
+	if p > 0 && cut[p] == a {
+		// Exactly on the boundary between p-1 and p.
+		switch s := boundaryTie(op, x, y, r); {
+		case s < 0:
+			p--
+		case s == 0 && p&1 == 1:
+			p-- // genuine tie: the even pattern of {p-1, p}
+		}
+	}
+	if !t.ieee {
+		if p > t.maxPat {
+			p = t.maxPat
+		}
+		if p == 0 {
+			p = 1
+		}
+	}
+	return p
+}
+
+// pattern applies the sign to a positive pattern: IEEE sets the sign
+// bit, posits take the two's complement.
+func (t *Tables) pattern(p uint32, neg bool) uint16 {
+	if !neg {
+		return uint16(p)
+	}
+	if t.ieee {
+		return uint16(p) | t.signPat
+	}
+	return uint16(-p) & t.patMask
+}
+
+// roundPat rounds any float64 into the format's pattern space with the
+// format's own special-value semantics (NaR/NaN/Inf, signed zeros,
+// clamping). op names how to resolve an exact boundary hit; x and y
+// are the tie resolver's operands (ignored for tieExact).
+func (t *Tables) roundPat(r float64, op uint8, x, y float64) uint16 {
+	if r == 0 {
+		if t.ieee && math.Signbit(r) {
+			return t.signPat
+		}
+		return 0
+	}
+	if math.IsNaN(r) {
+		return t.nanPat
+	}
+	neg := math.Signbit(r)
+	if math.IsInf(r, 0) {
+		if !t.ieee {
+			return t.nanPat // posit: infinite intermediates are NaR
+		}
+		return t.pattern(uint32(t.infPat), neg)
+	}
+	p := t.locate(math.Float64bits(r)&^signBit64, op, x, y, r)
+	if t.ieee && p > t.maxPat {
+		p = uint32(t.infPat)
+	}
+	return t.pattern(p, neg)
+}
+
+// roundFrom is roundPat composed with the decode table: the rounded
+// result as a float64 value, for the value-domain fast formats.
+func (t *Tables) roundFrom(r float64, op uint8, x, y float64) float64 {
+	return t.decode[t.roundPat(r, op, x, y)]
+}
+
+// exactPat returns the positive pattern of a value the format
+// represents exactly (0 < value, finite), given its float64 bits.
+// O(1) in binades with explicit fraction bits, boundary search
+// elsewhere (the few patterns at the range ends).
+func (t *Tables) exactPat(a uint64) uint32 {
+	idx := int(a>>52) - 1023 - t.minScale
+	if uint(idx) < uint(len(t.fb)) {
+		if b := int(t.fb[idx]); b >= 1 {
+			kept := (a & (1<<52 - 1)) >> uint(52-b)
+			return uint32(t.patBase[idx]) + uint32(kept)
+		}
+	}
+	return t.locate(a, tieExact, 0, 0, 0)
+}
+
+// Spec returns the format identity the tables were built for.
+func (t *Tables) Spec() string { return t.spec }
+
+// Width returns the format's encoding width in bits.
+func (t *Tables) Width() int { return t.width }
+
+// MemBytes returns the resident size of the tables, for capacity
+// planning and the benchmark report.
+func (t *Tables) MemBytes() int {
+	return len(t.decode)*8 + len(t.cut)*8 + (len(t.sqrt)+len(t.recip)+len(t.patBase))*2 + len(t.fb)
+}
+
+// Decode returns the exact float64 value of pattern p.
+func (t *Tables) Decode(p uint16) float64 { return t.decode[p&t.patMask] }
+
+// Encode rounds an arbitrary float64 into the format's canonical
+// pattern. An external float64 is its own exact value, so a boundary
+// hit is a genuine tie (round to even pattern) — bit-identical to the
+// integer pipeline's FromFloat64.
+func (t *Tables) Encode(x float64) uint16 { return t.roundPat(x, tieExact, 0, 0) }
+
+// SqrtPat returns the tabulated Sqrt(p) in pattern space.
+func (t *Tables) SqrtPat(p uint16) uint16 { return t.sqrt[p&t.patMask] }
+
+// RecipPat returns the tabulated Div(One, p) in pattern space.
+func (t *Tables) RecipPat(p uint16) uint16 { return t.recip[p&t.patMask] }

@@ -1,0 +1,145 @@
+package arith
+
+import (
+	"math"
+	"sync"
+
+	"positlab/internal/posit"
+)
+
+// table8Format is the fully tabulated 8-bit posit implementation:
+// every scalar operation is a single indexed load from posit.Table8
+// (add/sub/mul/div over all 2^16 operand pairs, sqrt over all 2^8
+// patterns). Unlike the value-domain fast formats its Num *is* the
+// posit pattern — with a complete ALU table there is nothing to gain
+// from the float64 value embedding, and pattern-domain kernels skip
+// the decode/encode entirely. The 260 KiB table builds lazily behind
+// the process-wide registry on first arithmetic use.
+type table8Format struct {
+	c  posit.Config
+	lt *lazyTable8
+}
+
+type lazyTable8 struct {
+	once sync.Once
+	c    posit.Config
+	tab  *posit.Table8
+}
+
+func (l *lazyTable8) get() *posit.Table8 {
+	l.once.Do(func() { l.tab = table8For(l.c) })
+	return l.tab
+}
+
+func newTable8Format(c posit.Config) Format {
+	return table8Format{c: c, lt: &lazyTable8{c: c}}
+}
+
+func (f table8Format) Name() string { return f.c.String() }
+
+// Conversions run through the integer pipeline — they sit off the
+// kernel hot paths, and FromFloat64 must round arbitrary float64
+// inputs, not just table-indexable patterns.
+func (f table8Format) FromFloat64(x float64) Num { return Num(f.c.FromFloat64(x)) }
+func (f table8Format) ToFloat64(a Num) float64   { return f.c.ToFloat64(posit.Bits(a)) }
+
+func (f table8Format) Add(a, b Num) Num {
+	return Num(f.lt.get().Add(posit.Bits(a), posit.Bits(b)))
+}
+func (f table8Format) Sub(a, b Num) Num {
+	return Num(f.lt.get().Sub(posit.Bits(a), posit.Bits(b)))
+}
+func (f table8Format) Mul(a, b Num) Num {
+	return Num(f.lt.get().Mul(posit.Bits(a), posit.Bits(b)))
+}
+func (f table8Format) Div(a, b Num) Num {
+	return Num(f.lt.get().Div(posit.Bits(a), posit.Bits(b)))
+}
+func (f table8Format) Sqrt(a Num) Num { return Num(f.lt.get().Sqrt(posit.Bits(a))) }
+func (f table8Format) MulAdd(a, b, c Num) Num {
+	t := f.lt.get()
+	return Num(t.Add(t.Mul(posit.Bits(a), posit.Bits(b)), posit.Bits(c)))
+}
+func (f table8Format) Neg(a Num) Num     { return Num(f.c.Neg(posit.Bits(a))) }
+func (f table8Format) Zero() Num         { return Num(f.c.Zero()) }
+func (f table8Format) One() Num          { return Num(f.c.One()) }
+func (f table8Format) IsZero(a Num) bool { return f.c.IsZero(posit.Bits(a)) }
+func (f table8Format) Bad(a Num) bool    { return f.c.IsNaR(posit.Bits(a)) }
+func (f table8Format) Less(a, b Num) bool {
+	pa, pb := posit.Bits(a), posit.Bits(b)
+	if f.c.IsNaR(pa) || f.c.IsNaR(pb) {
+		return false
+	}
+	return f.c.Less(pa, pb)
+}
+func (f table8Format) Eps() float64 {
+	return math.Ldexp(1, -(f.c.FracBitsAtScale(0) + 1))
+}
+func (f table8Format) MaxValue() float64 { return f.c.ToFloat64(f.c.MaxPos()) }
+
+// Config exposes the posit configuration (see PositConfig).
+func (f table8Format) Config() posit.Config { return f.c }
+
+// Kernels: the defining scalar-op sequences with the table hoisted out
+// of the loop — every element is two indexed loads, no dispatch, no
+// rounding logic at all.
+
+func (f table8Format) DotKernel(x, y []Num) Num {
+	t := f.lt.get()
+	var s posit.Bits
+	for i := range x {
+		s = t.Add(s, t.Mul(posit.Bits(x[i]), posit.Bits(y[i])))
+	}
+	return Num(s)
+}
+
+func (f table8Format) AxpyKernel(alpha Num, x, y []Num) {
+	t := f.lt.get()
+	a := posit.Bits(alpha)
+	for i := range x {
+		y[i] = Num(t.Add(posit.Bits(y[i]), t.Mul(a, posit.Bits(x[i]))))
+	}
+}
+
+func (f table8Format) ScaleKernel(alpha Num, x []Num) {
+	t := f.lt.get()
+	a := posit.Bits(alpha)
+	for i := range x {
+		x[i] = Num(t.Mul(a, posit.Bits(x[i])))
+	}
+}
+
+func (f table8Format) MulAddKernel(alpha Num, x, y, dst []Num) {
+	t := f.lt.get()
+	a := posit.Bits(alpha)
+	for i := range x {
+		dst[i] = Num(t.Add(t.Mul(a, posit.Bits(x[i])), posit.Bits(y[i])))
+	}
+}
+
+func (f table8Format) MatVecKernel(rowPtr, col []int, val []Num, x, y []Num) {
+	t := f.lt.get()
+	for i := 0; i+1 < len(rowPtr); i++ {
+		var s posit.Bits
+		for idx := rowPtr[i]; idx < rowPtr[i+1]; idx++ {
+			s = t.Add(s, t.Mul(posit.Bits(val[idx]), posit.Bits(x[col[idx]])))
+		}
+		y[i] = Num(s)
+	}
+}
+
+func (f table8Format) TrailingUpdateKernel(nalpha Num, x, w []Num) {
+	t := f.lt.get()
+	a := posit.Bits(nalpha)
+	for i := range x {
+		w[i] = Num(t.Add(t.Mul(a, posit.Bits(x[i])), posit.Bits(w[i])))
+	}
+}
+
+func (f table8Format) DivKernel(alpha Num, x []Num) {
+	t := f.lt.get()
+	a := posit.Bits(alpha)
+	for i := range x {
+		x[i] = Num(t.Div(posit.Bits(x[i]), a))
+	}
+}

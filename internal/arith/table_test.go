@@ -1,0 +1,439 @@
+package arith_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+// tabbedFormat pairs a table-backed fast format with its slow
+// integer-pipeline reference — the ground truth every table entry and
+// every rounded value-domain result is checked against.
+type tabbedFormat struct {
+	name string
+	fast arith.Format // table-accelerated value-domain implementation
+	slow arith.Format // integer pipeline reference
+}
+
+func tabbedFormats(t *testing.T) []tabbedFormat {
+	t.Helper()
+	var fs []tabbedFormat
+	for es := 0; es <= 4; es++ {
+		fs = append(fs, tabbedFormat{
+			name: fmt.Sprintf("posit16es%d", es),
+			fast: arith.MustByName(fmt.Sprintf("posit16es%d", es)),
+			slow: arith.Posit(posit.MustNew(16, es)),
+		})
+	}
+	fs = append(fs,
+		tabbedFormat{"float16", arith.MustByName("float16"), arith.Mini(minifloat.Float16, "Float16")},
+		tabbedFormat{"bfloat16", arith.MustByName("bfloat16"), arith.Mini(minifloat.BFloat16, "BFloat16")},
+		tabbedFormat{"fp8e5m2", arith.MustByName("fp8e5m2"), arith.Mini(minifloat.MustNew(5, 2), "FP8-E5M2")},
+		tabbedFormat{"fp8e4m3", arith.MustByName("fp8e4m3"), arith.Mini(minifloat.MustNew(4, 3), "FP8-E4M3")},
+	)
+	for _, f := range fs {
+		if _, ok := arith.TablesOf(f.fast); !ok {
+			t.Fatalf("%s: expected a table-backed fast format", f.name)
+		}
+	}
+	return fs
+}
+
+// TestTablesDecodeExhaustive checks, for every pattern of every
+// table-backed format, that the decode table equals the pipeline's
+// ToFloat64 and that Encode maps each decoded value to the same
+// canonical pattern FromFloat64 produces. This is the tentpole's
+// bit-identity claim at its root: 2^width exact decodes, 2^width exact
+// re-encodes, zero tolerance.
+func TestTablesDecodeExhaustive(t *testing.T) {
+	for _, tf := range tabbedFormats(t) {
+		t.Run(tf.name, func(t *testing.T) {
+			tab, _ := arith.TablesOf(tf.fast)
+			n := 1 << tab.Width()
+			for p := 0; p < n; p++ {
+				got := tab.Decode(uint16(p))
+				want := tf.slow.ToFloat64(arith.Num(p))
+				if math.Float64bits(got) != math.Float64bits(want) &&
+					!(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("Decode(%#x) = %g (bits %x), pipeline = %g (bits %x)",
+						p, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+				ep := tab.Encode(want)
+				wp := uint16(tf.slow.FromFloat64(want))
+				if ep != wp {
+					t.Fatalf("Encode(Decode(%#x)) = %#x, pipeline FromFloat64 = %#x", p, ep, wp)
+				}
+			}
+		})
+	}
+}
+
+// TestTablesEncodeBoundariesExhaustive probes Encode exactly at every
+// rounding boundary the tables store, one float64 ulp below, and one
+// above — positive and negated — against the pipeline's FromFloat64.
+// Ties (the boundary itself) exercise the even-pattern rule; the ±1-ulp
+// neighbors pin the boundary placement to the exact cut.
+func TestTablesEncodeBoundariesExhaustive(t *testing.T) {
+	for _, tf := range tabbedFormats(t) {
+		t.Run(tf.name, func(t *testing.T) {
+			tab, _ := arith.TablesOf(tf.fast)
+			for _, cb := range arith.CutsForTest(tab) {
+				b := math.Float64frombits(cb)
+				for _, v := range []float64{
+					b, math.Nextafter(b, 0), math.Nextafter(b, math.Inf(1)),
+				} {
+					for _, x := range []float64{v, -v} {
+						got := tab.Encode(x)
+						want := uint16(tf.slow.FromFloat64(x))
+						if got != want {
+							t.Fatalf("Encode(%g / bits %x) = %#x, pipeline = %#x",
+								x, math.Float64bits(x), got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTablesUnaryExhaustive runs the value-domain Sqrt and the
+// reciprocal (Div by x with unit numerator, the tabulated recip path)
+// through the fast format for all 2^width patterns and compares with
+// the pipeline — covering the exact-value re-encode (valuePat) that
+// feeds every unary table lookup.
+func TestTablesUnaryExhaustive(t *testing.T) {
+	for _, tf := range tabbedFormats(t) {
+		t.Run(tf.name, func(t *testing.T) {
+			tab, _ := arith.TablesOf(tf.fast)
+			one := tf.fast.One()
+			n := 1 << tab.Width()
+			for p := 0; p < n; p++ {
+				v := tf.slow.ToFloat64(arith.Num(p))
+				x := tf.fast.FromFloat64(v)
+
+				gs := tf.fast.ToFloat64(tf.fast.Sqrt(x))
+				ws := tf.slow.ToFloat64(tf.slow.Sqrt(arith.Num(p)))
+				if math.Float64bits(gs) != math.Float64bits(ws) &&
+					!(math.IsNaN(gs) && math.IsNaN(ws)) {
+					t.Fatalf("Sqrt(%#x): fast %g, pipeline %g", p, gs, ws)
+				}
+
+				gr := tf.fast.ToFloat64(tf.fast.Div(one, x))
+				wr := tf.slow.ToFloat64(tf.slow.Div(tf.slow.One(), arith.Num(p)))
+				if math.Float64bits(gr) != math.Float64bits(wr) &&
+					!(math.IsNaN(gr) && math.IsNaN(wr)) {
+					t.Fatalf("Recip(%#x): fast %g, pipeline %g", p, gr, wr)
+				}
+			}
+		})
+	}
+}
+
+// TestTablesBinaryOpsRandom sweeps randomized pattern pairs — the full
+// pattern space, so NaR/NaN/Inf/zero/max operands appear at their
+// natural density — through Add/Sub/Mul/Div/MulAdd on the fast path
+// and the pipeline.
+func TestTablesBinaryOpsRandom(t *testing.T) {
+	pairs := 60000
+	if testing.Short() {
+		pairs = 4000
+	}
+	for _, tf := range tabbedFormats(t) {
+		t.Run(tf.name, func(t *testing.T) {
+			tab, _ := arith.TablesOf(tf.fast)
+			mask := uint64(1)<<tab.Width() - 1
+			rng := uint64(0x1F3A5C7E9B2D4F68)
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < pairs; i++ {
+				pa, pb := next()&mask, next()&mask
+				va, vb := tf.slow.ToFloat64(arith.Num(pa)), tf.slow.ToFloat64(arith.Num(pb))
+				fa, fb := tf.fast.FromFloat64(va), tf.fast.FromFloat64(vb)
+				sa, sb := arith.Num(pa), arith.Num(pb)
+				check := func(op string, g, w arith.Num) {
+					gv, wv := tf.fast.ToFloat64(g), tf.slow.ToFloat64(w)
+					if math.Float64bits(gv) != math.Float64bits(wv) &&
+						!(math.IsNaN(gv) && math.IsNaN(wv)) {
+						t.Fatalf("%s(%#x,%#x) = fast %g (bits %x), pipeline %g (bits %x)",
+							op, pa, pb, gv, math.Float64bits(gv), wv, math.Float64bits(wv))
+					}
+				}
+				check("Add", tf.fast.Add(fa, fb), tf.slow.Add(sa, sb))
+				check("Sub", tf.fast.Sub(fa, fb), tf.slow.Sub(sa, sb))
+				check("Mul", tf.fast.Mul(fa, fb), tf.slow.Mul(sa, sb))
+				check("Div", tf.fast.Div(fa, fb), tf.slow.Div(sa, sb))
+				check("MulAdd", tf.fast.MulAdd(fa, fb, tf.fast.One()),
+					tf.slow.MulAdd(sa, sb, tf.slow.One()))
+			}
+		})
+	}
+}
+
+// TestTable8Exhaustive compares the tabulated 8-bit posit formats
+// against the integer pipeline over every operand pair — all 2^16
+// combinations per es, every binary op, plus the unary tables. This is
+// the wiring test for posit.Table8 behind the kernel fast path.
+func TestTable8Exhaustive(t *testing.T) {
+	for es := 0; es <= 4; es++ {
+		t.Run(fmt.Sprintf("posit8es%d", es), func(t *testing.T) {
+			fast := arith.MustByName(fmt.Sprintf("posit8es%d", es))
+			c := posit.MustNew(8, es)
+			slow := arith.Posit(c)
+			// The fast 8-bit Num is the posit pattern itself; feed both
+			// implementations from the same pattern pair.
+			for a := 0; a < 256; a++ {
+				va := slow.ToFloat64(arith.Num(a))
+				fa := fast.FromFloat64(va)
+				gs := fast.ToFloat64(fast.Sqrt(fa))
+				ws := slow.ToFloat64(slow.Sqrt(arith.Num(a)))
+				if math.Float64bits(gs) != math.Float64bits(ws) && !(math.IsNaN(gs) && math.IsNaN(ws)) {
+					t.Fatalf("Sqrt(%#x): table %g, pipeline %g", a, gs, ws)
+				}
+				for b := 0; b < 256; b++ {
+					vb := slow.ToFloat64(arith.Num(b))
+					fb := fast.FromFloat64(vb)
+					check := func(op string, g, w arith.Num) {
+						gv, wv := fast.ToFloat64(g), slow.ToFloat64(w)
+						if math.Float64bits(gv) != math.Float64bits(wv) &&
+							!(math.IsNaN(gv) && math.IsNaN(wv)) {
+							t.Fatalf("%s(%#x,%#x): table %g, pipeline %g", op, a, b, gv, wv)
+						}
+					}
+					check("Add", fast.Add(fa, fb), slow.Add(arith.Num(a), arith.Num(b)))
+					check("Sub", fast.Sub(fa, fb), slow.Sub(arith.Num(a), arith.Num(b)))
+					check("Mul", fast.Mul(fa, fb), slow.Mul(arith.Num(a), arith.Num(b)))
+					check("Div", fast.Div(fa, fb), slow.Div(arith.Num(a), arith.Num(b)))
+				}
+			}
+		})
+	}
+}
+
+// TestDivKernelMatchesScalar asserts DivKernel is bit-identical to the
+// scalar x[i] = Div(x[i], alpha) loop for every registered format,
+// including exceptional divisors (zero, NaR/NaN, huge, tiny).
+func TestDivKernelMatchesScalar(t *testing.T) {
+	n := 257
+	if testing.Short() {
+		n = 65
+	}
+	for name, f := range kernelFormats(t) {
+		t.Run(name, func(t *testing.T) {
+			bk := arith.BulkOf(f)
+			x := kernelOperands(f, n, 0xC0FFEE12345678)
+			alphas := []arith.Num{
+				f.FromFloat64(1.0 / 3.0),
+				f.FromFloat64(3),
+				f.One(),
+				f.Zero(),
+				f.FromFloat64(math.NaN()),
+				f.FromFloat64(f.MaxValue()),
+				f.FromFloat64(-1e-3),
+			}
+			for _, alpha := range alphas {
+				want := cloneNums(x)
+				for i := range want {
+					want[i] = f.Div(want[i], alpha)
+				}
+				got := cloneNums(x)
+				bk.DivKernel(alpha, got)
+				for i := range want {
+					if !eqNum(f, got[i], want[i]) {
+						t.Fatalf("alpha=%g: DivKernel[%d] = %g, scalar Div = %g",
+							f.ToFloat64(alpha), i, f.ToFloat64(got[i]), f.ToFloat64(want[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDivKernelInstrumented checks the batched Div counter of both
+// instrumentation wrappers.
+func TestDivKernelInstrumented(t *testing.T) {
+	n := 64
+	base := arith.Posit16e2
+	x := kernelOperands(base, n, 7)
+
+	f, c := arith.Instrument(base)
+	arith.BulkOf(f).DivKernel(f.FromFloat64(2), cloneNums(x))
+	if c.Div != uint64(n) {
+		t.Errorf("instrumented DivKernel count = %d, want %d", c.Div, n)
+	}
+
+	var ac arith.AtomicOpCounts
+	fa := arith.InstrumentAtomic(base, &ac)
+	arith.BulkOf(fa).DivKernel(fa.FromFloat64(2), cloneNums(x))
+	if got := ac.Snapshot().Div; got != uint64(n) {
+		t.Errorf("atomic DivKernel count = %d, want %d", got, n)
+	}
+}
+
+// TestTableRegistrySingleflight hammers the first use of a
+// fresh-to-this-process format from many goroutines: exactly one build
+// must happen, every caller must see the same tables, and the run must
+// be race-clean (asserted under -race in make verify).
+func TestTableRegistrySingleflight(t *testing.T) {
+	f := arith.FastPosit(posit.MustNew(12, 1)) // no other test uses posit(12,1)
+	before := arith.TableBuildCount()
+	const workers = 24
+	results := make([]arith.Num, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			x := f.FromFloat64(1.5)
+			results[w] = f.Add(x, f.Mul(x, x)) // first op forces the lazy build
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	if d := arith.TableBuildCount() - before; d != 1 {
+		t.Errorf("parallel first use built %d times, want exactly 1", d)
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Errorf("worker %d saw %v, worker 0 saw %v", w, results[w], results[0])
+		}
+	}
+	tab, ok := arith.TablesOf(f)
+	if !ok || tab.Spec() != arith.PositTableSpec(posit.MustNew(12, 1)) {
+		t.Errorf("TablesOf after build: ok=%v spec=%q", ok, tab.Spec())
+	}
+}
+
+// TestTableDiskCache covers the on-disk cache lifecycle: a first load
+// builds and persists, a second load is served from disk bit-for-bit,
+// corruption forces a silent rebuild, and a schema bump changes the
+// cache key so stale entries are ignored rather than misread.
+func TestTableDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	c := posit.MustNew(10, 1) // unique to this test: every load is observable
+	spec := arith.PositTableSpec(c)
+	path := arith.TableCachePathForTest(dir, spec)
+
+	b0 := arith.TableBuildCount()
+	t1 := arith.LoadOrBuildPositTablesForTest(dir, c)
+	if d := arith.TableBuildCount() - b0; d != 1 {
+		t.Fatalf("first load: %d builds, want 1", d)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("first load did not persist the tables: %v", err)
+	}
+
+	t2 := arith.LoadOrBuildPositTablesForTest(dir, c)
+	if d := arith.TableBuildCount() - b0; d != 1 {
+		t.Fatalf("second load rebuilt (%d builds total), want disk hit", d)
+	}
+	m1, m2 := arith.MarshalTablesForTest(t1), arith.MarshalTablesForTest(t2)
+	if string(m1) != string(m2) {
+		t.Fatal("tables loaded from disk differ from the built tables")
+	}
+	for p := 0; p < 1<<t1.Width(); p++ {
+		a, b := t1.Decode(uint16(p)), t2.Decode(uint16(p))
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("decode[%#x] differs after disk round-trip: %g vs %g", p, a, b)
+		}
+	}
+
+	// Corrupt one payload byte: the SHA-256 trailer must reject the
+	// entry and the loader must rebuild (and rewrite) silently.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = arith.LoadOrBuildPositTablesForTest(dir, c)
+	if d := arith.TableBuildCount() - b0; d != 2 {
+		t.Fatalf("corrupt entry: %d builds total, want rebuild (2)", d)
+	}
+	if fresh, err := os.ReadFile(path); err != nil || string(fresh) == string(data) {
+		t.Fatalf("corrupt entry was not rewritten (err=%v)", err)
+	}
+
+	// Schema bump: different cache key, so the old entry is simply
+	// never consulted and a fresh one is built alongside it.
+	restore := arith.SetTableSchemaForTest("positlab-tables/v-test")
+	defer restore()
+	bumped := arith.TableCachePathForTest(dir, spec)
+	if bumped == path {
+		t.Fatal("schema bump did not change the cache key")
+	}
+	_ = arith.LoadOrBuildPositTablesForTest(dir, c)
+	if d := arith.TableBuildCount() - b0; d != 3 {
+		t.Fatalf("schema bump: %d builds total, want 3", d)
+	}
+	if _, err := os.Stat(bumped); err != nil {
+		t.Fatalf("schema-bumped entry not persisted: %v", err)
+	}
+}
+
+// TestTableCacheDirRegistry exercises the registry-level cache-dir
+// wiring (SetTableCacheDir, as the positd -table-cache flag and the
+// POSITLAB_TABLE_CACHE env use it): first use of a format persists its
+// tables into the configured directory.
+func TestTableCacheDirRegistry(t *testing.T) {
+	dir := t.TempDir()
+	if err := arith.SetTableCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := arith.SetTableCacheDir(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	c := posit.MustNew(14, 2) // unique to this test
+	f := arith.FastPosit(c)
+	_ = f.Add(f.One(), f.One())
+	path := arith.TableCachePathForTest(dir, arith.PositTableSpec(c))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("registry did not persist tables for %s: %v", arith.PositTableSpec(c), err)
+	}
+}
+
+// TestTable8MarshalRoundTrip checks the 8-bit table serialization used
+// by the disk cache: unmarshal(marshal(t)) reproduces every entry of
+// every op table.
+func TestTable8MarshalRoundTrip(t *testing.T) {
+	c := posit.MustNew(8, 2)
+	tb, err := posit.NewTable8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := posit.UnmarshalTable8(c, tb.MarshalBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 256; a++ {
+		pa := posit.Bits(a)
+		if tb.Sqrt(pa) != tb2.Sqrt(pa) {
+			t.Fatalf("Sqrt(%#x) differs after round-trip", a)
+		}
+		for b := 0; b < 256; b++ {
+			pb := posit.Bits(b)
+			if tb.Add(pa, pb) != tb2.Add(pa, pb) ||
+				tb.Sub(pa, pb) != tb2.Sub(pa, pb) ||
+				tb.Mul(pa, pb) != tb2.Mul(pa, pb) ||
+				tb.Div(pa, pb) != tb2.Div(pa, pb) {
+				t.Fatalf("binary op (%#x,%#x) differs after round-trip", a, b)
+			}
+		}
+	}
+
+	if _, err := posit.UnmarshalTable8(c, tb.MarshalBinary()[:100]); err == nil {
+		t.Error("truncated Table8 payload unmarshalled without error")
+	}
+}

@@ -1,0 +1,372 @@
+package arith
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+// Process-wide table registry.
+//
+// Building a format's tables costs tens of milliseconds (the exact
+// pipeline runs over all 2^16 patterns, twice for the unary tables),
+// so tables are built lazily, once per process, the first time any
+// caller — a solver kernel, positd's /v1/convert, the experiment
+// runner — touches the format's fast path. A per-spec sync.Once gives
+// singleflight semantics: concurrent first users of the same config
+// block on one build instead of racing duplicates (the fact-cache
+// idiom from internal/lint).
+//
+// Optionally the built tables persist in a content-addressed on-disk
+// cache (SetTableCacheDir or POSITLAB_TABLE_CACHE): entries are keyed
+// by schema version + format spec, carry a SHA-256 trailer, and are
+// written atomically (temp + fsync + rename), so a corrupt or stale
+// entry is silently rebuilt, never trusted.
+
+// tableSchema versions the on-disk encoding; bumping it changes every
+// cache key, so old entries are ignored rather than misread. (A var,
+// not a const, so the invalidation test can simulate a bump.)
+var tableSchema = "positlab-tables/v1"
+
+const tableMagic = "PLTAB1\n"
+
+type tableEntry struct {
+	once sync.Once
+	tab  *Tables
+	t8   *posit.Table8
+}
+
+var tableReg = struct {
+	sync.Mutex
+	m   map[string]*tableEntry
+	dir string
+}{m: map[string]*tableEntry{}}
+
+// tableBuilds counts from-scratch builds (registry misses that the
+// disk cache did not serve), for the concurrency tests and the bench
+// report.
+var tableBuilds atomic.Uint64
+
+func init() {
+	if dir := os.Getenv("POSITLAB_TABLE_CACHE"); dir != "" {
+		// Best-effort: an unusable cache dir must not break startup.
+		_ = SetTableCacheDir(dir)
+	}
+}
+
+// SetTableCacheDir enables (non-empty) or disables (empty) the on-disk
+// table cache. Call it before first use of the fast formats; tables
+// already resident are not re-persisted.
+func SetTableCacheDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("arith: table cache: %w", err)
+		}
+	}
+	tableReg.Lock()
+	tableReg.dir = dir
+	tableReg.Unlock()
+	return nil
+}
+
+func tableEntryFor(spec string) (*tableEntry, string) {
+	tableReg.Lock()
+	e := tableReg.m[spec]
+	if e == nil {
+		e = &tableEntry{}
+		tableReg.m[spec] = e
+	}
+	dir := tableReg.dir
+	tableReg.Unlock()
+	return e, dir
+}
+
+func tablesForPosit(c posit.Config) *Tables {
+	e, dir := tableEntryFor(positSpec(c))
+	e.once.Do(func() {
+		e.tab = loadOrBuildTables(dir, positSpec(c), func() *Tables { return buildPositTables(c) })
+	})
+	return e.tab
+}
+
+func tablesForMini(f minifloat.Format) *Tables {
+	e, dir := tableEntryFor(miniSpec(f))
+	e.once.Do(func() {
+		e.tab = loadOrBuildTables(dir, miniSpec(f), func() *Tables { return buildMiniTables(f) })
+	})
+	return e.tab
+}
+
+func table8For(c posit.Config) *posit.Table8 {
+	spec := "table8_" + positSpec(c)
+	e, dir := tableEntryFor(spec)
+	e.once.Do(func() {
+		if dir != "" {
+			if body, err := readTableCache(dir, spec); err == nil {
+				if t, err := posit.UnmarshalTable8(c, body); err == nil {
+					e.t8 = t
+					return
+				}
+			}
+		}
+		tableBuilds.Add(1)
+		t, err := posit.NewTable8(c)
+		if err != nil {
+			// Unreachable: newTable8Format gates on c.N() == 8, the only
+			// condition NewTable8 rejects.
+			panic(err) //lint:allow panics invariant check: table8For is only reachable for 8-bit configs
+		}
+		e.t8 = t
+		if dir != "" {
+			writeTableCache(dir, spec, t.MarshalBinary())
+		}
+	})
+	return e.t8
+}
+
+func loadOrBuildTables(dir, spec string, build func() *Tables) *Tables {
+	if dir != "" {
+		if body, err := readTableCache(dir, spec); err == nil {
+			if t, err := unmarshalTables(spec, body); err == nil {
+				return t
+			}
+		}
+	}
+	tableBuilds.Add(1)
+	t := build()
+	if dir != "" {
+		writeTableCache(dir, spec, t.marshalBinary())
+	}
+	return t
+}
+
+// --- on-disk cache ---
+
+func tableCachePath(dir, spec string) string {
+	h := sha256.Sum256([]byte(tableSchema + "\x00" + spec))
+	return filepath.Join(dir, hex.EncodeToString(h[:])[:24]+".tab")
+}
+
+func readTableCache(dir, spec string) ([]byte, error) {
+	data, err := os.ReadFile(tableCachePath(dir, spec))
+	if err != nil {
+		return nil, err
+	}
+	min := len(tableMagic) + 2 + sha256.Size
+	if len(data) < min {
+		return nil, errors.New("arith: table cache entry truncated")
+	}
+	payload, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	want := sha256.Sum256(payload)
+	if !bytes.Equal(sum, want[:]) {
+		return nil, errors.New("arith: table cache entry corrupt")
+	}
+	if string(payload[:len(tableMagic)]) != tableMagic {
+		return nil, errors.New("arith: table cache entry has wrong magic")
+	}
+	rest := payload[len(tableMagic):]
+	slen := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) < slen || string(rest[:slen]) != spec {
+		return nil, errors.New("arith: table cache entry is for a different spec")
+	}
+	return rest[slen:], nil
+}
+
+// writeTableCache persists a built table best-effort: a failed write
+// leaves the in-memory tables authoritative and the next process
+// rebuilds. Within that, the write itself is atomic and durable (temp
+// file, fsync before rename) so readers never observe a torn entry.
+func writeTableCache(dir, spec string, body []byte) {
+	payload := make([]byte, 0, len(tableMagic)+2+len(spec)+len(body)+sha256.Size)
+	payload = append(payload, tableMagic...)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(spec)))
+	payload = append(payload, spec...)
+	payload = append(payload, body...)
+	sum := sha256.Sum256(payload)
+	payload = append(payload, sum[:]...)
+
+	path := tableCachePath(dir, spec)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(payload)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = serr
+	}
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}
+
+// --- Tables (de)serialization ---
+
+func appendU64s(buf []byte, v []uint64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+	}
+	return buf
+}
+
+func appendU16s(buf []byte, v []uint16) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+	for _, x := range v {
+		buf = binary.LittleEndian.AppendUint16(buf, x)
+	}
+	return buf
+}
+
+func (t *Tables) marshalBinary() []byte {
+	buf := make([]byte, 0, t.MemBytes()+64)
+	buf = append(buf, byte(t.width))
+	if t.ieee {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, t.maxPat)
+	buf = binary.LittleEndian.AppendUint16(buf, t.patMask)
+	buf = binary.LittleEndian.AppendUint16(buf, t.signPat)
+	buf = binary.LittleEndian.AppendUint16(buf, t.nanPat)
+	buf = binary.LittleEndian.AppendUint16(buf, t.infPat)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(t.minScale)))
+	buf = binary.LittleEndian.AppendUint64(buf, t.maxFinBits)
+	dec := make([]uint64, len(t.decode))
+	for i, v := range t.decode {
+		dec[i] = math.Float64bits(v)
+	}
+	buf = appendU64s(buf, dec)
+	buf = appendU64s(buf, t.cut)
+	buf = appendU16s(buf, t.sqrt)
+	buf = appendU16s(buf, t.recip)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.fb)))
+	for _, b := range t.fb {
+		buf = append(buf, byte(b))
+	}
+	buf = appendU16s(buf, t.patBase)
+	return buf
+}
+
+type tableReader struct {
+	data []byte
+	err  error
+}
+
+func (r *tableReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data) < n {
+		r.err = errors.New("arith: table cache body truncated")
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *tableReader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *tableReader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *tableReader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+
+// maxTableLen bounds every decoded slice length: the widest format is
+// 16 bits, so no table exceeds 2^16+2 entries.
+const maxTableLen = 1<<16 + 2
+
+func (r *tableReader) length() int {
+	n := int(r.u32())
+	if n > maxTableLen {
+		r.err = errors.New("arith: table cache length out of range")
+		return 0
+	}
+	return n
+}
+
+func (r *tableReader) u64s() []uint64 {
+	n := r.length()
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = r.u64()
+	}
+	return v
+}
+
+func (r *tableReader) u16s() []uint16 {
+	n := r.length()
+	v := make([]uint16, n)
+	for i := range v {
+		v[i] = r.u16()
+	}
+	return v
+}
+
+func unmarshalTables(spec string, body []byte) (*Tables, error) {
+	r := &tableReader{data: body}
+	t := &Tables{spec: spec}
+	hdr := r.take(2)
+	if r.err != nil {
+		return nil, r.err
+	}
+	t.width = int(hdr[0])
+	t.ieee = hdr[1] == 1
+	t.maxPat = r.u32()
+	t.patMask = r.u16()
+	t.signPat = r.u16()
+	t.nanPat = r.u16()
+	t.infPat = r.u16()
+	t.minScale = int(int64(r.u64()))
+	t.maxFinBits = r.u64()
+	dec := r.u64s()
+	t.cut = r.u64s()
+	t.sqrt = r.u16s()
+	t.recip = r.u16s()
+	nfb := r.length()
+	fbRaw := r.take(nfb)
+	t.patBase = r.u16s()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != 0 {
+		return nil, errors.New("arith: table cache body has trailing bytes")
+	}
+	if t.width < 2 || t.width > 16 || len(dec) != 1<<uint(t.width) ||
+		len(t.cut) != int(t.maxPat)+2 || len(t.sqrt) != len(dec) ||
+		len(t.recip) != len(dec) || len(t.patBase) != nfb {
+		return nil, errors.New("arith: table cache body inconsistent")
+	}
+	t.decode = make([]float64, len(dec))
+	for i, b := range dec {
+		t.decode[i] = math.Float64frombits(b)
+	}
+	t.fb = make([]int8, nfb)
+	for i, b := range fbRaw {
+		t.fb[i] = int8(b)
+	}
+	if t.minScale+1023 < 0 || t.minScale+nfb+1023 > 2048 {
+		return nil, errors.New("arith: table cache scale range out of bounds")
+	}
+	t.finalize()
+	return t, nil
+}

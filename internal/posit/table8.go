@@ -53,3 +53,38 @@ func (t *Table8) Div(a, b Bits) Bits { return Bits(t.div[idx8(a, b)]) }
 
 // Sqrt returns the tabulated square root.
 func (t *Table8) Sqrt(a Bits) Bits { return Bits(t.sqrt[a&0xff]) }
+
+// table8Bytes is the flat MarshalBinary size: four 64 KiB binary-op
+// tables plus the 256-entry sqrt table.
+const table8Bytes = 4*(1<<16) + 1<<8
+
+// MarshalBinary flattens the tables (add, sub, mul, div, sqrt in
+// order) for arith's on-disk table cache. The configuration is not
+// encoded; the cache keys entries by format spec.
+func (t *Table8) MarshalBinary() []byte {
+	buf := make([]byte, 0, table8Bytes)
+	buf = append(buf, t.add[:]...)
+	buf = append(buf, t.sub[:]...)
+	buf = append(buf, t.mul[:]...)
+	buf = append(buf, t.div[:]...)
+	buf = append(buf, t.sqrt[:]...)
+	return buf
+}
+
+// UnmarshalTable8 reconstructs a Table8 for c from MarshalBinary
+// bytes.
+func UnmarshalTable8(c Config, data []byte) (*Table8, error) {
+	if c.N() != 8 {
+		return nil, fmt.Errorf("posit: Table8 requires an 8-bit format, got %v", c)
+	}
+	if len(data) != table8Bytes {
+		return nil, fmt.Errorf("posit: Table8 payload is %d bytes, want %d", len(data), table8Bytes)
+	}
+	t := &Table8{c: c}
+	data = data[copy(t.add[:], data):]
+	data = data[copy(t.sub[:], data):]
+	data = data[copy(t.mul[:], data):]
+	data = data[copy(t.div[:], data):]
+	copy(t.sqrt[:], data)
+	return t, nil
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -93,6 +94,12 @@ type Config struct {
 	// MaxQueuedJobs bounds the queued-job backlog; submissions beyond
 	// it get 429. <= 0 means 1024.
 	MaxQueuedJobs int
+
+	// EnablePprof mounts the net/http/pprof handlers under
+	// /debug/pprof/ (positd's -pprof flag). Off by default: profiling
+	// endpoints expose internals and can run for tens of seconds, so
+	// they are opt-in like the other debug surfaces.
+	EnablePprof bool
 }
 
 func (c Config) fill() Config {
@@ -191,6 +198,17 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.cfg.EnablePprof {
+		// Explicit registration on this mux (not the side-effect
+		// DefaultServeMux registration) so the handlers exist only when
+		// asked for. Debug routes bypass admission and the /v1 request
+		// timeout, so a 30 s CPU profile is not cut short.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	var h http.Handler = mux
 	h = s.timeoutMiddleware(h)

@@ -453,3 +453,24 @@ func TestDebugMetrics(t *testing.T) {
 		t.Fatalf("ops.Conv = 0, want conversions counted")
 	}
 }
+
+func TestPprofGated(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp := get(t, off.URL+"/debug/pprof/cmdline")
+	_ = readBody(t, resp)
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof disabled: status = %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp = get(t, on.URL+"/debug/pprof/cmdline")
+	_ = readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof enabled: status = %d, want 200", resp.StatusCode)
+	}
+	resp = get(t, on.URL+"/debug/pprof/")
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status = %d, want 200 with profile listing", resp.StatusCode)
+	}
+}

@@ -42,16 +42,21 @@ func BenchmarkCG200Float64(b *testing.B)   { benchCG(b, arith.Float64) }
 func BenchmarkCG200Float32(b *testing.B)   { benchCG(b, arith.Float32) }
 func BenchmarkCG200Posit32e2(b *testing.B) { benchCG(b, arith.Posit32e2) }
 
-func BenchmarkMixedIRFloat16(b *testing.B) {
+func benchMixedIR(b *testing.B, f arith.Format) {
 	a := laplacian1D(100)
 	_, rhs := onesRHS(a)
 	for i := 0; i < b.N; i++ {
-		res := solvers.MixedIR(a, rhs, arith.Float16, solvers.IRScaling{}, solvers.IROptions{})
+		res := solvers.MixedIR(a, rhs, f, solvers.IRScaling{}, solvers.IROptions{})
 		if !res.Converged {
 			b.Fatal("did not converge")
 		}
 	}
 }
+
+func BenchmarkMixedIRFloat16(b *testing.B)   { benchMixedIR(b, arith.Float16) }
+func BenchmarkMixedIRBFloat16(b *testing.B)  { benchMixedIR(b, arith.BFloat16) }
+func BenchmarkMixedIRPosit16e1(b *testing.B) { benchMixedIR(b, arith.Posit16e1) }
+func BenchmarkMixedIRPosit16e2(b *testing.B) { benchMixedIR(b, arith.Posit16e2) }
 
 func BenchmarkGMRESIRFloat16(b *testing.B) {
 	a := laplacian1D(100)

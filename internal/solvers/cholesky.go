@@ -71,13 +71,13 @@ func CholeskyCtx(ctx context.Context, a *linalg.DenseNum) (*linalg.DenseNum, err
 			return nil, ErrNotPositiveDefinite
 		}
 		rj[j] = piv
-		// Row j of R: R[j][i] = (a[j][i] − Σ_{k<j} R[k][j]·R[k][i]) / pivot.
-		for i := j + 1; i < n; i++ {
-			q := f.Div(rj[i], piv)
-			if f.Bad(q) {
-				return nil, ErrNotPositiveDefinite
-			}
-			rj[i] = q
+		// Row j of R: R[j][i] = (a[j][i] − Σ_{k<j} R[k][j]·R[k][i]) / pivot,
+		// batched through the format's DivKernel (tabulated or value-
+		// domain for the fast formats). A division overflowing to an
+		// exceptional value is a breakdown, as in the scalar form.
+		bk.DivKernel(piv, rj[j+1:])
+		if linalg.HasBad(f, rj[j+1:]) {
+			return nil, ErrNotPositiveDefinite
 		}
 		// Trailing update: W[i][i:] ← W[i][i:] − R[j][i]·R[j][i:] for
 		// every i > j. Rows are independent chains; shard them.
