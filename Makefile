@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service bench-jobs bench-tables profile
+.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service bench-jobs bench-tables bench-shadow profile
 
 verify: vet build lint test race
 
@@ -74,6 +74,15 @@ profile:
 bench-service:
 	POSITLAB_BENCH_SERVICE=1 $(GO) test -run TestWriteServiceBenchReport ./internal/service/
 	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchtime 2s ./internal/service/
+
+# Reproduce BENCH_shadow.json: shadow-wrapper overhead (off vs default
+# sampling vs full measurement) on the Dot1024 and Cholesky200
+# workloads, plus the raw Go micro-benchmarks for the same paths. The
+# report test also asserts the overhead contract (sampled <= 2x,
+# full <= 10x on cholesky200).
+bench-shadow:
+	POSITLAB_BENCH_SHADOW=1 $(GO) test -run TestWriteShadowBenchReport -v ./internal/shadow/
+	$(GO) test -run '^$$' -bench 'Dot1024Posit16e2|Cholesky200Posit16e2' -benchtime 1s ./internal/shadow/
 
 # Reproduce BENCH_jobs.json: submit-to-complete throughput of the
 # durable job store (ephemeral / journaled / journaled-nosync) and

@@ -8,10 +8,21 @@
 //
 //	experiments [-matrices a,b,c] [-cgcap N] [-irmax N]
 //	            [-jobs N] [-par N] [-timeout D] [-cache dir] [-runs file]
-//	            [-instrument] [-svg dir] [-csv dir] [ids...]
+//	            [-instrument] [-svg dir] [-csv dir]
+//	            [-shadow] [-shadow-sample N] [-pprof addr] [ids...]
 //
 // where ids are any of: table1 fig3 fig5 fig6 fig7 fig8 fig9 table2
 // table3 fig10 ext-fft ext-shock ext-bicg ext-gmres all (default all).
+//
+// With -shadow, the shadow-precision diagnosis experiment (diagnose)
+// joins the run — and "all" — re-running Higham-scaled IR under the
+// shadow wrapper with per-op error telemetry; -shadow-sample sets its
+// sampling stride (1 = measure every operation). The experiment can
+// also be requested by id without the flag.
+//
+// With -pprof, net/http/pprof is served on the given address for the
+// duration of the run (like positd's -pprof, but on its own listener
+// since this command has no HTTP server otherwise).
 //
 // Exit status is 0 on success, 1 when any job or output write failed
 // (completed experiments are still printed), and 2 on usage errors.
@@ -22,6 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -59,6 +73,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache", "", "on-disk result cache directory (empty = no cache)")
 	runsPath := fs.String("runs", "", "write a machine-readable runs.json report to this file")
 	instrument := fs.Bool("instrument", false, "count per-job arithmetic operations into the run report")
+	shadowOn := fs.Bool("shadow", false, "include the shadow-precision diagnosis experiment (diagnose) in the run and in \"all\"")
+	shadowSample := fs.Int("shadow-sample", 0, "shadow diagnosis sampling stride: measure every Nth operation (1 = all, 0 = the default stride)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address for the duration of the run (empty = off)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -85,8 +102,31 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *timeout < 0 {
 		return usage("-timeout must be >= 0, got %v", *timeout)
 	}
+	if *shadowSample < 0 {
+		return usage("-shadow-sample must be >= 0, got %d", *shadowSample)
+	}
+	if *pprofAddr != "" {
+		// Own mux, not DefaultServeMux: only the pprof routes exist, and
+		// only while this process runs.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return usage("-pprof: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "experiments: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			srv := &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+			_ = srv.Serve(ln) // advisory endpoint; errors just end profiling
+		}()
+	}
 
-	opt := experiments.Options{CGCapFactor: *cgcap, IRMaxIter: *irmax}
+	opt := experiments.Options{CGCapFactor: *cgcap, IRMaxIter: *irmax, ShadowSample: *shadowSample}
 	if *matrices != "" {
 		opt.Matrices = strings.Split(*matrices, ",")
 		for _, name := range opt.Matrices {
@@ -96,6 +136,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The shadow diagnosis experiment is opt-in (it re-runs the IR
+	// grid): -shadow appends it to the canonical order, and with it to
+	// "all". Requesting the id explicitly works without the flag.
+	order := displayOrder
+	if *shadowOn {
+		order = append(append([]string(nil), displayOrder...), "diagnose")
+	}
+
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = []string{"all"}
@@ -103,18 +151,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	want := map[string]bool{}
 	for _, id := range ids {
 		if id == "all" {
-			for _, k := range displayOrder {
+			for _, k := range order {
 				want[k] = true
 			}
 			continue
 		}
 		if _, ok := runner.Default.Lookup(id); !ok {
-			return usage("unknown experiment %q (known: %s, all)", id, strings.Join(displayOrder, " "))
+			return usage("unknown experiment %q (known: %s, all)", id, strings.Join(order, " "))
 		}
 		want[id] = true
 	}
+	if want["diagnose"] && !*shadowOn {
+		order = append(append([]string(nil), displayOrder...), "diagnose")
+	}
 	var selected []string
-	for _, id := range displayOrder {
+	for _, id := range order {
 		if want[id] {
 			selected = append(selected, id)
 		}

@@ -18,6 +18,9 @@
 //	GET  /healthz                 liveness
 //	POST /v1/convert              batch format conversion with error stats
 //	POST /v1/solve                one CG / Cholesky / IR run
+//	POST /v1/diagnose             one shadow-diagnosed solver run:
+//	                              per-op error telemetry, divergence
+//	                              trace, decimal-digits envelope check
 //	GET  /v1/experiments/{name}   a registered experiment's rendered rows
 //	POST /v1/jobs                 submit an async solve/experiment job
 //	GET  /v1/jobs                 list jobs (?state= ?kind= ?limit=)
@@ -115,9 +118,11 @@ func run(argv []string, stderr io.Writer) int {
 	}
 	linalg.SetWorkers(*par)
 	if *tableCache != "" {
+		// An unusable cache directory degrades to building tables in
+		// memory (SetTableCacheDir already disabled the disk cache);
+		// warn and keep serving rather than refusing to start.
 		if err := arith.SetTableCacheDir(*tableCache); err != nil {
-			fmt.Fprintf(stderr, "positd: %v\n", err)
-			return 1
+			fmt.Fprintf(stderr, "positd: -table-cache unusable, building tables in memory: %v\n", err)
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"positlab/internal/arith"
@@ -401,6 +402,47 @@ func TestTableCacheDirRegistry(t *testing.T) {
 	path := arith.TableCachePathForTest(dir, arith.PositTableSpec(c))
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("registry did not persist tables for %s: %v", arith.PositTableSpec(c), err)
+	}
+}
+
+// TestTableCacheDirUnusable exercises the degraded path: an unusable
+// cache directory (here, a path routed through a regular file, so
+// MkdirAll fails even for root) reports an error but leaves the
+// registry serving in-memory tables with the disk cache disabled.
+func TestTableCacheDirUnusable(t *testing.T) {
+	base := t.TempDir()
+	file := filepath.Join(base, "blocker")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "cache")
+	err := arith.SetTableCacheDir(bad)
+	if err == nil {
+		t.Fatalf("SetTableCacheDir(%q) succeeded on a path through a file", bad)
+	}
+	defer func() {
+		if err := arith.SetTableCacheDir(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	// The fallback must behave exactly like no cache: tables build in
+	// memory and arithmetic works.
+	c := posit.MustNew(13, 1) // unique to this test
+	f := arith.FastPosit(c)
+	if got := f.ToFloat64(f.Add(f.One(), f.One())); got != 2 {
+		t.Fatalf("in-memory fallback: 1+1 = %g, want 2", got)
+	}
+	// And the registry must not have latched the unusable dir: a later
+	// good dir works and persists.
+	good := t.TempDir()
+	if err := arith.SetTableCacheDir(good); err != nil {
+		t.Fatal(err)
+	}
+	c2 := posit.MustNew(13, 2) // unique to this test
+	f2 := arith.FastPosit(c2)
+	_ = f2.Add(f2.One(), f2.One())
+	if _, err := os.Stat(arith.TableCachePathForTest(good, arith.PositTableSpec(c2))); err != nil {
+		t.Fatalf("cache dir set after a failed one did not persist: %v", err)
 	}
 }
 

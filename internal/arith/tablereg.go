@@ -60,24 +60,53 @@ var tableBuilds atomic.Uint64
 
 func init() {
 	if dir := os.Getenv("POSITLAB_TABLE_CACHE"); dir != "" {
-		// Best-effort: an unusable cache dir must not break startup.
-		_ = SetTableCacheDir(dir)
+		// Best-effort: an unusable cache dir must not break startup —
+		// the fallback is building tables in memory, so just warn.
+		if err := SetTableCacheDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "arith: POSITLAB_TABLE_CACHE unusable, building tables in memory: %v\n", err)
+		}
 	}
 }
 
 // SetTableCacheDir enables (non-empty) or disables (empty) the on-disk
 // table cache. Call it before first use of the fast formats; tables
 // already resident are not re-persisted.
+//
+// The directory is created and probed for writability up front. On
+// failure the disk cache is disabled — tables build in memory exactly
+// as with no cache configured — and the error is returned so the
+// caller can warn; it never needs to be fatal.
 func SetTableCacheDir(dir string) error {
+	var err error
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("arith: table cache: %w", err)
+		if err = probeCacheDir(dir); err != nil {
+			err = fmt.Errorf("arith: table cache: %w", err)
+			dir = ""
 		}
 	}
 	tableReg.Lock()
 	tableReg.dir = dir
 	tableReg.Unlock()
-	return nil
+	return err
+}
+
+// probeCacheDir creates dir and verifies a file can actually be
+// written there (MkdirAll succeeding says nothing about a read-only
+// mount or a path component that is a file).
+func probeCacheDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := probe.Name()
+	cerr := probe.Close()
+	if rerr := os.Remove(name); cerr == nil {
+		cerr = rerr
+	}
+	return cerr
 }
 
 func tableEntryFor(spec string) (*tableEntry, string) {

@@ -40,6 +40,13 @@ type Options struct {
 	IRTol float64 `json:"ir_tol,omitempty"`
 	// IRMaxIter caps refinement (paper: 1000).
 	IRMaxIter int `json:"ir_max_iter,omitempty"`
+	// ShadowSample is the shadow-diagnosis sampling stride: the
+	// diagnose experiment measures every ShadowSample-th format
+	// operation against the high-precision reference (1 = every
+	// operation; 0 = the shadow package default). Part of the JSON
+	// encoding — and therefore of runner cache keys — because the
+	// stride changes the reported telemetry.
+	ShadowSample int `json:"shadow_sample,omitempty"`
 	// Ops, when non-nil, receives a count of every format operation
 	// the experiment performs (see arith.InstrumentAtomic). Excluded
 	// from JSON — and therefore from runner cache keys — because

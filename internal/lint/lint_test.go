@@ -128,18 +128,21 @@ func TestAllowSuppresses(t *testing.T) {
 	}
 	// Exact per-file, per-rule counts: one extra means an allow leaked.
 	wantCounts := map[string]int{
-		"solvers/solvers.go:precision":        3,
-		"solvers/xprec.go:xprecision":         3,
-		"report/report.go:errcheck":           4,
-		"service/service.go:errcheck":         3,
-		"service/ctx.go:ctxprop":              2,
-		"jobs/jobs.go:errcheck":               5,
-		"jobs/durable.go:durability":          2,
-		"jobs/queue.go:mutexio":               3,
-		"lib/lib.go:locks":                    3,
-		"lib/lib.go:panics":                   1,
-		"experiments/experiments.go:maporder": 1,
-		"experiments/experiments.go:registry": 3,
+		"solvers/solvers.go:precision":         3,
+		"solvers/xprec.go:xprecision":          3,
+		"shadow/shadow.go:precision":           2,
+		"shadow/shadow.go:xprecision":          2,
+		"shadow/shadow.go:errcheck":            2,
+		"report/report.go:errcheck":            4,
+		"service/service.go:errcheck":          3,
+		"service/ctx.go:ctxprop":               2,
+		"jobs/jobs.go:errcheck":                5,
+		"jobs/durable.go:durability":           2,
+		"jobs/queue.go:mutexio":                3,
+		"lib/lib.go:locks":                     3,
+		"lib/lib.go:panics":                    1,
+		"experiments/experiments.go:maporder":  1,
+		"experiments/experiments.go:registry":  3,
 		"allowaudit/allowaudit.go:unusedallow": 3,
 	}
 	for key, want := range wantCounts {

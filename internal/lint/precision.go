@@ -16,7 +16,11 @@ import (
 // kernel speed the sanctioned way: arith.BulkOf(f).DotKernel(...), never
 // by inlining float64 loops over ToFloat64 results (which this rule
 // flags as laundering).
-var precisionScope = []string{"solvers", "linalg", "scaling", "experiments", "shocktube", "fft"}
+// The shadow-execution package is scoped too: its float64 reference
+// math is load-bearing, but the sanctioned idiom keeps it behind the
+// Format-free refEngine seam (see testdata/src/shadow) — inline
+// reference arithmetic in format-handling methods is still laundering.
+var precisionScope = []string{"solvers", "linalg", "scaling", "experiments", "shocktube", "fft", "shadow"}
 
 // precisionDeny lists the math functions that perform a rounded
 // computation. Calling one of these in a function that also handles

@@ -1,0 +1,105 @@
+// Package shadow is a lint fixture mimicking the real shadow-execution
+// package — the one scoped package where float64 reference math is
+// load-bearing: shadow measurement recomputes each format operation in
+// higher precision to quantify its rounding error. The idiom that keeps
+// that legal under the precision rules: every rounded reference
+// operation lives in a Format-free helper behind the engine seam, and
+// format-handling methods only convert operands and hand them over.
+// Inlining the reference arithmetic (or laundering it one call away)
+// is flagged like anywhere else in scope.
+package shadow
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"positlab/internal/arith"
+)
+
+// engine is the Format-free measurement seam: implementations own the
+// float64 (or big.Float) reference arithmetic.
+type engine interface {
+	measure(a, b, got float64) (ref, rel float64)
+}
+
+// f64Engine recomputes operations in native binary64. It never
+// mentions arith.Format, so float64 math is its job — the same
+// contract as the real refEngine implementations.
+type f64Engine struct{}
+
+func (f64Engine) measure(a, b, got float64) (ref, rel float64) {
+	ref = a + b
+	return ref, relErr(got, ref)
+}
+
+// relErr is a Format-free float64 helper: legal reference math.
+func relErr(got, ref float64) float64 {
+	if ref == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-ref) / math.Abs(ref)
+}
+
+// refAdd rounds its float parameters into the result — a laundering
+// helper when scoped format-handling code feeds it ToFloat64 values.
+func refAdd(a, b float64) float64 { return a + b }
+
+// rec pairs a format with its reference engine, like shadow.Recorder.
+type rec struct {
+	f   arith.Format
+	eng engine
+}
+
+// NoteGood is the sanctioned mixing idiom: convert the operands to
+// float64 locals once, pass them through the engine interface, and
+// keep every rounded reference operation out of this method.
+func (r *rec) NoteGood(a, b, got arith.Num) float64 {
+	av := r.f.ToFloat64(a)
+	bv := r.f.ToFloat64(b)
+	gv := r.f.ToFloat64(got)
+	_, rel := r.eng.measure(av, bv, gv)
+	return rel
+}
+
+// NoteBadInline computes the reference inline instead: raw float64
+// arithmetic on ToFloat64 results inside a format-handling method is
+// laundering, shadow scope or not.
+func (r *rec) NoteBadInline(a, b arith.Num) float64 {
+	return r.f.ToFloat64(a) + r.f.ToFloat64(b) // want: precision raw + on ToFloat64
+}
+
+// NoteBadMath reaches for a deny-listed math call directly.
+func (r *rec) NoteBadMath(x arith.Num) float64 {
+	return math.Sqrt(r.f.ToFloat64(x)) // want: precision math.Sqrt
+}
+
+// NoteBadLaundered hides the inline reference one call away: refAdd
+// rounds both arguments in binary64, so feeding it ToFloat64-derived
+// values launders exactly like NoteBadInline.
+func (r *rec) NoteBadLaundered(a, b arith.Num) float64 {
+	av := r.f.ToFloat64(a)
+	return refAdd(av, r.f.ToFloat64(b)) // want: xprecision both args
+}
+
+// DigitsAllowed carries the audited escape hatch for a reporting
+// metric (the twin of NoteBadMath's flagged call).
+func (r *rec) DigitsAllowed(x arith.Num) float64 {
+	return -math.Log10(r.f.ToFloat64(x)) //lint:allow precision audited telemetry digit count
+}
+
+// WriteTrace streams a divergence-trace artifact; a dropped write
+// error would truncate the artifact while still looking like one.
+func WriteTrace(w io.Writer, rel []float64) {
+	fmt.Fprintln(w, "iter,rel") // want: errcheck
+	for i, r := range rel {
+		fmt.Fprintf(w, "%d,%g\n", i, r) // want: errcheck
+	}
+	_ = writeFooter(w) // acknowledged discard stays clean
+}
+
+// writeFooter returns its write error for the caller to handle.
+func writeFooter(w io.Writer) error {
+	_, err := io.WriteString(w, "end\n")
+	return err
+}

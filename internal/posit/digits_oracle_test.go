@@ -1,0 +1,218 @@
+package posit_test
+
+// Oracle coverage for the decimal-digits envelope (paper Fig. 3):
+// DecimalDigitsAt for the posit config behind every posit registry
+// format is checked against a from-first-principles recomputation in
+// 4096-bit big.Float arithmetic, and the minifloat equivalent behind
+// every IEEE-minifloat registry format against a value-space
+// enumeration of its representable grid. The shadow diagnosis report
+// leans on these envelopes (shadow.EnvelopeCheck), so they get oracle
+// treatment, not just spot checks.
+
+import (
+	"math"
+	"math/big"
+	"sort"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/bigfp"
+	"positlab/internal/minifloat"
+	"positlab/internal/posit"
+)
+
+// oracleDigits recomputes Config.DecimalDigitsAt independently: the
+// conversion uses bigfp's reference rounder, the bracket values come
+// from bigfp.PatternValue, and the relative half-gap is formed in
+// 4096-bit arithmetic before the final log10.
+func oracleDigits(c posit.Config, x float64) float64 {
+	ax := math.Abs(x)
+	if ax == 0 || math.IsNaN(ax) || math.IsInf(ax, 0) {
+		return 0
+	}
+	n, es := c.N(), c.ES()
+	maxPos := uint64(1)<<(n-1) - 1 // NaR's pattern predecessor
+	bx := bigfp.New(ax)
+	if bx.Cmp(bigfp.PatternValue(n, es, 1)) < 0 ||
+		bx.Cmp(bigfp.PatternValue(n, es, maxPos)) > 0 {
+		return 0
+	}
+	p := uint64(bigfp.FromFloat64Ref(c, ax))
+	if p == 0 || p == uint64(c.NaR()) {
+		return 0
+	}
+	if p == maxPos {
+		p--
+	}
+	lo := bigfp.PatternValue(n, es, p)
+	hi := bigfp.PatternValue(n, es, p+1)
+	rel := new(big.Float).SetPrec(bigfp.Prec).Sub(hi, lo)
+	rel.Quo(rel, new(big.Float).SetPrec(bigfp.Prec).SetInt64(2))
+	rel.Quo(rel, bx)
+	rf, _ := rel.Float64()
+	if rf <= 0 {
+		return 0
+	}
+	d := -math.Log10(rf)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// registryPositConfigs collects the posit config behind every posit
+// format in the arith registry.
+func registryPositConfigs(t *testing.T) map[string]posit.Config {
+	t.Helper()
+	out := map[string]posit.Config{}
+	for _, name := range arith.Names() {
+		f := arith.MustByName(name)
+		if c, ok := arith.PositConfig(f); ok {
+			out[name] = c
+		}
+	}
+	if len(out) < 16 {
+		t.Fatalf("registry exposes only %d posit formats; expected the full n×es grid", len(out))
+	}
+	return out
+}
+
+func TestDecimalDigitsAtOracle(t *testing.T) {
+	multipliers := []float64{1.0, 1.3178, 1.9371}
+	for name, c := range registryPositConfigs(t) {
+		c := c
+		t.Run(name, func(t *testing.T) {
+			minS, maxS := c.MinScale(), c.MaxScale()
+			// ~60 scales per config, spanning past both range ends so the
+			// zero-digit clamp regions are exercised too.
+			step := (maxS - minS + 6) / 60
+			if step < 1 {
+				step = 1
+			}
+			for s := minS - 3; s <= maxS+3; s += step {
+				for _, m := range multipliers {
+					x := math.Ldexp(m, s)
+					if math.IsInf(x, 0) || x == 0 {
+						continue
+					}
+					got := c.DecimalDigitsAt(x)
+					want := oracleDigits(c, x)
+					if math.Abs(got-want) > 1e-9 {
+						t.Fatalf("DecimalDigitsAt(%g) = %.12f, oracle %.12f", x, got, want)
+					}
+					// Sign symmetry: the envelope depends on |x| only.
+					if neg := c.DecimalDigitsAt(-x); neg != got {
+						t.Fatalf("DecimalDigitsAt(-%g) = %g, want %g", x, neg, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecimalDigitsAtEdges(t *testing.T) {
+	for name, c := range registryPositConfigs(t) {
+		c := c
+		t.Run(name, func(t *testing.T) {
+			for _, x := range []float64{0, math.NaN(), math.Inf(1), math.Inf(-1)} {
+				if d := c.DecimalDigitsAt(x); d != 0 {
+					t.Errorf("DecimalDigitsAt(%v) = %g, want 0", x, d)
+				}
+			}
+			minPos := c.ToFloat64(c.MinPos())
+			maxPos := c.ToFloat64(c.MaxPos())
+			if d := c.DecimalDigitsAt(minPos / 2); d != 0 {
+				t.Errorf("below minpos: %g digits, want 0", d)
+			}
+			if d := c.DecimalDigitsAt(maxPos * 2); d != 0 {
+				t.Errorf("above maxpos: %g digits, want 0", d)
+			}
+			// The range ends themselves use the one-sided bracket and
+			// must still agree with the oracle.
+			for _, x := range []float64{minPos, maxPos} {
+				got, want := c.DecimalDigitsAt(x), oracleDigits(c, x)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("DecimalDigitsAt(%g) = %.12f, oracle %.12f", x, got, want)
+				}
+			}
+		})
+	}
+}
+
+// miniGrid enumerates every positive finite value of a minifloat
+// format, ascending — the value-space oracle for its digit envelope.
+func miniGrid(f minifloat.Format) []float64 {
+	var vs []float64
+	for pat := uint64(0); pat < 1<<f.Width(); pat++ {
+		b := minifloat.Bits(pat)
+		if f.IsNaN(b) || f.IsInf(b) {
+			continue
+		}
+		v := f.ToFloat64(b)
+		if v > 0 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Float64s(vs)
+	return vs
+}
+
+// miniOracleDigits recomputes minifloat DecimalDigitsAt from the
+// enumerated grid: half the local gap around the rounded image of x,
+// relative to x.
+func miniOracleDigits(f minifloat.Format, grid []float64, x float64) float64 {
+	ax := math.Abs(x)
+	if ax == 0 || math.IsNaN(ax) || math.IsInf(ax, 0) {
+		return 0
+	}
+	p := f.FromFloat64(ax)
+	if f.IsInf(p) || f.IsZero(p) {
+		return 0
+	}
+	v := f.ToFloat64(p)
+	i := sort.SearchFloat64s(grid, v)
+	var lo, hi float64
+	if i+1 < len(grid) {
+		lo, hi = grid[i], grid[i+1]
+	} else {
+		lo, hi = grid[i-1], grid[i] // max finite: one-sided bracket below
+	}
+	rel := (hi - lo) / 2 / ax
+	if rel <= 0 {
+		return 0
+	}
+	return -math.Log10(rel)
+}
+
+func TestMiniDecimalDigitsAtOracle(t *testing.T) {
+	found := 0
+	for _, name := range arith.Names() {
+		f := arith.MustByName(name)
+		m, ok := arith.MiniConfig(f)
+		if !ok {
+			continue
+		}
+		found++
+		t.Run(name, func(t *testing.T) {
+			grid := miniGrid(m)
+			for s := math.Ilogb(grid[0]) - 2; s <= math.Ilogb(grid[len(grid)-1])+2; s++ {
+				for _, mult := range []float64{1.0, 1.3178, 1.9371} {
+					x := math.Ldexp(mult, s)
+					got := m.DecimalDigitsAt(x)
+					want := miniOracleDigits(m, grid, x)
+					if math.Abs(got-want) > 1e-9 {
+						t.Fatalf("DecimalDigitsAt(%g) = %.12f, oracle %.12f", x, got, want)
+					}
+				}
+			}
+			for _, x := range []float64{0, math.NaN(), math.Inf(1)} {
+				if d := m.DecimalDigitsAt(x); d != 0 {
+					t.Errorf("DecimalDigitsAt(%v) = %g, want 0", x, d)
+				}
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("registry exposes no minifloat formats")
+	}
+}

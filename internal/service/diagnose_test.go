@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDiagnoseEndpoint smokes POST /v1/diagnose end to end on a suite
+// matrix: a shadowed CG run must return a well-formed report with
+// non-empty telemetry, and a completed run must show up in the shadow
+// gauges of /debug/metrics.
+func TestDiagnoseEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := post(t, ts.URL+"/v1/diagnose",
+		`{"matrix":"bcsstk01","solver":"cg","format":"posit32es2","rescale":true,"sample_every":1,"include_csv":true}`)
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Matrix      string `json:"matrix"`
+		Solver      string `json:"solver"`
+		Format      string `json:"format"`
+		N           int    `json:"n"`
+		SampleEvery int    `json:"sample_every"`
+		Iterations  int    `json:"iterations"`
+		Trace       []struct {
+			Iter int `json:"iter"`
+		} `json:"trace"`
+		Telemetry struct {
+			TotalOps    uint64 `json:"total_ops"`
+			MeasuredOps uint64 `json:"measured_ops"`
+			Stats       []struct {
+				Op      string `json:"op"`
+				Count   uint64 `json:"count"`
+				RelHist []struct {
+					Log2  int    `json:"log2"`
+					Count uint64 `json:"count"`
+				} `json:"rel_hist"`
+			} `json:"stats"`
+		} `json:"telemetry"`
+		TraceCSV string `json:"trace_csv"`
+		StatsCSV string `json:"stats_csv"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("decode report: %v\n%s", err, body)
+	}
+	if rep.Matrix != "bcsstk01" || rep.Solver != "cg" || rep.N != 48 || rep.SampleEvery != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Iterations == 0 || len(rep.Trace) == 0 {
+		t.Fatalf("no solver progress in report: %+v", rep)
+	}
+	if rep.Telemetry.TotalOps == 0 || rep.Telemetry.MeasuredOps != rep.Telemetry.TotalOps {
+		t.Fatalf("full sampling measured %d of %d ops", rep.Telemetry.MeasuredOps, rep.Telemetry.TotalOps)
+	}
+	if len(rep.Telemetry.Stats) == 0 {
+		t.Fatal("empty telemetry stats")
+	}
+	hist := 0
+	for _, s := range rep.Telemetry.Stats {
+		hist += len(s.RelHist)
+	}
+	if hist == 0 {
+		t.Fatal("all error histograms empty")
+	}
+	if !strings.HasPrefix(rep.TraceCSV, "iter,") || !strings.HasPrefix(rep.StatsCSV, "label,") {
+		t.Fatalf("CSV artifacts missing: %q %q", rep.TraceCSV, rep.StatsCSV)
+	}
+
+	mresp := get(t, ts.URL+"/debug/metrics")
+	mbody := readBody(t, mresp)
+	var metrics struct {
+		Shadow struct {
+			Runs        uint64 `json:"runs"`
+			ShadowedOps uint64 `json:"shadowed_ops"`
+		} `json:"shadow"`
+	}
+	if err := json.Unmarshal([]byte(mbody), &metrics); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if metrics.Shadow.Runs != 1 || metrics.Shadow.ShadowedOps != rep.Telemetry.TotalOps {
+		t.Fatalf("shadow gauges: %+v, want 1 run / %d ops", metrics.Shadow, rep.Telemetry.TotalOps)
+	}
+}
+
+// TestDiagnoseEndpointValidation covers the 400 paths.
+func TestDiagnoseEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"unknown format": `{"matrix":"bcsstk01","solver":"cg","format":"posit99"}`,
+		"unknown matrix": `{"matrix":"nope","solver":"cg","format":"posit16es1"}`,
+		"unknown solver": `{"matrix":"bcsstk01","solver":"lu","format":"posit16es1"}`,
+		"no system":      `{"solver":"cg","format":"posit16es1"}`,
+	} {
+		resp := post(t, ts.URL+"/v1/diagnose", body)
+		if b := readBody(t, resp); resp.StatusCode != 400 {
+			t.Errorf("%s: status = %d, want 400 (%s)", name, resp.StatusCode, b)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"positlab/internal/arith"
 	"positlab/internal/jobs"
+	"positlab/internal/shadow"
 )
 
 // latWindow is the per-route latency reservoir size: quantiles are
@@ -25,6 +26,9 @@ type Metrics struct {
 	// Ops counts every format operation performed on behalf of
 	// requests (atomic; written from handler goroutines directly).
 	Ops *arith.AtomicOpCounts
+	// Shadow aggregates the per-op error gauges of completed
+	// /v1/diagnose runs (atomic, like Ops).
+	Shadow *shadow.Gauges
 
 	mu       sync.Mutex
 	start    time.Time
@@ -44,6 +48,7 @@ type routeStats struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		Ops:    &arith.AtomicOpCounts{},
+		Shadow: &shadow.Gauges{},
 		start:  time.Now(),
 		routes: map[string]*routeStats{},
 	}
@@ -95,6 +100,9 @@ type MetricsSnapshot struct {
 	Cache     CacheSnapshot            `json:"cache"`
 	Ops       arith.OpCounts           `json:"ops"`
 	OpsTotal  uint64                   `json:"ops_total"`
+	// Shadow is the /v1/diagnose error-gauge section: runs completed,
+	// operations shadowed/measured, and the worst relative error seen.
+	Shadow shadow.GaugesSnapshot `json:"shadow"`
 	// Jobs is the async job subsystem section (queue depths, lifecycle
 	// counters, wait/run latency quantiles, journal/replay health);
 	// attached by the server, absent from bare Metrics snapshots.
@@ -119,6 +127,7 @@ func (m *Metrics) Snapshot(cache *Cache) MetricsSnapshot {
 	}
 	snap.Ops = m.Ops.Snapshot()
 	snap.OpsTotal = snap.Ops.Total()
+	snap.Shadow = m.Shadow.Snapshot()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

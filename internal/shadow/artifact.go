@@ -1,0 +1,171 @@
+package shadow
+
+// Report artifacts: JSON for the API, CSV for spreadsheet analysis of
+// the traces and histograms, and an SVG error-decay figure in the
+// style of the repo's other regenerated paper figures. Plus the
+// process-wide Gauges the serving layer publishes to /debug/metrics.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"positlab/internal/report"
+	"positlab/internal/svgplot"
+)
+
+// JSON renders the report as indented JSON (non-finite values as
+// null).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// TraceCSV renders the divergence trace as CSV.
+func (r *Report) TraceCSV() string {
+	rows := make([][]string, 0, len(r.Trace))
+	for _, t := range r.Trace {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", t.Iter),
+			report.Sci(float64(t.Divergence)),
+			report.Sci(float64(t.Residual)),
+			report.Sci(float64(t.ShadowResidual)),
+		})
+	}
+	return report.CSV([]string{"iter", "divergence", "residual", "shadow_residual"}, rows)
+}
+
+// ColumnsCSV renders the Cholesky column diagnostics as CSV.
+func (r *Report) ColumnsCSV() string {
+	rows := make([][]string, 0, len(r.Columns))
+	for _, c := range r.Columns {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.Col),
+			report.Sci(float64(c.RelErr)),
+			fmt.Sprintf("%.2f", float64(c.Digits)),
+		})
+	}
+	return report.CSV([]string{"col", "rel_err", "digits"}, rows)
+}
+
+// StatsCSV renders the telemetry histogram cells as CSV, one row per
+// (label, site, op) cell.
+func (r *Report) StatsCSV() string {
+	rows := make([][]string, 0, len(r.Telemetry.Stats))
+	for _, s := range r.Telemetry.Stats {
+		rows = append(rows, []string{
+			s.Label, s.Site, s.Op,
+			fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%d", s.Exact),
+			fmt.Sprintf("%d", s.Bad),
+			report.Sci(float64(s.MaxRel)),
+			report.Sci(float64(s.MaxUlp)),
+		})
+	}
+	return report.CSV([]string{"label", "site", "op", "count", "exact", "bad", "max_rel", "max_ulp"}, rows)
+}
+
+// DecaySVG renders the divergence trace as a log-scale error-decay
+// figure: divergence from the shadow trajectory, the true residual,
+// and the shadow-precision residual floor, per iteration. Empty when
+// the report has no trace (cholesky, failed runs).
+func (r *Report) DecaySVG() string {
+	if len(r.Trace) == 0 {
+		return ""
+	}
+	div := svgplot.Series{Name: "divergence"}
+	res := svgplot.Series{Name: "residual"}
+	ref := svgplot.Series{Name: "shadow residual"}
+	for _, t := range r.Trace {
+		x := float64(t.Iter)
+		appendFinite(&div, x, float64(t.Divergence))
+		appendFinite(&res, x, float64(t.Residual))
+		appendFinite(&ref, x, float64(t.ShadowResidual))
+	}
+	p := svgplot.Plot{
+		Title:  fmt.Sprintf("%s / %s / %s: error decay", r.Matrix, r.Solver, r.Format),
+		XLabel: "iteration",
+		YLabel: "relative error",
+		LogY:   true,
+	}
+	for _, s := range []svgplot.Series{div, res, ref} {
+		if len(s.X) > 0 {
+			p.Series = append(p.Series, s)
+		}
+	}
+	if len(p.Series) == 0 {
+		return ""
+	}
+	return p.SVG()
+}
+
+// appendFinite adds a point, skipping non-finite and non-positive
+// values (the plot's log axis cannot place them).
+func appendFinite(s *svgplot.Series, x, y float64) {
+	if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+		return
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Gauges aggregates shadow telemetry across diagnosis runs for the
+// serving layer's metrics endpoints. All methods are safe for
+// concurrent use.
+type Gauges struct {
+	runs     atomic.Uint64
+	ops      atomic.Uint64
+	measured atomic.Uint64
+	bad      atomic.Uint64
+	maxRel   atomic.Uint64 // float64 bits, monotone max
+}
+
+// Merge folds one run's telemetry into the gauges.
+func (g *Gauges) Merge(s *Snapshot) {
+	g.runs.Add(1)
+	g.ops.Add(s.TotalOps)
+	g.measured.Add(s.MeasuredOps)
+	var bad uint64
+	maxRel := 0.0
+	for _, st := range s.Stats {
+		bad += st.Bad
+		if v := float64(st.MaxRel); v > maxRel {
+			maxRel = v
+		}
+	}
+	g.bad.Add(bad)
+	for {
+		old := g.maxRel.Load()
+		if math.Float64frombits(old) >= maxRel {
+			return
+		}
+		if g.maxRel.CompareAndSwap(old, math.Float64bits(maxRel)) {
+			return
+		}
+	}
+}
+
+// GaugesSnapshot is a point-in-time copy of the gauges.
+type GaugesSnapshot struct {
+	// Runs counts completed diagnosis runs; ShadowedOps the format
+	// operations they dispatched; MeasuredOps those measured against
+	// the reference; BadOps the measured operations involving
+	// NaR/NaN/Inf.
+	Runs        uint64 `json:"runs"`
+	ShadowedOps uint64 `json:"shadowed_ops"`
+	MeasuredOps uint64 `json:"measured_ops"`
+	BadOps      uint64 `json:"bad_ops"`
+	// MaxRel is the largest relative error observed by any run.
+	MaxRel Float `json:"max_rel"`
+}
+
+// Snapshot returns the current gauge values.
+func (g *Gauges) Snapshot() GaugesSnapshot {
+	return GaugesSnapshot{
+		Runs:        g.runs.Load(),
+		ShadowedOps: g.ops.Load(),
+		MeasuredOps: g.measured.Load(),
+		BadOps:      g.bad.Load(),
+		MaxRel:      Float(math.Float64frombits(g.maxRel.Load())),
+	}
+}

@@ -136,6 +136,9 @@ func CGCheckpointed(ctx context.Context, a *linalg.SparseNum, b []arith.Num, tol
 		// residual history is measured in float64 (normB2 > 0 inside
 		// the loop: rr > thresh ≥ 0 at entry).
 		res.History = append(res.History, sqrtf(f.ToFloat64(rrNew)/normB2)) //lint:allow precision residual history is a float64 reporting metric
+		if ck.OnIteration != nil {
+			ck.OnIteration(k+1, x, r)
+		}
 		if f.ToFloat64(rrNew) <= thresh {
 			res.Converged = true
 			rr = rrNew

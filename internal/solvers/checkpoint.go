@@ -44,6 +44,13 @@ type CGCheckpointOptions struct {
 	// checkpoint instead of from x0 = 0. The caller must pass the same
 	// system (a, b), tolerance, and cap as the original run.
 	Resume *CGCheckpoint
+	// OnIteration, when non-nil, observes the state after each
+	// completed iteration iter (1-based): the current iterate and
+	// recurrence residual as format bit patterns. The slices are the
+	// live loop state — read-only views the callee must not modify or
+	// retain past the call. Observation never perturbs the iterates;
+	// the shadow-diagnosis divergence traces hang off this hook.
+	OnIteration func(iter int, x, r []arith.Num)
 }
 
 // valid reports a structurally sound checkpoint for an n-dimensional
@@ -82,6 +89,12 @@ type IRCheckpointOptions struct {
 	// Resume restarts refinement from a prior checkpoint; the
 	// factorization is recomputed from the same inputs first.
 	Resume *IRCheckpoint
+	// OnIteration, when non-nil, observes each refinement pass at the
+	// point its backward error is recorded: iter corrections have been
+	// applied to x (0 for the un-refined start), and eta is the
+	// backward error of that iterate. x is live loop state — a
+	// read-only view the callee must not modify or retain.
+	OnIteration func(iter int, x []float64, eta float64)
 }
 
 func (c *IRCheckpoint) valid(n int) error {

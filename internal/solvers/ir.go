@@ -160,6 +160,9 @@ func MixedIRCheckpointed(ctx context.Context, a *linalg.Sparse, b []float64, low
 		res.History = append(res.History, eta)
 		res.Iterations = k - 1
 		res.X = append(res.X[:0], x...)
+		if ck.OnIteration != nil {
+			ck.OnIteration(k-1, x, eta)
+		}
 		if eta <= tol {
 			res.Converged = true
 			return res, nil
@@ -209,6 +212,9 @@ func MixedIRCheckpointed(ctx context.Context, a *linalg.Sparse, b []float64, low
 	res.History = append(res.History, res.BackwardError)
 	res.Converged = res.BackwardError <= tol
 	res.X = x
+	if ck.OnIteration != nil {
+		ck.OnIteration(maxIter, x, res.BackwardError)
+	}
 	return res, nil
 }
 
