@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build lint test race serve bench-runner bench-lint bench-kernels bench-service bench-jobs bench-tables bench-shadow profile
+.PHONY: verify vet build lint test race serve chaos benchcheck bench-runner bench-lint bench-kernels bench-service bench-jobs bench-tables bench-shadow profile
 
 verify: vet build lint test race
 
@@ -28,6 +28,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos: run every durable path's invariant suite under randomized
+# deterministic fault schedules (internal/faultfs). Environment knobs:
+#   POSITLAB_CHAOS_SEED=N    base seed (new schedules per base)
+#   POSITLAB_CHAOS_N=N       schedules per package
+#   POSITLAB_CHAOS_REPLAY=N  reproduce one printed failure seed
+#   POSITLAB_CHAOS_DROP_SYNC=1  canary: tests MUST fail under it
+chaos:
+	$(GO) test -run TestChaos -count=1 -v ./internal/jobs/ ./internal/runner/ ./internal/arith/ ./internal/shadow/
+
+# Re-assert the checked-in performance contracts (BENCH_shadow.json
+# overhead ratios, BENCH_jobs.json throughput floor, BENCH_lint.json
+# warm-cache speedup) at generous tolerances. See cmd/benchcheck.
+benchcheck:
+	$(GO) run ./cmd/benchcheck
 
 # Reproduce BENCH_runner.json's timing comparison on a small subset
 # (the checked-in file records the full 19-matrix suite).

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The checked-in BENCH_*.json files at the repo root are performance
+// *contracts*, not just logs: each one records what the subsystem
+// promised on the reference machine. benchcheck re-asserts the
+// machine-independent shape of those promises — ratios and floors, at
+// generous tolerances — so a regression that destroys the shadow
+// sampling discipline, the jobs queue fast path, or the lint fact
+// cache fails CI even on slower hardware.
+
+// shadowContract is the "contract" block of BENCH_shadow.json.
+type shadowContract struct {
+	SampledMax float64 // max overhead_vs_off with default sampling
+	FullMax    float64 // max overhead_vs_off with SampleEvery=1
+	Workload   string  // the workload the bound is stated for
+}
+
+func parseShadowContract(data []byte) (shadowContract, error) {
+	var doc struct {
+		Contract struct {
+			SampledMaxOverhead float64 `json:"sampled_max_overhead"`
+			FullMaxOverhead    float64 `json:"full_max_overhead"`
+			Workload           string  `json:"workload"`
+		} `json:"contract"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return shadowContract{}, fmt.Errorf("BENCH_shadow.json: %w", err)
+	}
+	c := shadowContract{
+		SampledMax: doc.Contract.SampledMaxOverhead,
+		FullMax:    doc.Contract.FullMaxOverhead,
+		Workload:   doc.Contract.Workload,
+	}
+	if c.SampledMax <= 0 || c.FullMax <= 0 || c.Workload == "" {
+		return shadowContract{}, fmt.Errorf("BENCH_shadow.json: contract block missing or incomplete (%+v)", doc.Contract)
+	}
+	return c, nil
+}
+
+// jobsContract is the recorded ephemeral submit-to-complete
+// throughput — the upper bound of the queue/settle machinery, with no
+// journal in the way.
+type jobsContract struct {
+	EphemeralJobsPerS float64
+}
+
+// ephemeralRowName is the throughput row benchcheck keys on.
+const ephemeralRowName = "submit-complete ephemeral"
+
+func parseJobsContract(data []byte) (jobsContract, error) {
+	var doc struct {
+		Throughput []struct {
+			Name     string  `json:"name"`
+			JobsPerS float64 `json:"jobs_per_s"`
+		} `json:"throughput"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return jobsContract{}, fmt.Errorf("BENCH_jobs.json: %w", err)
+	}
+	for _, t := range doc.Throughput {
+		if t.Name == ephemeralRowName && t.JobsPerS > 0 {
+			return jobsContract{EphemeralJobsPerS: t.JobsPerS}, nil
+		}
+	}
+	return jobsContract{}, fmt.Errorf("BENCH_jobs.json: no %q throughput row", ephemeralRowName)
+}
+
+// lintContract is the recorded cold/warm RunRepo cost; the contract
+// benchcheck re-asserts is their ratio (the fact cache must keep
+// paying for itself), not the absolute seconds.
+type lintContract struct {
+	ColdS float64
+	WarmS float64
+}
+
+func parseLintContract(data []byte) (lintContract, error) {
+	var doc struct {
+		Benchmarks []struct {
+			Name         string  `json:"name"`
+			SecondsPerOp float64 `json:"seconds_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return lintContract{}, fmt.Errorf("BENCH_lint.json: %w", err)
+	}
+	var c lintContract
+	for _, b := range doc.Benchmarks {
+		switch b.Name {
+		case "BenchmarkRepoCold":
+			c.ColdS = b.SecondsPerOp
+		case "BenchmarkRepoWarm":
+			c.WarmS = b.SecondsPerOp
+		}
+	}
+	if c.ColdS <= 0 || c.WarmS <= 0 {
+		return lintContract{}, fmt.Errorf("BENCH_lint.json: missing BenchmarkRepoCold/BenchmarkRepoWarm rows")
+	}
+	return c, nil
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"positlab/internal/experiments"
+	"positlab/internal/faultfs"
 	"positlab/internal/linalg"
 	"positlab/internal/matgen"
 	"positlab/internal/runner"
@@ -209,13 +210,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	writeFile := func(dir, name, content string) {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := faultfs.OS.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintf(stderr, "experiments: %v\n", err)
 			failed = true
 			return
 		}
 		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		// Atomic replace, like every other durable artifact: an
+		// interrupted run leaves the previous CSV/SVG intact, never a
+		// torn file that plots garbage.
+		if err := faultfs.WriteFileAtomic(faultfs.OS, path, []byte(content)); err != nil {
 			fmt.Fprintf(stderr, "experiments: %v\n", err)
 			failed = true
 			return

@@ -11,7 +11,7 @@
 //	       [-jobs-dir dir] [-job-workers N] [-checkpoint-every N]
 //	       [-max-queued-jobs N]
 //	       [-matrices a,b,c] [-cgcap N] [-irmax N] [-quiet]
-//	       [-pprof] [-table-cache dir]
+//	       [-pprof] [-table-cache dir] [-fault-plan plan]
 //
 // Endpoints:
 //
@@ -38,6 +38,12 @@
 // jobs from their last checkpoint, with results bit-identical to an
 // uninterrupted run.
 //
+// With -fault-plan (testing only, requires -jobs-dir), the job journal
+// runs behind a deterministic fault injector: the plan's seed-driven
+// rules turn journal writes, fsyncs, and renames into short writes,
+// I/O errors, or ENOSPC, exercising the degraded-durability paths end
+// to end. The same plan string always injects the same faults.
+//
 // positd drains gracefully on SIGINT/SIGTERM: the listener closes, in-
 // flight requests get -drain-timeout to finish, in-flight jobs are
 // requeued with their checkpoints, and a clean drain exits 0.
@@ -57,6 +63,7 @@ import (
 
 	"positlab/internal/arith"
 	"positlab/internal/experiments"
+	"positlab/internal/faultfs"
 	"positlab/internal/jobs"
 	"positlab/internal/linalg"
 	"positlab/internal/matgen"
@@ -88,6 +95,7 @@ func run(argv []string, stderr io.Writer) int {
 	quiet := fs.Bool("quiet", false, "suppress the JSON access log")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	tableCache := fs.String("table-cache", "", "on-disk arithmetic lookup-table cache directory (empty = build tables in memory each start)")
+	faultPlan := fs.String("fault-plan", "", "inject deterministic filesystem faults into the job journal (testing only; faultfs plan syntax, e.g. \"seed=7;op=sync,mode=eio,after=10\")")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -162,8 +170,20 @@ func run(argv []string, stderr io.Writer) int {
 		}
 		cfg.RunnerConfig.Cache = cache
 	}
+	if *faultPlan != "" && *jobsDir == "" {
+		return usage("-fault-plan requires -jobs-dir (the plan injects faults into the job journal)")
+	}
 	if *jobsDir != "" {
-		store, err := jobs.Open(*jobsDir, jobs.Config{})
+		jcfg := jobs.Config{}
+		if *faultPlan != "" {
+			plan, err := faultfs.ParsePlan(*faultPlan)
+			if err != nil {
+				return usage("-fault-plan: %v", err)
+			}
+			fmt.Fprintf(stderr, "positd: WARNING: fault injection active on the job journal (%s); durability guarantees are deliberately broken for testing\n", plan)
+			jcfg.FS = faultfs.New(faultfs.OS, plan)
+		}
+		store, err := jobs.Open(*jobsDir, jcfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "positd: %v\n", err)
 			return 1

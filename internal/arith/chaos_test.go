@@ -1,0 +1,183 @@
+package arith
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"positlab/internal/faultfs"
+	"positlab/internal/posit"
+)
+
+// The table-cache chaos suite persists a real marshaled table through
+// randomized fault schedules and asserts the cache contract after
+// each: a later read on a clean disk either fails (missing or
+// detectably corrupt entry — rebuilt from scratch, which is always
+// safe) or returns the table bit-identically. The SHA-256 trailer
+// makes "wrong table served" impossible to miss.
+//
+// Reproduce a failure with the seed it prints:
+//
+//	POSITLAB_CHAOS_REPLAY=<seed> go test -run TestChaosTableCache ./internal/arith/
+
+// chaosTableBody builds one real marshaled table body (posit<12,2> —
+// big enough to span many write-granularity faults, cheap enough to
+// build once).
+func chaosTableBody(t testing.TB) ([]byte, string) {
+	t.Helper()
+	c, err := posit.New(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildPositTables(c).marshalBinary(), positSpec(c)
+}
+
+func TestChaosTableCache(t *testing.T) {
+	body, spec := chaosTableBody(t)
+	opts := faultfs.OptionsFromEnv(300, t.Logf)
+	opts.Horizon = 12 // the workload is short: one write + one read
+	root := t.TempDir()
+	var (
+		dir    string
+		wrote  bool
+		runID  int
+		before uint64
+	)
+	err := faultfs.Explore(opts,
+		func(seed int64, fsys faultfs.FS) error {
+			runID++
+			dir = filepath.Join(root, fmt.Sprintf("s%06d", runID))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			SetTableCacheFS(fsys)
+			defer SetTableCacheFS(nil)
+			before = TableCacheWriteErrors()
+			wrote = false                    // a crash mid-write must not count as acked
+			writeTableCache(dir, spec, body) // best-effort: failure counted, not returned
+			wrote = TableCacheWriteErrors() == before
+			// A read through the sick disk must never yield a wrong
+			// table either.
+			if got, err := readTableCache(dir, spec); err == nil && !bytes.Equal(got, body) {
+				return fmt.Errorf("fault-path read returned a wrong table (%d bytes)", len(got))
+			}
+			return nil
+		},
+		func(seed int64, crashed bool) error {
+			got, err := readTableCache(dir, spec)
+			if err != nil {
+				// Corruption detected (or entry absent): safe — the
+				// registry rebuilds. But a completed atomic write is a
+				// durability claim (data fsynced before the rename
+				// committed it), so once writeTableCache succeeded the
+				// entry must survive even a later crash — this is the
+				// branch a dropped fsync trips.
+				if wrote {
+					return fmt.Errorf("completed table-cache write unreadable (crashed=%v): %w", crashed, err)
+				}
+				return nil
+			}
+			if !bytes.Equal(got, body) {
+				return fmt.Errorf("table cache served wrong bytes: %d vs %d", len(got), len(body))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornTableCacheCorpus is the exhaustive torn-write corpus: a real
+// cached table file truncated at every 512-byte boundary (and a few
+// odd offsets) must either fail the read with a corruption error or —
+// only at full length — load bit-identically. A torn entry must never
+// unmarshal into a wrong table.
+func TestTornTableCacheCorpus(t *testing.T) {
+	c, err := posit.New(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := positSpec(c)
+	want := buildPositTables(c)
+
+	dir := t.TempDir()
+	writeTableCache(dir, spec, want.marshalBinary())
+	path := tableCachePath(dir, spec)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("cache entry was not written: %v", err)
+	}
+	if len(full) < 4096 {
+		t.Fatalf("corpus too small to be interesting: %d bytes", len(full))
+	}
+
+	offsets := []int{0, 1, 7, len(full) - 1}
+	for off := 512; off < len(full); off += 512 {
+		offsets = append(offsets, off)
+	}
+	tornDir := t.TempDir()
+	for _, off := range offsets {
+		if err := os.WriteFile(tableCachePath(tornDir, spec), full[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		body, err := readTableCache(tornDir, spec)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes was not detected", off, len(full))
+		}
+		if body != nil {
+			t.Fatalf("truncation at %d returned data alongside error", off)
+		}
+		// Defense in depth: even if the checksum layer were bypassed,
+		// the structural decoder must reject the torn payload rather
+		// than build a wrong table.
+		min := len(tableMagic) + 2 + len(spec)
+		if off > min {
+			if tab, err := unmarshalTables(spec, full[min:off]); err == nil {
+				if !bytes.Equal(tab.marshalBinary(), want.marshalBinary()) {
+					t.Fatalf("structural decoder accepted torn payload at %d as a different table", off)
+				}
+			}
+		}
+	}
+
+	// Full length loads bit-identically.
+	body, err := readTableCache(dir, spec)
+	if err != nil {
+		t.Fatalf("intact entry failed to read: %v", err)
+	}
+	got, err := unmarshalTables(spec, body)
+	if err != nil {
+		t.Fatalf("intact entry failed to decode: %v", err)
+	}
+	if !bytes.Equal(got.marshalBinary(), want.marshalBinary()) {
+		t.Fatal("intact entry decoded to a different table")
+	}
+	if len(offsets) < 100 {
+		t.Fatalf("corpus should cover >=100 truncation points, got %d", len(offsets))
+	}
+}
+
+// TestChaosTableCacheErrInjected pins the error-classification contract
+// the chaos suites rest on: every fault the injector produces is
+// recognizable via errors.Is(err, faultfs.ErrInjected).
+func TestChaosTableCacheErrInjected(t *testing.T) {
+	dir := t.TempDir()
+	fault := faultfs.New(faultfs.OS, faultfs.Plan{Seed: 1, Rules: []faultfs.Rule{
+		{Op: faultfs.OpCreate, Mode: faultfs.ModeENOSPC, Count: 1 << 10},
+	}})
+	SetTableCacheFS(fault)
+	defer SetTableCacheFS(nil)
+	before := TableCacheWriteErrors()
+	writeTableCache(dir, "spec-x", []byte("body"))
+	if TableCacheWriteErrors() != before+1 {
+		t.Fatalf("failed persist not counted: %d -> %d", before, TableCacheWriteErrors())
+	}
+	if _, err := readTableCache(dir, "spec-x"); err == nil {
+		t.Fatal("nothing should have been written")
+	} else if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("expected missing entry, got %v", err)
+	}
+}

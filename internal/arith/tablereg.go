@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"positlab/internal/faultfs"
 	"positlab/internal/minifloat"
 	"positlab/internal/posit"
 )
@@ -51,12 +52,37 @@ var tableReg = struct {
 	sync.Mutex
 	m   map[string]*tableEntry
 	dir string
-}{m: map[string]*tableEntry{}}
+	fs  faultfs.FS
+}{m: map[string]*tableEntry{}, fs: faultfs.OS}
 
 // tableBuilds counts from-scratch builds (registry misses that the
 // disk cache did not serve), for the concurrency tests and the bench
 // report.
 var tableBuilds atomic.Uint64
+
+// tableCacheWriteErrs counts failed best-effort cache persists. The
+// in-memory tables stay authoritative, but a sick disk should be
+// visible, not silent.
+var tableCacheWriteErrs atomic.Uint64
+
+// TableCacheWriteErrors reports how many table-cache persists failed
+// since process start.
+func TableCacheWriteErrors() uint64 { return tableCacheWriteErrs.Load() }
+
+// SetTableCacheFS routes the on-disk table cache through fsys (nil
+// restores the real filesystem). It exists for the chaos suite and for
+// positd's -fault-plan flag; production code never calls it.
+func SetTableCacheFS(fsys faultfs.FS) {
+	tableReg.Lock()
+	tableReg.fs = faultfs.OrOS(fsys)
+	tableReg.Unlock()
+}
+
+func tableFS() faultfs.FS {
+	tableReg.Lock()
+	defer tableReg.Unlock()
+	return tableReg.fs
+}
 
 func init() {
 	if dir := os.Getenv("POSITLAB_TABLE_CACHE"); dir != "" {
@@ -94,16 +120,17 @@ func SetTableCacheDir(dir string) error {
 // written there (MkdirAll succeeding says nothing about a read-only
 // mount or a path component that is a file).
 func probeCacheDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := tableFS()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	probe, err := os.CreateTemp(dir, ".probe-*")
+	probe, err := fsys.CreateTemp(dir, ".probe-*")
 	if err != nil {
 		return err
 	}
 	name := probe.Name()
 	cerr := probe.Close()
-	if rerr := os.Remove(name); cerr == nil {
+	if rerr := fsys.Remove(name); cerr == nil {
 		cerr = rerr
 	}
 	return cerr
@@ -188,7 +215,7 @@ func tableCachePath(dir, spec string) string {
 }
 
 func readTableCache(dir, spec string) ([]byte, error) {
-	data, err := os.ReadFile(tableCachePath(dir, spec))
+	data, err := tableFS().ReadFile(tableCachePath(dir, spec))
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +242,9 @@ func readTableCache(dir, spec string) ([]byte, error) {
 
 // writeTableCache persists a built table best-effort: a failed write
 // leaves the in-memory tables authoritative and the next process
-// rebuilds. Within that, the write itself is atomic and durable (temp
-// file, fsync before rename) so readers never observe a torn entry.
+// rebuilds — but the failure is counted, not silent. Within that, the
+// write itself is atomic and durable (temp file, fsync before rename
+// via faultfs.WriteFileAtomic) so readers never observe a torn entry.
 func writeTableCache(dir, spec string, body []byte) {
 	payload := make([]byte, 0, len(tableMagic)+2+len(spec)+len(body)+sha256.Size)
 	payload = append(payload, tableMagic...)
@@ -226,26 +254,8 @@ func writeTableCache(dir, spec string, body []byte) {
 	sum := sha256.Sum256(payload)
 	payload = append(payload, sum[:]...)
 
-	path := tableCachePath(dir, spec)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(payload)
-	serr := tmp.Sync()
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = serr
-	}
-	if werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		_ = os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		_ = os.Remove(tmp.Name())
+	if err := faultfs.WriteFileAtomic(tableFS(), tableCachePath(dir, spec), payload); err != nil {
+		tableCacheWriteErrs.Add(1)
 	}
 }
 
@@ -316,9 +326,33 @@ func (r *tableReader) take(n int) []byte {
 	return b
 }
 
-func (r *tableReader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
-func (r *tableReader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
-func (r *tableReader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+// The fixed-width readers tolerate a failed take (nil slice): the
+// error is already latched in r.err, and the decoder must keep
+// returning zeros instead of panicking on torn input — the corpus
+// test feeds it raw truncations directly.
+func (r *tableReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *tableReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *tableReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
 
 // maxTableLen bounds every decoded slice length: the widest format is
 // 16 bits, so no table exceeds 2^16+2 entries.

@@ -1,0 +1,136 @@
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// ExploreOptions tunes a randomized-schedule exploration.
+type ExploreOptions struct {
+	// N is the number of seeded schedules to run. <= 0 means 256.
+	N int
+	// Seed is the base seed; schedule i runs under
+	// ScheduleSeed(Seed, i). Zero is a valid base.
+	Seed int64
+	// Horizon is the operation window within which random rules arm
+	// (see RandomPlan). <= 0 means 48.
+	Horizon int
+	// Extra rules are appended to every schedule's plan. This is the
+	// deliberate-regression hook: appending {Op: OpSync, Mode:
+	// ModeSkip, Count: 1 << 20} simulates a writer whose fsync was
+	// dropped, and a healthy invariant suite must catch it.
+	Extra []Rule
+	// ReplaySeed, when nonzero, runs exactly one schedule under that
+	// seed — the reproduction path for a failure printed by a previous
+	// run. N and Seed are ignored.
+	ReplaySeed int64
+	// Log, when set, receives per-run progress lines.
+	Log func(format string, args ...any)
+}
+
+// OptionsFromEnv builds ExploreOptions from the chaos environment the
+// CI job and manual reproduction use:
+//
+//	POSITLAB_CHAOS_N          override the schedule count
+//	POSITLAB_CHAOS_SEED       base seed (CI derives one from the run ID
+//	                          so every run explores new schedules)
+//	POSITLAB_CHAOS_REPLAY     run exactly one schedule under this seed —
+//	                          paste the seed a failure printed
+//	POSITLAB_CHAOS_DROP_SYNC  non-empty: append a drop-every-fsync rule
+//	                          to every schedule. This is the deliberate
+//	                          regression canary: a healthy invariant
+//	                          suite MUST fail under it.
+//
+// defaultN is the package's schedule budget when POSITLAB_CHAOS_N is
+// unset; logf (usually t.Logf) receives progress lines.
+func OptionsFromEnv(defaultN int, logf func(format string, args ...any)) ExploreOptions {
+	opts := ExploreOptions{N: defaultN, Log: logf}
+	if v := os.Getenv("POSITLAB_CHAOS_N"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			opts.N = n
+		}
+	}
+	if v := os.Getenv("POSITLAB_CHAOS_SEED"); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			opts.Seed = s
+		}
+	}
+	if v := os.Getenv("POSITLAB_CHAOS_REPLAY"); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil && s != 0 {
+			opts.ReplaySeed = s
+		}
+	}
+	if os.Getenv("POSITLAB_CHAOS_DROP_SYNC") != "" {
+		opts.Extra = append(opts.Extra, Rule{Op: OpSync, Mode: ModeSkip, Count: 1 << 20})
+	}
+	return opts
+}
+
+// ScheduleSeed derives the i-th schedule seed from a base seed with a
+// splitmix64 round, so every schedule — and every base — explores a
+// different fault pattern while remaining a pure function of (base, i).
+func ScheduleSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// Keep seeds positive so they survive round-trips through shell
+	// environments and log greps unambiguously.
+	return int64(z >> 1)
+}
+
+// Explore runs a workload under many deterministic fault schedules and
+// asserts package-supplied invariants after each.
+//
+// For every schedule it derives a seed, builds a random Plan from it,
+// and invokes run with a fault-injecting FS. The workload performs its
+// durable operations through that FS, tolerating injected errors
+// (errors.Is(err, ErrInjected)) as it would tolerate a sick disk; a
+// fired crash-point kills the workload mid-operation (Explore recovers
+// it — simulated process death, unsynced data torn away). Explore then
+// invokes verify, which must re-open the state through a clean FS and
+// check the package's invariants: a journal replays to a consistent
+// state with no acknowledged-then-lost record, cache entries are
+// absent or checksum-valid but never torn, a resumed computation is
+// bit-identical to an uninterrupted one.
+//
+// run returning a non-nil error (an unexpected, non-injected failure)
+// or verify returning non-nil stops the exploration; the returned
+// error carries the schedule seed, the plan, and the injector's
+// operation trace, and the failure replays deterministically from the
+// seed alone (ExploreOptions.ReplaySeed or the package's chaos-test
+// replay hook).
+func Explore(opts ExploreOptions, run func(seed int64, fsys FS) error, verify func(seed int64, crashed bool) error) error {
+	n := opts.N
+	if n <= 0 {
+		n = 256
+	}
+	seeds := make([]int64, 0, n)
+	if opts.ReplaySeed != 0 {
+		seeds = append(seeds, opts.ReplaySeed)
+	} else {
+		for i := 0; i < n; i++ {
+			seeds = append(seeds, ScheduleSeed(opts.Seed, i))
+		}
+	}
+	for i, seed := range seeds {
+		plan := RandomPlan(seed, opts.Horizon)
+		plan.Rules = append(plan.Rules, opts.Extra...)
+		fault := New(OS, plan)
+		crashed, err := CrashSafe(func() error { return run(seed, fault) })
+		fault.Shutdown()
+		if err != nil {
+			return fmt.Errorf("faultfs: schedule %d/%d seed=%d: workload failed unexpectedly: %w\nplan: %s\ntrace:\n%s",
+				i+1, len(seeds), seed, err, plan, fault.Trace())
+		}
+		if err := verify(seed, crashed); err != nil {
+			return fmt.Errorf("faultfs: invariant violated: seed=%d crashed=%v injected=%d\nreplay: run the suite with this seed alone to reproduce\nplan: %s\ntrace:\n%s\n%w",
+				seed, crashed, fault.Injected(), plan, fault.Trace(), err)
+		}
+		if opts.Log != nil && (i+1)%64 == 0 {
+			opts.Log("faultfs: %d/%d schedules ok", i+1, len(seeds))
+		}
+	}
+	return nil
+}

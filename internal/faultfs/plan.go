@@ -1,0 +1,241 @@
+package faultfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op identifies one class of filesystem operation a Rule can target.
+type Op string
+
+const (
+	OpOpen    Op = "open"    // Open / OpenFile for reading
+	OpCreate  Op = "create"  // Create / CreateTemp / OpenFile with write flags
+	OpWrite   Op = "write"   // File.Write
+	OpSync    Op = "sync"    // File.Sync
+	OpRename  Op = "rename"  // FS.Rename
+	OpRemove  Op = "remove"  // FS.Remove
+	OpReadDir Op = "readdir" // FS.ReadDir
+)
+
+// Mode is what happens when a rule fires.
+type Mode string
+
+const (
+	// ModeEIO fails the operation with a synthetic I/O error; writes
+	// apply nothing.
+	ModeEIO Mode = "eio"
+	// ModeENOSPC fails the operation with a synthetic no-space error;
+	// a write applies a seeded prefix first, the way a filling disk
+	// does.
+	ModeENOSPC Mode = "enospc"
+	// ModeShort applies a seeded prefix of a write and reports a short
+	// write.
+	ModeShort Mode = "short"
+	// ModeTorn applies a seeded prefix of a write, then crashes: the
+	// byte-granularity torn-write-then-death schedule.
+	ModeTorn Mode = "torn"
+	// ModeCrash crashes before the operation takes effect. The crash
+	// truncates every file to its durable (synced) length plus a
+	// seeded portion of its unsynced tail, then panics with a sentinel
+	// the Explore supervisor (or CrashSafe) recovers — process-style
+	// death without a process.
+	ModeCrash Mode = "crash"
+	// ModeLatency delays the operation a seeded sub-millisecond amount
+	// and then performs it normally.
+	ModeLatency Mode = "latency"
+	// ModeSkip silently "succeeds" without performing the operation.
+	// On sync this is precisely the dropped-fsync regression the chaos
+	// suites exist to catch: the caller is told its data is durable
+	// when it is not.
+	ModeSkip Mode = "skip"
+)
+
+// Rule arms one fault: the (After+1)-th operation of class Op whose
+// path contains Path fires Mode, Count times total.
+type Rule struct {
+	// Op is the operation class this rule watches.
+	Op Op
+	// Path is a substring filter on the operation's path; empty
+	// matches every path.
+	Path string
+	// After skips the first After matching operations.
+	After int
+	// Count bounds how many times the rule fires; 0 means once.
+	Count int
+	// Mode is the injected fault.
+	Mode Mode
+}
+
+func (r Rule) count() int {
+	if r.Count <= 0 {
+		return 1
+	}
+	return r.Count
+}
+
+func (r Rule) String() string {
+	s := fmt.Sprintf("op=%s,mode=%s", r.Op, r.Mode)
+	if r.Path != "" {
+		s += ",path=" + r.Path
+	}
+	if r.After > 0 {
+		s += ",after=" + strconv.Itoa(r.After)
+	}
+	if r.Count > 1 {
+		s += ",count=" + strconv.Itoa(r.Count)
+	}
+	return s
+}
+
+// Plan is a deterministic fault schedule: the seed drives every
+// random choice the injector makes (partial-write lengths, crash-tail
+// retention, latencies), and the rules say which operations fail.
+// The same plan over the same operation sequence injects byte-
+// identical faults.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// String renders the plan in the same textual form ParsePlan accepts,
+// so a logged plan is directly replayable.
+func (p Plan) String() string {
+	parts := []string{"seed=" + strconv.FormatInt(p.Seed, 10)}
+	for _, r := range p.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePlan parses the textual plan form: semicolon-separated
+// sections, the first (or any) being "seed=N", each other a rule of
+// comma-separated key=value fields, e.g.
+//
+//	seed=42;op=sync,path=journal,after=3,mode=eio;op=write,mode=torn
+//
+// Keys: op (required), mode (required), path, after, count.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(s) == "" {
+		return p, fmt.Errorf("faultfs: empty plan")
+	}
+	for _, section := range strings.Split(s, ";") {
+		section = strings.TrimSpace(section)
+		if section == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(section, "seed="); ok && !strings.Contains(section, ",") {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("faultfs: bad seed %q: %v", v, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		var r Rule
+		for _, field := range strings.Split(section, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+			if !ok {
+				return p, fmt.Errorf("faultfs: rule field %q is not key=value", field)
+			}
+			switch k {
+			case "op":
+				r.Op = Op(v)
+			case "mode":
+				r.Mode = Mode(v)
+			case "path":
+				r.Path = v
+			case "after":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return p, fmt.Errorf("faultfs: bad after %q", v)
+				}
+				r.After = n
+			case "count":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return p, fmt.Errorf("faultfs: bad count %q", v)
+				}
+				r.Count = n
+			default:
+				return p, fmt.Errorf("faultfs: unknown rule key %q", k)
+			}
+		}
+		if !validOp(r.Op) {
+			return p, fmt.Errorf("faultfs: rule %q: unknown or missing op", section)
+		}
+		if !validMode(r.Mode) {
+			return p, fmt.Errorf("faultfs: rule %q: unknown or missing mode", section)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return p, fmt.Errorf("faultfs: plan has no rules")
+	}
+	return p, nil
+}
+
+var allOps = []Op{OpOpen, OpCreate, OpWrite, OpSync, OpRename, OpRemove, OpReadDir}
+
+var allModes = []Mode{ModeEIO, ModeENOSPC, ModeShort, ModeTorn, ModeCrash, ModeLatency, ModeSkip}
+
+func validOp(op Op) bool {
+	for _, o := range allOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func validMode(m Mode) bool {
+	for _, mm := range allModes {
+		if mm == m {
+			return true
+		}
+	}
+	return false
+}
+
+// randomPlanOps and randomPlanModes are the default fault surface
+// RandomPlan draws from: the write-side operations where durability
+// bugs live, and every fault flavor except ModeSkip (skip is the
+// deliberate-regression canary, not a fault a healthy disk produces).
+var randomPlanOps = []Op{OpWrite, OpWrite, OpSync, OpSync, OpCreate, OpOpen, OpRename, OpRemove}
+
+var randomPlanModes = []Mode{ModeEIO, ModeENOSPC, ModeShort, ModeTorn, ModeCrash, ModeLatency}
+
+// RandomPlan derives a fault schedule from seed alone: one to three
+// rules over the write-side operation classes, each armed at a random
+// point within horizon operations. Identical seeds yield identical
+// plans — this is the generator Explore uses, and the reason a chaos
+// failure replays from its seed.
+func RandomPlan(seed int64, horizon int) Plan {
+	if horizon <= 0 {
+		horizon = 48
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(3)
+	p := Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		r := Rule{
+			Op:    randomPlanOps[rng.Intn(len(randomPlanOps))],
+			Mode:  randomPlanModes[rng.Intn(len(randomPlanModes))],
+			After: rng.Intn(horizon),
+		}
+		// Error-mode rules sometimes fire repeatedly, the way a sick
+		// disk keeps failing; crash fires once by definition.
+		if r.Mode != ModeCrash && r.Mode != ModeTorn && rng.Intn(4) == 0 {
+			r.Count = 1 + rng.Intn(3)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	// Deterministic rule order regardless of generation order, so the
+	// printed plan reads stably.
+	sort.SliceStable(p.Rules, func(i, k int) bool { return p.Rules[i].After < p.Rules[k].After })
+	return p
+}

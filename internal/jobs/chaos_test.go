@@ -1,0 +1,265 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"positlab/internal/faultfs"
+)
+
+// The chaos suite drives a deterministic store workload under
+// randomized fault schedules (faultfs.Explore) and asserts the
+// durability contract after every one:
+//
+//   - a reopened store always starts (torn journals never poison
+//     replay);
+//   - a submit the caller was told succeeded is present after replay
+//     with the exact spec submitted — never lost, never shadowed by a
+//     failed submit's record;
+//   - an acknowledged checkpoint is never rolled back: the replayed
+//     checkpoint iteration is at least the last acked one, and its
+//     data is bit-identical to what some attempt actually wrote;
+//   - replay is idempotent — opening the same directory twice yields
+//     the same job table.
+//
+// Non-strict transitions (done/fail/cancel journaled via appendLocked)
+// carry documented degraded durability: they may be lost under faults,
+// so no invariant pins them beyond general consistency.
+//
+// Reproduce a failure with the seed it prints:
+//
+//	POSITLAB_CHAOS_REPLAY=<seed> go test -run TestChaosJournal ./internal/jobs/
+
+// chaosSpec and chaosCkpt generate the deterministic payloads the
+// invariants compare against. Compact JSON: RawMessage round-trips it
+// byte-for-byte.
+func chaosSpec(i int) []byte { return []byte(fmt.Sprintf(`{"w":%d}`, i)) }
+
+func chaosCkpt(iter int) []byte {
+	return []byte(fmt.Sprintf(`{"iter":%d,"tag":"chaos"}`, iter))
+}
+
+// chaosModel records what the workload was acknowledged.
+type chaosModel struct {
+	ackedSpec map[string]string // job ID -> exact spec of an acked submit
+	ackedCkpt map[string]int    // job ID -> last acked checkpoint iter
+	ckptSeen  map[string]map[int]bool
+}
+
+func newChaosModel() *chaosModel {
+	return &chaosModel{
+		ackedSpec: map[string]string{},
+		ackedCkpt: map[string]int{},
+		ckptSeen:  map[string]map[int]bool{},
+	}
+}
+
+// tolerate classifies a workload error: injected faults and their
+// knock-on lifecycle errors are the point of the exercise; anything
+// else is a real bug and fails the schedule.
+func tolerate(err error) error {
+	if err == nil ||
+		errors.Is(err, faultfs.ErrInjected) ||
+		errors.Is(err, ErrFinished) ||
+		errors.Is(err, ErrUnknownJob) ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, errJournalBroken) ||
+		errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// chaosWorkload is the deterministic operation sequence every schedule
+// replays: two store generations over one directory, exercising
+// submit, start, checkpoint, retry, cancel, drain-requeue, snapshot
+// compaction (CompactEvery: 5), close, and recovery re-open — all
+// through the fault-injecting FS.
+func chaosWorkload(fsys faultfs.FS, dir string, m *chaosModel) error {
+	cfg := Config{CompactEvery: 5, FS: fsys}
+
+	submit := func(st *Store, i int) (string, error) {
+		j, err := st.Submit("chaos", chaosSpec(i), SubmitOptions{MaxRetries: 2})
+		if err != nil {
+			return "", tolerate(err)
+		}
+		m.ackedSpec[j.ID] = string(chaosSpec(i))
+		return j.ID, nil
+	}
+	ckpt := func(st *Store, id string, iter int) error {
+		if id == "" {
+			return nil
+		}
+		seen := m.ckptSeen[id]
+		if seen == nil {
+			seen = map[int]bool{}
+			m.ckptSeen[id] = seen
+		}
+		seen[iter] = true // attempted: replay may surface it even unacked
+		if err := st.saveCheckpoint(id, iter, chaosCkpt(iter)); err != nil {
+			return tolerate(err)
+		}
+		if iter > m.ackedCkpt[id] {
+			m.ackedCkpt[id] = iter
+		}
+		return nil
+	}
+	do := func(id string, err error) error {
+		if id == "" {
+			return nil
+		}
+		return tolerate(err)
+	}
+
+	st, err := Open(dir, cfg)
+	if err != nil {
+		return tolerate(err)
+	}
+	var ids [4]string
+	for i := range ids {
+		if ids[i], err = submit(st, i); err != nil {
+			return err
+		}
+	}
+	steps := []func() error{
+		func() error { return do(ids[0], st.markStart(ids[0], 1)) },
+		func() error { return ckpt(st, ids[0], 1) },
+		func() error { return ckpt(st, ids[0], 2) },
+		func() error { return do(ids[0], st.finish(ids[0], []byte(`{"ok":true}`))) },
+		func() error { return do(ids[1], st.markStart(ids[1], 1)) },
+		func() error { return ckpt(st, ids[1], 1) },
+		func() error { return do(ids[1], st.fail(ids[1], "transient", false)) },
+		func() error { return do(ids[1], st.markStart(ids[1], 2)) },
+		func() error { return ckpt(st, ids[1], 3) },
+		func() error { return do(ids[1], st.fail(ids[1], "fatal", true)) },
+		func() error { return do(ids[2], st.markCanceled(ids[2])) },
+		func() error { return do(ids[3], st.markStart(ids[3], 1)) },
+		func() error { return ckpt(st, ids[3], 1) },
+		func() error { return do(ids[3], st.requeueForDrain(ids[3])) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	if err := tolerate(st.Close()); err != nil {
+		return err
+	}
+
+	// Second generation: recovery re-open through the same sick disk,
+	// then more durable work on top of the replayed state.
+	st2, err := Open(dir, cfg)
+	if err != nil {
+		return tolerate(err)
+	}
+	id5, err := submit(st2, 5)
+	if err != nil {
+		return err
+	}
+	if err := do(id5, st2.markStart(id5, 1)); err != nil {
+		return err
+	}
+	if err := ckpt(st2, id5, 1); err != nil {
+		return err
+	}
+	if err := do(id5, st2.finish(id5, []byte(`{"ok":true}`))); err != nil {
+		return err
+	}
+	return tolerate(st2.Close())
+}
+
+// snapshotTable captures the replay-relevant view of a store's job
+// table for the idempotence check.
+func snapshotTable(st *Store) map[string]string {
+	out := map[string]string{}
+	for _, j := range st.List(Filter{}) {
+		out[j.ID] = fmt.Sprintf("state=%s spec=%s ckpt=%d rec=%d retries=%d",
+			j.State, j.Spec, j.CheckpointIter, j.Recoveries, j.Retries)
+	}
+	return out
+}
+
+func verifyChaosInvariants(dir string, m *chaosModel) error {
+	st, err := Open(dir, Config{})
+	if err != nil {
+		return fmt.Errorf("reopen after faults failed: %w", err)
+	}
+	for id, spec := range m.ackedSpec {
+		j, ok := st.Get(id)
+		if !ok {
+			return fmt.Errorf("acknowledged submit %s lost after replay", id)
+		}
+		if string(j.Spec) != spec {
+			return fmt.Errorf("job %s spec corrupted: got %s want %s", id, j.Spec, spec)
+		}
+		if j.Kind != "chaos" {
+			return fmt.Errorf("job %s kind corrupted: %q", id, j.Kind)
+		}
+	}
+	for id, iter := range m.ackedCkpt {
+		j, ok := st.Get(id)
+		if !ok {
+			return fmt.Errorf("job %s with acked checkpoint lost", id)
+		}
+		if j.CheckpointIter < iter {
+			return fmt.Errorf("job %s checkpoint rolled back: iter %d < acked %d", id, j.CheckpointIter, iter)
+		}
+		if !m.ckptSeen[id][j.CheckpointIter] {
+			return fmt.Errorf("job %s checkpoint iter %d was never written", id, j.CheckpointIter)
+		}
+		if want := string(chaosCkpt(j.CheckpointIter)); string(j.Checkpoint) != want {
+			return fmt.Errorf("job %s checkpoint data torn: got %s want %s", id, j.Checkpoint, want)
+		}
+	}
+	first := snapshotTable(st)
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close reopened store: %w", err)
+	}
+	st2, err := Open(dir, Config{})
+	if err != nil {
+		return fmt.Errorf("second reopen failed: %w", err)
+	}
+	second := snapshotTable(st2)
+	if cerr := st2.Close(); cerr != nil {
+		return fmt.Errorf("close second store: %w", cerr)
+	}
+	if len(first) != len(second) {
+		return fmt.Errorf("replay not idempotent: %d jobs then %d", len(first), len(second))
+	}
+	for id, v := range first {
+		if second[id] != v {
+			return fmt.Errorf("replay not idempotent for %s: %q then %q", id, v, second[id])
+		}
+	}
+	return nil
+}
+
+// TestChaosJournal is the CI chaos gate for the jobs journal. Seed
+// matrix and count come from the POSITLAB_CHAOS_* environment (see
+// faultfs.OptionsFromEnv); any failure prints the reproducing seed.
+func TestChaosJournal(t *testing.T) {
+	opts := faultfs.OptionsFromEnv(400, t.Logf)
+	opts.Horizon = 72
+	root := t.TempDir()
+	var (
+		cur   *chaosModel
+		dir   string
+		runID int
+	)
+	err := faultfs.Explore(opts,
+		func(seed int64, fsys faultfs.FS) error {
+			runID++
+			dir = filepath.Join(root, fmt.Sprintf("s%06d", runID))
+			cur = newChaosModel()
+			return chaosWorkload(fsys, dir, cur)
+		},
+		func(seed int64, crashed bool) error {
+			return verifyChaosInvariants(dir, cur)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

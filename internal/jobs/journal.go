@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"positlab/internal/faultfs"
 )
 
 // The on-disk layout of a job directory:
@@ -50,14 +53,26 @@ const (
 	snapshotName = "snapshot.json"
 )
 
-// journal is the append side of the record stream.
+// journal is the append side of the record stream. All I/O goes
+// through the faultfs seam so the chaos suite can tear, fail, and
+// crash individual appends.
 type journal struct {
-	f      *os.File
+	f      faultfs.File
 	noSync bool
+	// broken is set when a failed append could not be repaired: the
+	// file may end in a partial line that a later append would fuse
+	// with, making replay stop there and drop every record after it.
+	// A broken journal refuses all further appends — degraded
+	// durability must never silently corrupt acknowledged history.
+	broken bool
 }
 
-func openJournal(dir string, noSync bool) (*journal, error) {
-	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+// errJournalBroken marks a journal wedged by an unrepairable partial
+// append.
+var errJournalBroken = errors.New("jobs: journal broken by unrepaired partial append")
+
+func openJournal(fsys faultfs.FS, dir string, noSync bool) (*journal, error) {
+	f, err := fsys.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: open journal: %w", err)
 	}
@@ -66,12 +81,33 @@ func openJournal(dir string, noSync bool) (*journal, error) {
 
 // append writes one record as a single line and syncs it to disk, so
 // an acknowledged transition survives a crash immediately after.
+//
+// A failed write may have applied a prefix of the line (short write,
+// ENOSPC). Left in place, that prefix would fuse with the next
+// appended record into one unparsable line — and replay, which stops
+// at the first garbled line, would drop every acknowledged record
+// after it. So a failed append repairs itself by truncating the file
+// back to its pre-append length; if the repair fails too, the journal
+// wedges (broken) rather than risk corrupting history.
 func (j *journal) append(r rec) error {
+	if j.broken {
+		return errJournalBroken
+	}
 	b, err := json.Marshal(r)
 	if err != nil {
 		return fmt.Errorf("jobs: marshal journal record: %w", err)
 	}
+	info, err := j.f.Stat()
+	if err != nil {
+		j.broken = true
+		return fmt.Errorf("jobs: stat journal before append: %w", err)
+	}
+	pre := info.Size()
 	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		if terr := j.f.Truncate(pre); terr != nil {
+			j.broken = true
+			return fmt.Errorf("jobs: append journal: %w (repair failed: %v)", err, terr)
+		}
 		return fmt.Errorf("jobs: append journal: %w", err)
 	}
 	if j.noSync {
@@ -102,8 +138,13 @@ const maxJournalLine = 16 << 20
 // replayJournal streams records from dir's journal into apply. It
 // returns the number of applied records and whether a torn tail was
 // dropped. A missing journal is an empty one.
-func replayJournal(dir string, apply func(rec)) (records int, truncated bool, err error) {
-	f, err := os.Open(filepath.Join(dir, journalName))
+//
+// A record is applied only if its line is complete (newline-terminated
+// and valid JSON): a crash can tear the final append at any byte, and
+// replay must never act on a half-written record. Because appends go
+// through a single write syscall, only the last line can be torn.
+func replayJournal(fsys faultfs.FS, dir string, apply func(rec)) (records int, truncated bool, err error) {
+	f, err := fsys.Open(filepath.Join(dir, journalName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 0, false, nil
@@ -115,12 +156,25 @@ func replayJournal(dir string, apply func(rec)) (records int, truncated bool, er
 			err = cerr
 		}
 	}()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), maxJournalLine)
-	for sc.Scan() {
-		line := sc.Bytes()
+	rd := bufio.NewReaderSize(f, 64<<10)
+	for {
+		line, rerr := rd.ReadBytes('\n')
+		if rerr != nil {
+			// Data without a trailing newline is a torn final append.
+			if len(bytes.TrimSpace(line)) > 0 {
+				return records, true, nil
+			}
+			if errors.Is(rerr, io.EOF) {
+				return records, truncated, nil
+			}
+			return records, false, fmt.Errorf("jobs: replay journal: %w", rerr)
+		}
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
+		}
+		if len(line) > maxJournalLine {
+			return records, true, nil
 		}
 		var r rec
 		if uerr := json.Unmarshal(line, &r); uerr != nil {
@@ -131,13 +185,6 @@ func replayJournal(dir string, apply func(rec)) (records int, truncated bool, er
 		apply(r)
 		records++
 	}
-	if serr := sc.Err(); serr != nil && !errors.Is(serr, io.EOF) {
-		if errors.Is(serr, bufio.ErrTooLong) {
-			return records, true, nil
-		}
-		return records, false, fmt.Errorf("jobs: replay journal: %w", serr)
-	}
-	return records, truncated, nil
 }
 
 // snapshot is the compacted full job table.
@@ -146,40 +193,24 @@ type snapshot struct {
 	Jobs []*Job `json:"jobs"`
 }
 
-// writeSnapshot writes the snapshot atomically: tmp file, fsync,
-// rename.
-func writeSnapshot(dir string, snap *snapshot) error {
+// writeSnapshot writes the snapshot with the atomic-replace protocol
+// (tmp file, fsync, rename) via the faultfs seam.
+func writeSnapshot(fsys faultfs.FS, dir string, snap *snapshot) error {
 	// Deterministic order: sorted by submission sequence.
 	sort.Slice(snap.Jobs, func(i, k int) bool { return snap.Jobs[i].Seq < snap.Jobs[k].Seq })
 	b, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("jobs: marshal snapshot: %w", err)
 	}
-	tmp := filepath.Join(dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("jobs: create snapshot: %w", err)
-	}
-	if _, err := f.Write(append(b, '\n')); err != nil {
-		_ = f.Close() // surfacing the write error; close error is secondary
+	if err := faultfs.WriteFileAtomic(fsys, filepath.Join(dir, snapshotName), append(b, '\n')); err != nil {
 		return fmt.Errorf("jobs: write snapshot: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("jobs: sync snapshot: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("jobs: close snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
-		return fmt.Errorf("jobs: rename snapshot: %w", err)
 	}
 	return nil
 }
 
 // readSnapshot loads the snapshot; a missing file is an empty one.
-func readSnapshot(dir string) (*snapshot, error) {
-	b, err := os.ReadFile(filepath.Join(dir, snapshotName))
+func readSnapshot(fsys faultfs.FS, dir string) (*snapshot, error) {
+	b, err := fsys.ReadFile(filepath.Join(dir, snapshotName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return &snapshot{}, nil

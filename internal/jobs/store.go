@@ -4,9 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sync"
 	"time"
+
+	"positlab/internal/faultfs"
 )
 
 // Config tunes a Store. The zero value is the documented default.
@@ -18,12 +19,17 @@ type Config struct {
 	// NoSync skips the per-record fsync. Only for benchmarks and
 	// tests that measure the in-memory path; production journals sync.
 	NoSync bool
+	// FS is the filesystem seam every durable operation goes through.
+	// Nil means the real filesystem (faultfs.OS); the chaos suite and
+	// positd's -fault-plan flag substitute a fault injector.
+	FS faultfs.FS
 }
 
 func (c Config) fill() Config {
 	if c.CompactEvery <= 0 {
 		c.CompactEvery = 4096
 	}
+	c.FS = faultfs.OrOS(c.FS)
 	return c
 }
 
@@ -83,10 +89,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 		return s, nil
 	}
 	start := time.Now()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: create dir: %w", err)
 	}
-	snap, err := readSnapshot(dir)
+	snap, err := readSnapshot(s.cfg.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +108,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if snap.Seq > s.seq {
 		s.seq = snap.Seq
 	}
-	records, truncated, err := replayJournal(dir, s.applyLocked)
+	records, truncated, err := replayJournal(s.cfg.FS, dir, s.applyLocked)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +131,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 			s.replay.Restarted++
 		}
 	}
-	if s.j, err = openJournal(dir, s.cfg.NoSync); err != nil {
+	if s.j, err = openJournal(s.cfg.FS, dir, s.cfg.NoSync); err != nil {
 		return nil, err
 	}
 	s.recsSince = records
@@ -232,7 +238,7 @@ func (s *Store) compactLocked() {
 		jc := s.jobs[id].clone()
 		snap.Jobs = append(snap.Jobs, &jc)
 	}
-	if err := writeSnapshot(s.dir, snap); err != nil {
+	if err := writeSnapshot(s.cfg.FS, s.dir, snap); err != nil {
 		s.journalErrs++
 		return
 	}
@@ -301,7 +307,13 @@ func (s *Store) Submit(kind string, spec []byte, opt SubmitOptions) (Job, error)
 	if err := s.appendStrictLocked(rec{T: "submit", Job: j, TS: j.SubmittedNS}); err != nil {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
-		s.seq--
+		// The sequence number is NOT rolled back: the record may have
+		// reached the journal even though the append reported failure
+		// (write landed, fsync errored). Reusing the ID would let a
+		// later successful submit collide with the failed record on
+		// replay — the replayed (failed) spec would shadow the
+		// acknowledged one. A gap in the ID space is harmless; a
+		// collision breaks the durability contract.
 		s.journalErrs++
 		return Job{}, err
 	}
@@ -429,12 +441,20 @@ func (s *Store) saveCheckpoint(id string, iter int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Update the job before journaling, like Submit: if this append
+	// triggers a compaction, the snapshot must already carry the new
+	// checkpoint — the compaction truncates the journal, taking the
+	// just-written ckpt record with it. On append failure (no
+	// compaction ran) the old values are restored.
+	prevData, prevIter := j.Checkpoint, j.CheckpointIter
+	j.Checkpoint = d
+	j.CheckpointIter = iter
 	if err := s.appendStrictLocked(rec{T: "ckpt", ID: id, Iter: iter, Data: d, TS: nowNS()}); err != nil {
+		j.Checkpoint = prevData
+		j.CheckpointIter = prevIter
 		s.journalErrs++
 		return err
 	}
-	j.Checkpoint = d
-	j.CheckpointIter = iter
 	s.broadcastLocked()
 	return nil
 }

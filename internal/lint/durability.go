@@ -6,9 +6,11 @@ import (
 )
 
 // durabilityScope: the packages that own crash-durable state — the job
-// journal/snapshot and the runner's result cache and runs.json — where
-// the write-fsync-rename ordering is the whole correctness story.
-var durabilityScope = []string{"jobs", "runner"}
+// journal/snapshot, the runner's result cache and runs.json, the
+// filesystem seam itself, the arith table cache, and the shadow
+// artifact writer — where the write-fsync-rename ordering is the whole
+// correctness story.
+var durabilityScope = []string{"jobs", "runner", "faultfs", "arith", "shadow"}
 
 // durabilityRule enforces the atomic-replace protocol on durable
 // files: a file that is renamed into its final place must have been
@@ -29,7 +31,7 @@ type durabilityRule struct{}
 
 func (durabilityRule) Name() string { return "durability" }
 func (durabilityRule) Doc() string {
-	return "require fsync evidence before os.Rename in journal/cache code; forbid handing writers to error-dropping helpers"
+	return "require fsync evidence before os.Rename in journal/cache code; forbid handing writers to error-dropping helpers; forbid blank-discarded Remove errors in cleanup paths"
 }
 
 func (durabilityRule) Check(p *Pass) {
@@ -73,8 +75,45 @@ func (durabilityRule) Check(p *Pass) {
 			}
 		})
 	}
+	if scoped(p.Pkg, durabilityScope...) {
+		checkBlankRemove(p)
+	}
 	if scoped(p.Pkg, errcheckScope...) {
 		checkWriterHandoff(p)
+	}
+}
+
+// checkBlankRemove flags `_ = X.Remove(...)` in durable packages. The
+// errcheck rule accepts `_ =` as an acknowledged discard, but for
+// Remove in a cleanup path the acknowledgment is still a bug: on a
+// sick disk the temp files of failed atomic writes silently accrete
+// until the volume fills, turning one transient fault into a permanent
+// outage. Join the removal error into the returned error (the
+// faultfs.WriteFileAtomic idiom) or count it.
+func checkBlankRemove(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "Remove" || !returnsErrorLast(info, call) {
+				return true
+			}
+			p.Reportf(as.Pos(), "cleanup discards the %s error: failed removals of temp files accrete silently on a sick disk; join the error into the return value or count it", fn.FullName())
+			return true
+		})
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 // serving layer's response bodies, and the job journal — where a
 // silently dropped write error means a truncated artifact (or
 // response, or journal record) that looks like a result.
-var errcheckScope = []string{"report", "svgplot", "runner", "positio", "service", "jobs", "shadow"}
+var errcheckScope = []string{"report", "svgplot", "runner", "positio", "service", "jobs", "shadow", "faultfs"}
 
 // errcheckRule flags statements that discard the error result of an
 // output operation: fmt.Fprint* to a real writer, io/os calls, and

@@ -21,8 +21,10 @@ import (
 // P's imports, never their syntax trees.
 
 // factsSchema versions the serialized fact layout; it participates in
-// cache keys so a fact-shape change invalidates every entry.
-const factsSchema = "positlint-facts/v1"
+// cache keys so a fact-shape change invalidates every entry. v2: added
+// the faultfs.File.Sync interface model, which changes the Syncs facts
+// of everything calling through the seam.
+const factsSchema = "positlint-facts/v2"
 
 // FuncFacts is the summary of one function. The zero value means "no
 // interesting behavior known", which is the safe default for unknown
@@ -174,6 +176,14 @@ func stdlibFacts(fn *types.Func) FuncFacts {
 			ff.Blocking = true
 		}
 	case "os":
+		if recvName == "File" && name == "Sync" {
+			ff.Syncs = true
+		}
+	case "positlab/internal/faultfs":
+		// The faultfs.File interface method has no body to analyze, so
+		// model it like (*os.File).Sync: every implementation (the os
+		// passthrough and the fault injector alike) performs — or
+		// deliberately simulates — an fsync here.
 		if recvName == "File" && name == "Sync" {
 			ff.Syncs = true
 		}

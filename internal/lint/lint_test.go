@@ -137,7 +137,7 @@ func TestAllowSuppresses(t *testing.T) {
 		"service/service.go:errcheck":          3,
 		"service/ctx.go:ctxprop":               2,
 		"jobs/jobs.go:errcheck":                5,
-		"jobs/durable.go:durability":           2,
+		"jobs/durable.go:durability":           3,
 		"jobs/queue.go:mutexio":                3,
 		"lib/lib.go:locks":                     3,
 		"lib/lib.go:panics":                    1,

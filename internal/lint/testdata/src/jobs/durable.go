@@ -77,3 +77,17 @@ func WriteHeaderChecked(f *os.File) error {
 func BufferHeader(b *bytes.Buffer) {
 	floatutil.DropWrites(b)
 }
+
+// CleanupBlind blank-discards the Remove error in a cleanup path: on a
+// sick disk the temp files of failed atomic writes accrete silently.
+func CleanupBlind(tmp string) {
+	_ = os.Remove(tmp) // want: durability blank remove
+}
+
+// CleanupJoined routes the removal error into the return value; clean.
+func CleanupJoined(tmp string, err error) error {
+	if rerr := os.Remove(tmp); rerr != nil {
+		return rerr
+	}
+	return err
+}

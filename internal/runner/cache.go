@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"positlab/internal/faultfs"
 )
 
 // cacheSchema versions the on-disk entry layout. Bump it whenever
@@ -21,6 +23,7 @@ const cacheSchema = "positlab-cache/v1"
 // stored body and artifacts.
 type Cache struct {
 	dir string
+	fs  faultfs.FS
 }
 
 // cacheEntry is the stored JSON envelope.
@@ -31,15 +34,24 @@ type cacheEntry struct {
 	Result *Result `json:"result"`
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// OpenCache opens (creating if needed) a cache rooted at dir on the
+// real filesystem.
 func OpenCache(dir string) (*Cache, error) {
+	return OpenCacheFS(faultfs.OS, dir)
+}
+
+// OpenCacheFS is OpenCache over an explicit filesystem seam — the
+// entry point the chaos suite uses to put the cache on a fault
+// injector.
+func OpenCacheFS(fsys faultfs.FS, dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runner: empty cache dir")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys = faultfs.OrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: open cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the cache root.
@@ -72,7 +84,7 @@ func (c *Cache) path(key string) string {
 // Get returns the cached result for key, reporting ok=false on a miss.
 // Undecodable or stale-schema entries are misses, not errors.
 func (c *Cache) Get(key string) (*Result, bool, error) {
-	data, err := os.ReadFile(c.path(key))
+	data, err := c.fs.ReadFile(c.path(key))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -86,35 +98,20 @@ func (c *Cache) Get(key string) (*Result, bool, error) {
 	return e.Result, true, nil
 }
 
-// Put stores res under key, atomically (temp file + rename) so a
-// crashed or canceled run never leaves a torn entry.
+// Put stores res under key, atomically (temp file + fsync + rename via
+// faultfs.WriteFileAtomic) so a crashed or canceled run never leaves a
+// torn entry, and a failed cleanup of the temp file is surfaced rather
+// than swallowed.
 func (c *Cache) Put(key string, res *Result) error {
 	path := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := c.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(cacheEntry{Schema: cacheSchema, ID: keyID(key), Key: key, Result: res}, "", " ")
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+keyID(key)+"-*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	serr := tmp.Sync() // reach disk before the rename can commit the entry
-	cerr := tmp.Close()
-	if werr != nil || serr != nil || cerr != nil {
-		_ = os.Remove(tmp.Name()) // best-effort cleanup; the write error wins
-		if werr != nil {
-			return werr
-		}
-		if serr != nil {
-			return serr
-		}
-		return cerr
-	}
-	return os.Rename(tmp.Name(), path)
+	return faultfs.WriteFileAtomic(c.fs, path, data)
 }
 
 // keyID recovers the experiment ID prefix of a cache key.

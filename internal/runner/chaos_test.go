@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"positlab/internal/faultfs"
+)
+
+// The cache chaos suite drives Put/Get sequences under randomized
+// fault schedules and asserts the cache contract after each:
+//
+//   - an entry whose Put was acknowledged is served back deep-equal;
+//   - any other key is either a miss or deep-equal to what was written
+//     — never a torn or wrong entry (atomic replace + schema check);
+//   - runs.json written through WriteFileFS is either absent, the old
+//     version, or the complete new version.
+//
+// Reproduce a failure with the seed it prints:
+//
+//	POSITLAB_CHAOS_REPLAY=<seed> go test -run TestChaosCache ./internal/runner/
+
+func chaosResult(i int) *Result {
+	return &Result{
+		Body: fmt.Sprintf("body-%d: %s", i, string(make([]byte, 64+i*13))),
+		Metrics: map[string]float64{
+			"iters": float64(100 + i),
+			"rows":  float64(i),
+		},
+	}
+}
+
+type cacheModel struct {
+	keys  []string
+	acked map[string]int // key -> result index of acked Put
+	runs  bool           // runs.json write acked
+}
+
+func chaosCacheWorkload(fsys faultfs.FS, dir string, m *cacheModel) error {
+	tol := func(err error) error {
+		if err == nil || errors.Is(err, faultfs.ErrInjected) {
+			return nil
+		}
+		return err
+	}
+	c, err := OpenCacheFS(fsys, dir)
+	if err != nil {
+		return tol(err)
+	}
+	for i := 0; i < 6; i++ {
+		key, err := c.Key("chaos", map[string]int{"i": i})
+		if err != nil {
+			return err
+		}
+		m.keys = append(m.keys, key)
+		if err := c.Put(key, chaosResult(i)); err != nil {
+			if terr := tol(err); terr != nil {
+				return terr
+			}
+			continue
+		}
+		m.acked[key] = i
+		// Interleaved read-back through the sick disk: errors and
+		// misses are tolerated, a wrong result is not.
+		if res, ok, gerr := c.Get(key); gerr == nil && ok {
+			if res.Body != chaosResult(i).Body {
+				return fmt.Errorf("cache served wrong body for %s right after Put", key)
+			}
+		}
+	}
+	// Overwrite one key with newer content (index 10): after this,
+	// either version is valid for that key, but nothing else is.
+	if len(m.keys) > 0 {
+		if err := c.Put(m.keys[0], chaosResult(10)); err == nil {
+			m.acked[m.keys[0]] = 10
+		} else if terr := tol(err); terr != nil {
+			return terr
+		}
+	}
+	rep := &RunReport{Schema: RunsSchema, Workers: 3}
+	if err := rep.WriteFileFS(fsys, filepath.Join(dir, "runs.json")); err == nil {
+		m.runs = true
+	} else if terr := tol(err); terr != nil {
+		return terr
+	}
+	return nil
+}
+
+func verifyCacheInvariants(dir string, m *cacheModel) error {
+	c, err := OpenCache(dir)
+	if err != nil {
+		return fmt.Errorf("reopen cache after faults: %w", err)
+	}
+	for _, key := range m.keys {
+		res, ok, err := c.Get(key)
+		if err != nil {
+			return fmt.Errorf("Get(%s) on clean disk: %w", key, err)
+		}
+		idx, acked := m.acked[key]
+		if acked && !ok {
+			return fmt.Errorf("acknowledged cache entry %s lost", key)
+		}
+		if !ok {
+			continue
+		}
+		// Present entries must deep-equal some version actually
+		// written: the acked one, or (for the overwritten key) either
+		// generation — never torn, never mixed.
+		want := chaosResult(idx)
+		if !acked {
+			// Unacked writes may still have committed whole.
+			for i := 0; i <= 10; i++ {
+				if reflect.DeepEqual(res, chaosResult(i)) {
+					want = chaosResult(i)
+					break
+				}
+			}
+		}
+		if !reflect.DeepEqual(res, want) && !(key == m.keys[0] && reflect.DeepEqual(res, chaosResult(0))) {
+			return fmt.Errorf("cache entry %s torn or wrong: got body %q", key, res.Body)
+		}
+	}
+	if m.runs {
+		rep := &RunReport{}
+		data, err := faultfs.OS.ReadFile(filepath.Join(dir, "runs.json"))
+		if err != nil {
+			return fmt.Errorf("acknowledged runs.json lost: %w", err)
+		}
+		if err := json.Unmarshal(data, rep); err != nil || rep.Schema != RunsSchema || rep.Workers != 3 {
+			return fmt.Errorf("acknowledged runs.json torn: %v (schema %q)", err, rep.Schema)
+		}
+	}
+	return nil
+}
+
+// TestChaosCache is the CI chaos gate for the runner's durable
+// artifacts (result cache + runs.json).
+func TestChaosCache(t *testing.T) {
+	opts := faultfs.OptionsFromEnv(300, t.Logf)
+	opts.Horizon = 40
+	root := t.TempDir()
+	var (
+		cur   *cacheModel
+		dir   string
+		runID int
+	)
+	err := faultfs.Explore(opts,
+		func(seed int64, fsys faultfs.FS) error {
+			runID++
+			dir = filepath.Join(root, fmt.Sprintf("s%06d", runID))
+			cur = &cacheModel{acked: map[string]int{}}
+			return chaosCacheWorkload(fsys, dir, cur)
+		},
+		func(seed int64, crashed bool) error {
+			return verifyCacheInvariants(dir, cur)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

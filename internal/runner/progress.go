@@ -4,11 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
 	"positlab/internal/arith"
+	"positlab/internal/faultfs"
 )
 
 // RunsSchema identifies the runs.json layout.
@@ -105,29 +105,16 @@ func (r *RunReport) JSON() ([]byte, error) {
 // write and the rename cannot leave a torn (but plausibly complete)
 // report behind.
 func (r *RunReport) WriteFile(path string) error {
+	return r.WriteFileFS(faultfs.OS, path)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem seam.
+func (r *RunReport) WriteFileFS(fsys faultfs.FS, path string) error {
 	data, err := r.JSON()
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	_, werr := f.Write(append(data, '\n'))
-	serr := f.Sync()
-	cerr := f.Close()
-	if werr != nil || serr != nil || cerr != nil {
-		_ = os.Remove(tmp)
-		if werr != nil {
-			return werr
-		}
-		if serr != nil {
-			return serr
-		}
-		return cerr
-	}
-	return os.Rename(tmp, path)
+	return faultfs.WriteFileAtomic(faultfs.OrOS(fsys), path, append(data, '\n'))
 }
 
 // Progress returns an Events callback that renders a live per-job

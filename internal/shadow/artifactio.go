@@ -1,0 +1,68 @@
+package shadow
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"positlab/internal/faultfs"
+)
+
+// artifactSlug builds the file-name stem for a report's artifact set
+// from its identifying fields, normalized to filesystem-safe runes.
+func (r *Report) artifactSlug() string {
+	slug := fmt.Sprintf("%s_%s_%s", r.Matrix, r.Solver, r.Format)
+	slug = strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-' || c == '_' || c == '.':
+			return c
+		default:
+			return '-'
+		}
+	}, slug)
+	if slug == "__" || slug == "" {
+		slug = "report"
+	}
+	return slug
+}
+
+// WriteArtifacts renders every diagnostic artifact of the report —
+// report JSON, per-sample trace CSV, per-column summary CSV, stats
+// CSV, and the error-decay SVG — into dir through the faultfs seam,
+// each with the atomic-replace protocol, and returns the paths
+// written. A nil fsys means the real filesystem.
+//
+// Artifacts are regenerable (re-running the diagnosis recreates them
+// bit-for-bit), so a failed write aborts with an error rather than
+// leaving a silent gap: the caller decides whether a missing artifact
+// is fatal.
+func (r *Report) WriteArtifacts(fsys faultfs.FS, dir string) ([]string, error) {
+	fsys = faultfs.OrOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shadow: artifacts dir: %w", err)
+	}
+	js, err := r.JSON()
+	if err != nil {
+		return nil, fmt.Errorf("shadow: marshal report: %w", err)
+	}
+	slug := r.artifactSlug()
+	files := []struct {
+		suffix string
+		body   []byte
+	}{
+		{"report.json", js},
+		{"trace.csv", []byte(r.TraceCSV())},
+		{"columns.csv", []byte(r.ColumnsCSV())},
+		{"stats.csv", []byte(r.StatsCSV())},
+		{"decay.svg", []byte(r.DecaySVG())},
+	}
+	var written []string
+	for _, f := range files {
+		path := filepath.Join(dir, slug+"_"+f.suffix)
+		if err := faultfs.WriteFileAtomic(fsys, path, f.body); err != nil {
+			return written, fmt.Errorf("shadow: write %s: %w", filepath.Base(path), err)
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

@@ -1,0 +1,113 @@
+package shadow_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"positlab/internal/arith"
+	"positlab/internal/faultfs"
+	"positlab/internal/shadow"
+)
+
+// TestChaosArtifacts drives the report artifact writer under
+// randomized fault schedules: every artifact file present afterwards
+// must be bit-identical to its expected rendering (each file is an
+// independent atomic replace), and once WriteArtifacts acknowledged
+// success the full set must survive even a later crash.
+//
+// Reproduce a failure with the seed it prints:
+//
+//	POSITLAB_CHAOS_REPLAY=<seed> go test -run TestChaosArtifacts ./internal/shadow/
+func TestChaosArtifacts(t *testing.T) {
+	rep := chaosReport(t)
+
+	// Expected renderings, computed once on a clean path.
+	cleanDir := t.TempDir()
+	cleanPaths, err := rep.WriteArtifacts(nil, cleanDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{} // base name -> content
+	for _, p := range cleanPaths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[filepath.Base(p)] = b
+	}
+
+	opts := faultfs.OptionsFromEnv(150, t.Logf)
+	opts.Horizon = 24
+	root := t.TempDir()
+	var (
+		dir   string
+		acked bool
+		runID int
+	)
+	err = faultfs.Explore(opts,
+		func(seed int64, fsys faultfs.FS) error {
+			runID++
+			dir = filepath.Join(root, fmt.Sprintf("s%06d", runID))
+			acked = false
+			_, werr := rep.WriteArtifacts(fsys, dir)
+			if werr == nil {
+				acked = true
+				return nil
+			}
+			if errors.Is(werr, faultfs.ErrInjected) {
+				return nil
+			}
+			return werr
+		},
+		func(seed int64, crashed bool) error {
+			for name, body := range want {
+				got, rerr := os.ReadFile(filepath.Join(dir, name))
+				if rerr != nil {
+					if acked {
+						return fmt.Errorf("acknowledged artifact %s lost (crashed=%v): %w", name, crashed, rerr)
+					}
+					continue
+				}
+				if !bytes.Equal(got, body) {
+					return fmt.Errorf("artifact %s torn: %d bytes vs %d expected", name, len(got), len(body))
+				}
+			}
+			// No half-written temp files may leak into the artifact
+			// dir on the non-crash paths (a crash legitimately strands
+			// its in-flight temp).
+			if !crashed {
+				ents, derr := os.ReadDir(dir)
+				if derr != nil {
+					return nil // dir never created: nothing to check
+				}
+				for _, e := range ents {
+					if _, expected := want[e.Name()]; !expected {
+						return fmt.Errorf("stray file %s left behind without a crash", e.Name())
+					}
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chaosReport builds a small but non-trivial report via the public
+// diagnosis path so the artifacts have real samples in them.
+func chaosReport(t *testing.T) *shadow.Report {
+	t.Helper()
+	a := laplacian1D(24)
+	rep, err := shadow.Diagnose(context.Background(), a, onesRHS(a), "lap24", shadow.Options{
+		Solver: "cg", Format: arith.Posit32e2, Sample: shadow.Config{SampleEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
